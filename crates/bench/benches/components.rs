@@ -1,0 +1,110 @@
+//! Criterion microbenchmarks of every pipeline stage, sized at the
+//! default experiment resolution (256²). Run with `cargo bench`.
+
+use cfaopc_core::{compose, compose_soft, ComposeConfig, SparseCircles};
+use cfaopc_ebeam::{EbeamPsf, WriterModel};
+use cfaopc_fft::{Complex, Fft2d};
+use cfaopc_fracture::{circle_rule, rect_fracture, CircleRuleConfig};
+use cfaopc_grid::{skeletonize, Grid2D};
+use cfaopc_layouts::benchmark_case;
+use cfaopc_litho::{
+    loss_and_gradient, LithoConfig, LithoSimulator, LossWeights, ProcessCorner,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 256;
+
+fn sim() -> LithoSimulator {
+    LithoSimulator::new(LithoConfig {
+        size: N,
+        kernel_count: 8,
+        ..LithoConfig::default()
+    })
+    .unwrap()
+}
+
+fn bench_fft2d(c: &mut Criterion) {
+    let plan = Fft2d::square(N).unwrap();
+    let base: Vec<Complex> = (0..N * N)
+        .map(|i| Complex::from_re((i % 7) as f64))
+        .collect();
+    c.bench_function("fft2d_forward_256", |b| {
+        b.iter(|| {
+            let mut buf = base.clone();
+            plan.forward(&mut buf).unwrap();
+            black_box(buf[0])
+        })
+    });
+}
+
+fn bench_litho_forward(c: &mut Criterion) {
+    let s = sim();
+    let target = benchmark_case(3).unwrap().rasterize(N);
+    let mask = target.to_real();
+    c.bench_function("aerial_image_256_8k", |b| {
+        b.iter(|| black_box(s.aerial_image(&mask, ProcessCorner::Nominal).unwrap()))
+    });
+}
+
+fn bench_litho_gradient(c: &mut Criterion) {
+    let s = sim();
+    let target = benchmark_case(3).unwrap().rasterize(N);
+    let target_real = target.to_real();
+    let mask = Grid2D::new(N, N, 0.4);
+    c.bench_function("loss_and_gradient_256_3corner", |b| {
+        b.iter(|| {
+            black_box(
+                loss_and_gradient(&s, &mask, &target_real, LossWeights::default()).unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_fracture(c: &mut Criterion) {
+    let target = benchmark_case(3).unwrap().rasterize(N);
+    c.bench_function("skeletonize_case3_256", |b| {
+        b.iter(|| black_box(skeletonize(&target)))
+    });
+    c.bench_function("circle_rule_case3_256", |b| {
+        b.iter(|| black_box(circle_rule(&target, &CircleRuleConfig::default(), 8.0)))
+    });
+    c.bench_function("rect_fracture_case3_256", |b| {
+        b.iter(|| black_box(rect_fracture(&target)))
+    });
+}
+
+fn bench_ebeam(c: &mut Criterion) {
+    let target = benchmark_case(3).unwrap().rasterize(N);
+    let circles = circle_rule(&target, &CircleRuleConfig::default(), 8.0);
+    let writer = WriterModel::new(N, 8.0, EbeamPsf::default());
+    let shots = WriterModel::dose_circles(&circles);
+    c.bench_function("ebeam_write_case3_256", |b| {
+        b.iter(|| black_box(writer.write(&shots)))
+    });
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let target = benchmark_case(3).unwrap().rasterize(N);
+    let circles = circle_rule(&target, &CircleRuleConfig::default(), 8.0);
+    let sparse = SparseCircles::from_circular_mask(&circles);
+    let cfg = ComposeConfig::new(N, 2, 10);
+    let grad = Grid2D::new(N, N, 0.01);
+    c.bench_function("compose_case3_256", |b| {
+        b.iter(|| black_box(compose(&sparse, &cfg)))
+    });
+    let composite = compose(&sparse, &cfg);
+    c.bench_function("compose_backward_case3_256", |b| {
+        b.iter(|| black_box(composite.backward(&grad)))
+    });
+    c.bench_function("compose_soft_case3_256", |b| {
+        b.iter(|| black_box(compose_soft(&sparse, &cfg, 20.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fft2d, bench_litho_forward, bench_litho_gradient, bench_fracture, bench_compose, bench_ebeam
+}
+criterion_main!(benches);

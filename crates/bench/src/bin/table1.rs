@@ -1,0 +1,39 @@
+//! **Table 1**: CircleRule vs SOTA pixel-based OPC methods — averaged
+//! L2 / PVB / EPE / #Shot over the benchmark, for each pixel engine raw
+//! (VSB rectangle shots) and with CircleRule (circular shots).
+//!
+//! Expected shape (paper): circular fracturing cuts the shot count by
+//! 2–6×; L2/EPE degrade (the circles only *fit* the pixel mask); PVB is
+//! comparable or better.
+
+use cfaopc_bench::{banner, Experiment};
+use cfaopc_fracture::CircleRuleConfig;
+use cfaopc_ilt::IltEngine;
+use cfaopc_metrics::{MetricRow, MetricTable};
+
+fn main() {
+    let exp = Experiment::from_env();
+    banner("Table 1: CircleRule vs pixel-based OPC", &exp);
+    let rule = CircleRuleConfig::default();
+
+    let mut summary = MetricTable::new("Table 1 (averages per method)");
+    for engine in IltEngine::BASELINES {
+        let mut raw = MetricTable::new(format!("{} raw", engine.name()));
+        let mut fractured = MetricTable::new(format!("{}+CircleRule", engine.name()));
+        for layout in &exp.cases {
+            let target = exp.target(layout);
+            let pixel = exp.pixel_mask(engine, &target);
+            raw.push(MetricRow::new(&layout.name, exp.eval_vsb(&pixel, &target)));
+            let (metrics, _) = exp.eval_circle_rule(&pixel, &target, &rule);
+            fractured.push(MetricRow::new(&layout.name, metrics));
+        }
+        summary.push(MetricRow::new(engine.name(), raw.average()));
+        summary.push(MetricRow::new(
+            format!("{}+CircleRule", engine.name()),
+            fractured.average(),
+        ));
+        exp.emit(&format!("table1_{}_raw", engine.name()), &raw);
+        exp.emit(&format!("table1_{}_circlerule", engine.name()), &fractured);
+    }
+    exp.emit("table1_summary", &summary);
+}

@@ -1,0 +1,50 @@
+//! **Table 2**: per-case mask printability and complexity for the three
+//! `engine+CircleRule` combinations and CircleOpt.
+//!
+//! Expected shape (paper): CircleOpt has the best L2/EPE of the circle
+//! methods and ~20 % fewer shots than MultiILT+CircleRule;
+//! DevelSet+CircleRule has the fewest shots (no SRAFs) but the worst L2.
+
+use cfaopc_bench::{banner, Experiment};
+use cfaopc_fracture::CircleRuleConfig;
+use cfaopc_ilt::IltEngine;
+use cfaopc_metrics::{MetricRow, MetricTable};
+
+fn main() {
+    let exp = Experiment::from_env();
+    banner("Table 2: CircleRule vs CircleOpt, per case", &exp);
+    let rule = CircleRuleConfig::default();
+
+    let mut tables: Vec<MetricTable> = IltEngine::BASELINES
+        .iter()
+        .map(|e| MetricTable::new(format!("{}+CircleRule", e.name())))
+        .collect();
+    let mut opt_table = MetricTable::new("CircleOpt");
+
+    for layout in &exp.cases {
+        let target = exp.target(layout);
+        for (engine, table) in IltEngine::BASELINES.iter().zip(&mut tables) {
+            let pixel = exp.pixel_mask(*engine, &target);
+            let (metrics, _) = exp.eval_circle_rule(&pixel, &target, &rule);
+            table.push(MetricRow::new(&layout.name, metrics));
+        }
+        let (metrics, _) = exp.eval_circleopt(&target, &exp.circleopt_config());
+        opt_table.push(MetricRow::new(&layout.name, metrics));
+        eprintln!("[table2] {} done", layout.name);
+    }
+
+    for (engine, table) in IltEngine::BASELINES.iter().zip(&tables) {
+        exp.emit(&format!("table2_{}_circlerule", engine.name()), table);
+    }
+    exp.emit("table2_circleopt", &opt_table);
+
+    let mut summary = MetricTable::new("Table 2 (averages)");
+    for (engine, table) in IltEngine::BASELINES.iter().zip(&tables) {
+        summary.push(MetricRow::new(
+            format!("{}+CircleRule", engine.name()),
+            table.average(),
+        ));
+    }
+    summary.push(MetricRow::new("CircleOpt", opt_table.average()));
+    exp.emit("table2_summary", &summary);
+}

@@ -1,0 +1,393 @@
+//! The differentiable circle-to-pixel transformation (paper Eq. 10–14).
+//!
+//! Forward: every circle contributes a *circular window*
+//! `f(x,y) = σ(α(r′ − ‖(x,y) − (x′,y′)‖))` (Eq. 10) and the dense mask is
+//! the per-pixel maximum of the activated windows,
+//! `M̄(x,y) = maxᵢ qᵢ fᵢ(x,y)` (Eq. 11). The winning circle index is
+//! recorded per pixel so the backward pass can route gradients only
+//! through the argmax, exactly as Eq. 12–14 prescribe.
+//!
+//! Backward: given `∂L/∂M̄`, accumulate per-circle gradients over the
+//! window `U` — a square marginally larger than the circle's diameter
+//! (Eq. 16 and the paper's memory/compute rationale):
+//!
+//! ```text
+//! ∂M̄/∂xᵢ = α qᵢ h (x − xᵢ′)/d · 𝟙[0,W](xᵢ)     (h = f(1−f), d = distance)
+//! ∂M̄/∂rᵢ = α qᵢ h · 𝟙[Rmin,Rmax](rᵢ)
+//! ∂M̄/∂qᵢ = f
+//! ```
+
+use crate::repr::SparseCircles;
+use crate::ste::ste;
+use cfaopc_grid::Grid2D;
+use cfaopc_litho::sigmoid;
+
+/// Parameters of the circle-to-pixel transformation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComposeConfig {
+    /// Window steepness `α` (paper §5 sets 8).
+    pub alpha: f64,
+    /// Halfwidth of the gradient window `U` beyond the radius, pixels.
+    pub window_margin: i32,
+    /// Grid width (= height) in pixels; also the STE clip bound for
+    /// centers.
+    pub size: usize,
+    /// Minimum radius (STE clip bound), pixels.
+    pub r_min: i32,
+    /// Maximum radius (STE clip bound), pixels.
+    pub r_max: i32,
+    /// Quantize centers/radii through the STE (production behaviour).
+    /// `false` keeps them continuous — used by the finite-difference
+    /// tests to validate Eq. 12–14 without the rounding staircase.
+    pub quantize: bool,
+    /// Apply the STE indicator gates of Eq. 9 (block gradients outside
+    /// the clip range). Disabling this is the `ablation_ste` study:
+    /// parameters then drift past the writer's limits.
+    pub clip_gates: bool,
+}
+
+impl ComposeConfig {
+    /// Standard configuration for a `size × size` grid.
+    pub fn new(size: usize, r_min: i32, r_max: i32) -> Self {
+        ComposeConfig {
+            alpha: 8.0,
+            window_margin: 3,
+            size,
+            r_min,
+            r_max,
+            quantize: true,
+            clip_gates: true,
+        }
+    }
+}
+
+/// One circle after (optional) STE quantization, with backward gates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PlacedCircle {
+    cx: f64,
+    cy: f64,
+    r: f64,
+    q: f64,
+    gate_x: f64,
+    gate_y: f64,
+    gate_r: f64,
+}
+
+/// The dense mask, its argmax routing map, and everything needed to run
+/// the backward pass.
+#[derive(Debug, Clone)]
+pub struct Composite {
+    /// The dense mask `M̄` (Eq. 11); zero where no circle wins.
+    pub mask: Grid2D<f64>,
+    /// Winning circle per pixel; `-1` = background (no positive window).
+    pub argmax: Grid2D<i32>,
+    placed: Vec<PlacedCircle>,
+    config: ComposeConfig,
+}
+
+/// Builds the dense mask from the sparse circular representation.
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_core::{compose, ComposeConfig, CircleParams, SparseCircles};
+///
+/// let circles = SparseCircles {
+///     circles: vec![CircleParams { x: 16.0, y: 16.0, r: 6.0, q: 1.0 }],
+/// };
+/// let composite = compose(&circles, &ComposeConfig::new(32, 3, 19));
+/// assert!(composite.mask[(16, 16)] > 0.99); // deep inside the circle
+/// assert!(composite.mask[(0, 0)] < 1e-6);   // background
+/// ```
+pub fn compose(circles: &SparseCircles, config: &ComposeConfig) -> Composite {
+    let n = config.size;
+    let mut mask = Grid2D::new(n, n, 0.0f64);
+    let mut argmax = Grid2D::new(n, n, -1i32);
+    let placed: Vec<PlacedCircle> = circles
+        .circles
+        .iter()
+        .map(|c| {
+            if config.quantize {
+                let sx = ste(c.x, 0.0, (n - 1) as f64);
+                let sy = ste(c.y, 0.0, (n - 1) as f64);
+                let sr = ste(c.r, config.r_min as f64, config.r_max as f64);
+                let (gate_x, gate_y, gate_r) = if config.clip_gates {
+                    (sx.gate, sy.gate, sr.gate)
+                } else {
+                    (1.0, 1.0, 1.0)
+                };
+                PlacedCircle {
+                    cx: sx.value as f64,
+                    cy: sy.value as f64,
+                    r: sr.value as f64,
+                    q: c.q,
+                    gate_x,
+                    gate_y,
+                    gate_r,
+                }
+            } else {
+                PlacedCircle {
+                    cx: c.x,
+                    cy: c.y,
+                    r: c.r,
+                    q: c.q,
+                    gate_x: 1.0,
+                    gate_y: 1.0,
+                    gate_r: 1.0,
+                }
+            }
+        })
+        .collect();
+
+    for (i, pc) in placed.iter().enumerate() {
+        let half = pc.r.ceil() as i32 + config.window_margin;
+        let x0 = (pc.cx.round() as i32 - half).max(0);
+        let x1 = (pc.cx.round() as i32 + half).min(n as i32 - 1);
+        let y0 = (pc.cy.round() as i32 - half).max(0);
+        let y1 = (pc.cy.round() as i32 + half).min(n as i32 - 1);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let d = (((x as f64 - pc.cx).powi(2)) + ((y as f64 - pc.cy).powi(2))).sqrt();
+                let f = sigmoid(config.alpha * (pc.r - d));
+                let v = pc.q * f;
+                let cell = &mut mask[(x as usize, y as usize)];
+                if v > *cell {
+                    *cell = v;
+                    argmax[(x as usize, y as usize)] = i as i32;
+                }
+            }
+        }
+    }
+    Composite {
+        mask,
+        argmax,
+        placed,
+        config: *config,
+    }
+}
+
+impl Composite {
+    /// The compose configuration used.
+    pub fn config(&self) -> &ComposeConfig {
+        &self.config
+    }
+
+    /// Backward pass: chain `∂L/∂M̄` (from the lithography adjoint)
+    /// through Eq. 12–14 into the flat `4n` parameter gradient
+    /// `[∂x₀, ∂y₀, ∂r₀, ∂q₀, ∂x₁, …]`.
+    ///
+    /// Gradients aggregate only over each circle's window `U` **and**
+    /// only at pixels the circle wins (the argmax routing of Eq. 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_mask` does not match the grid size.
+    pub fn backward(&self, grad_mask: &Grid2D<f64>) -> Vec<f64> {
+        let n = self.config.size;
+        assert!(
+            grad_mask.width() == n && grad_mask.height() == n,
+            "gradient shape mismatch"
+        );
+        let alpha = self.config.alpha;
+        let mut grads = vec![0.0f64; self.placed.len() * 4];
+        for (i, pc) in self.placed.iter().enumerate() {
+            let half = pc.r.ceil() as i32 + self.config.window_margin;
+            let x0 = (pc.cx.round() as i32 - half).max(0);
+            let x1 = (pc.cx.round() as i32 + half).min(n as i32 - 1);
+            let y0 = (pc.cy.round() as i32 - half).max(0);
+            let y1 = (pc.cy.round() as i32 + half).min(n as i32 - 1);
+            let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    if self.argmax[(x as usize, y as usize)] != i as i32 {
+                        continue;
+                    }
+                    let dx = x as f64 - pc.cx;
+                    let dy = y as f64 - pc.cy;
+                    let d = (dx * dx + dy * dy).sqrt();
+                    let f = sigmoid(alpha * (pc.r - d));
+                    let h = f * (1.0 - f);
+                    let g = grad_mask[(x as usize, y as usize)];
+                    if d > 1e-9 {
+                        gx += g * alpha * pc.q * h * (dx / d);
+                        gy += g * alpha * pc.q * h * (dy / d);
+                    }
+                    gr += g * alpha * pc.q * h;
+                    gq += g * f;
+                }
+            }
+            grads[4 * i] = gx * pc.gate_x;
+            grads[4 * i + 1] = gy * pc.gate_y;
+            grads[4 * i + 2] = gr * pc.gate_r;
+            grads[4 * i + 3] = gq;
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repr::CircleParams;
+
+    fn single(x: f64, y: f64, r: f64, q: f64) -> SparseCircles {
+        SparseCircles {
+            circles: vec![CircleParams { x, y, r, q }],
+        }
+    }
+
+    fn cfg(n: usize) -> ComposeConfig {
+        ComposeConfig::new(n, 2, 12)
+    }
+
+    #[test]
+    fn single_circle_window_shape() {
+        let c = compose(&single(16.0, 16.0, 6.0, 1.0), &cfg(32));
+        assert!(c.mask[(16, 16)] > 0.99);
+        assert!(c.mask[(22, 16)] >= 0.45 && c.mask[(22, 16)] <= 0.55); // on the rim
+        assert!(c.mask[(28, 16)] < 1e-6);
+        assert_eq!(c.argmax[(16, 16)], 0);
+        assert_eq!(c.argmax[(0, 0)], -1);
+    }
+
+    #[test]
+    fn activation_scales_the_window() {
+        let c = compose(&single(16.0, 16.0, 6.0, 0.4), &cfg(32));
+        assert!((c.mask[(16, 16)] - 0.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn overlapping_circles_take_the_max() {
+        let circles = SparseCircles {
+            circles: vec![
+                CircleParams { x: 14.0, y: 16.0, r: 6.0, q: 1.0 },
+                CircleParams { x: 20.0, y: 16.0, r: 6.0, q: 0.6 },
+            ],
+        };
+        let c = compose(&circles, &cfg(32));
+        // Deep inside circle 0 only.
+        assert_eq!(c.argmax[(10, 16)], 0);
+        // Deep inside circle 1 only — weaker q wins where circle 0's
+        // window has fallen off.
+        assert_eq!(c.argmax[(25, 16)], 1);
+        // In the overlap, the stronger activation wins.
+        assert_eq!(c.argmax[(17, 16)], 0);
+    }
+
+    #[test]
+    fn negative_activation_never_claims_pixels() {
+        let c = compose(&single(16.0, 16.0, 6.0, -0.5), &cfg(32));
+        assert!(c.mask.as_slice().iter().all(|&v| v == 0.0));
+        assert!(c.argmax.as_slice().iter().all(|&v| v == -1));
+    }
+
+    #[test]
+    fn quantization_rounds_centers() {
+        let a = compose(&single(16.4, 16.0, 6.3, 1.0), &cfg(32));
+        let b = compose(&single(16.0, 16.0, 6.0, 1.0), &cfg(32));
+        assert_eq!(a.mask, b.mask);
+    }
+
+    #[test]
+    fn ste_gates_block_out_of_range_gradients() {
+        // Radius pushed past r_max: clipped forward, gated backward.
+        let c = compose(&single(16.0, 16.0, 99.0, 1.0), &cfg(32));
+        let ones = Grid2D::new(32, 32, 1.0);
+        let grads = c.backward(&ones);
+        assert_eq!(grads[2], 0.0, "radius gradient must be gated off");
+        assert!(grads[3] > 0.0, "q gradient still flows");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences_continuous() {
+        // Validate Eq. 12–14 against finite differences of the
+        // continuous (unquantized) composition with a fixed random-ish
+        // pixel weighting: J = Σ w · M̄.
+        let n = 32;
+        let mut config = cfg(n);
+        config.quantize = false;
+        let weights: Vec<f64> = (0..n * n)
+            .map(|i| ((i as f64 * 0.61803).sin() * 0.5 + 0.5) * 0.1)
+            .collect();
+        let w_grid = Grid2D::from_vec(n, n, weights);
+        let j = |circles: &SparseCircles| -> f64 {
+            let c = compose(circles, &config);
+            c.mask
+                .as_slice()
+                .iter()
+                .zip(w_grid.as_slice())
+                .map(|(&m, &w)| m * w)
+                .sum()
+        };
+        let base = SparseCircles {
+            circles: vec![
+                CircleParams { x: 12.3, y: 15.1, r: 5.2, q: 0.9 },
+                CircleParams { x: 20.7, y: 18.4, r: 4.1, q: 0.7 },
+            ],
+        };
+        let composite = compose(&base, &config);
+        let analytic = composite.backward(&w_grid);
+        let eps = 1e-6;
+        for p in 0..8 {
+            let mut plus = base.clone();
+            let mut flat = plus.to_flat();
+            flat[p] += eps;
+            plus.set_from_flat(&flat);
+            let mut minus = base.clone();
+            let mut flat = minus.to_flat();
+            flat[p] -= eps;
+            minus.set_from_flat(&flat);
+            let fd = (j(&plus) - j(&minus)) / (2.0 * eps);
+            assert!(
+                (fd - analytic[p]).abs() < 1e-4 * fd.abs().max(analytic[p].abs()).max(1.0),
+                "param {p}: fd={fd} analytic={}",
+                analytic[p]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_pushes_circle_toward_bright_pixels() {
+        // Loss gradient negative on the right rim (wants more mask
+        // there): ∂L/∂x must be negative so descending x += -grad moves
+        // the circle right (paper Figure 5(a)).
+        let n = 32;
+        let circles = single(16.0, 16.0, 5.0, 1.0);
+        let c = compose(&circles, &cfg(n));
+        let mut grad = Grid2D::new(n, n, 0.0);
+        for y in 12..21 {
+            grad[(21, y)] = -1.0; // right rim pixels want to be brighter
+        }
+        let grads = c.backward(&grad);
+        assert!(grads[0] < 0.0, "x gradient should point left (descend → right)");
+        assert!(grads[1].abs() < grads[0].abs() * 0.2, "y roughly balanced");
+    }
+
+    #[test]
+    fn outside_pixel_gradients_grow_the_radius() {
+        // Paper Figure 5(b): bright demand just outside the rim makes
+        // ∂L/∂r negative (descent grows the circle).
+        let n = 32;
+        let circles = single(16.0, 16.0, 5.0, 1.0);
+        let c = compose(&circles, &cfg(n));
+        let mut grad = Grid2D::new(n, n, 0.0);
+        for y in 10..23 {
+            for x in 10..23 {
+                let d = (((x - 16) * (x - 16) + (y - 16) * (y - 16)) as f64).sqrt();
+                if d > 5.0 && d < 8.0 {
+                    grad[(x as usize, y as usize)] = -1.0;
+                }
+            }
+        }
+        let grads = c.backward(&grad);
+        assert!(grads[2] < 0.0, "radius gradient should be negative, got {}", grads[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape mismatch")]
+    fn backward_checks_shape() {
+        let c = compose(&single(16.0, 16.0, 5.0, 1.0), &cfg(32));
+        let wrong = Grid2D::new(8, 8, 0.0);
+        let _ = c.backward(&wrong);
+    }
+}

@@ -1,0 +1,62 @@
+//! **CircleOpt** — circular fracturing-aware inverse lithography.
+//!
+//! This crate is the paper's primary contribution: masks optimized
+//! *directly in the circular-shot domain* of the variable-radius e-beam
+//! writer, so the result is simultaneously a high-quality ILT mask and a
+//! finished fracturing solution.
+//!
+//! The pieces, mapped to the paper:
+//!
+//! | Module / item        | Paper section                                    |
+//! |----------------------|--------------------------------------------------|
+//! | [`SparseCircles`]    | §4.2 sparse circular reparameterization          |
+//! | [`ste`]              | Eq. 7–9 straight-through estimators              |
+//! | [`compose`]          | Eq. 10–11 differentiable circle-to-pixel map     |
+//! | [`Composite::backward`] | Eq. 12–14 + Eq. 16 manual gradients           |
+//! | [`run_circleopt`]    | the full two-stage pipeline (Fig. 3), Eq. 15/17  |
+//!
+//! # Examples
+//!
+//! ```
+//! use cfaopc_core::{run_circleopt, CircleOptConfig};
+//! use cfaopc_grid::{fill_rect, BitGrid, Rect};
+//! use cfaopc_litho::{LithoConfig, LithoSimulator};
+//!
+//! # fn main() -> Result<(), cfaopc_litho::LithoError> {
+//! // A small, fast setup (tests / doc builds); real experiments use the
+//! // default 512² grid.
+//! let sim = LithoSimulator::new(LithoConfig {
+//!     size: 128,
+//!     kernel_count: 4,
+//!     ..LithoConfig::default()
+//! })?;
+//! let mut target = BitGrid::new(128, 128);
+//! fill_rect(&mut target, Rect::new(61, 40, 67, 88));
+//! let config = CircleOptConfig {
+//!     init_iterations: 2,
+//!     circle_iterations: 2,
+//!     ..CircleOptConfig::default()
+//! };
+//! let result = run_circleopt(&sim, &target, &config)?;
+//! assert!(result.shot_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compose;
+mod optimize;
+mod repr;
+mod soft;
+mod ste;
+
+pub use compose::{compose, Composite, ComposeConfig};
+pub use optimize::Composition;
+pub use soft::{compose_soft, SoftComposite};
+pub use optimize::{
+    run_circleopt, run_circleopt_from, CircleOptConfig, CircleOptResult, CircleOptTrace,
+};
+pub use repr::{CircleParams, SparseCircles};
+pub use ste::{ste, SteValue};

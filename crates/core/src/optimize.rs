@@ -1,0 +1,424 @@
+//! CircleOpt: the two-stage optimization-based CFAOPC solver (paper §4).
+//!
+//! Stage 1 (pixel-level initialization, §4.1): a short MOSAIC-style
+//! pixel ILT run generates rough mask shapes and SRAFs.
+//!
+//! Stage 2 (circle-based ILT, §4.2): the pixel mask is reparameterized
+//! into sparse circles via CircleRule; then every iteration
+//!
+//! 1. quantizes centers/radii through straight-through estimators
+//!    (Eq. 7–9),
+//! 2. renders the dense mask with the differentiable circle-to-pixel
+//!    transformation (Eq. 10–11),
+//! 3. evaluates the relaxed `L2 + PVB` lithography loss and its pixel
+//!    gradient (Eq. 15 without the sparsity term, via the hand-derived
+//!    adjoint),
+//! 4. routes the gradient back to the `4n` circle parameters (Eq. 12–14,
+//!    windowed aggregation Eq. 16),
+//! 5. adds the Lasso sparsity subgradient `γ·sign(q)` (Eq. 17), and
+//! 6. takes an Adam step.
+//!
+//! The final mask is the union of circles with `q > 0.5` — a mask that
+//! satisfies the circular fracturing constraint *by construction*.
+
+use crate::compose::{compose, ComposeConfig};
+use crate::repr::SparseCircles;
+use cfaopc_fracture::{circle_rule, CircleRuleConfig, CircularMask};
+use cfaopc_grid::{disk_area, open, remove_small_regions, BitGrid, Connectivity, Structuring};
+use cfaopc_ilt::{run_pixel_ilt, IltEngine, Optimizer, OptimizerKind};
+use cfaopc_litho::{loss_and_gradient, LithoError, LithoSimulator, LossValues, LossWeights};
+use serde::{Deserialize, Serialize};
+
+/// CircleOpt hyper-parameters. Defaults are the paper's §5 constants:
+/// optimization step 0.1, `γ = 3`, `α = 8`, radii `[12, 76]` nm, sample
+/// distance 32 nm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircleOptConfig {
+    /// Stage-1 pixel ILT steps ("only a few steps", §4.1).
+    pub init_iterations: usize,
+    /// Stage-2 circle-level ILT steps.
+    pub circle_iterations: usize,
+    /// Optimization step size (paper: 0.1), used as the Adam learning
+    /// rate over the `4n` circle parameters.
+    pub step: f64,
+    /// Sparsity weight `γ` (paper: 3). Zero disables the regularizer
+    /// (the Table 3 ablation).
+    pub gamma: f64,
+    /// Circular-window steepness `α` (paper: 8).
+    pub alpha: f64,
+    /// Gradient-window halfwidth beyond the radius, pixels (the paper
+    /// limits `U` to a square "marginally larger than the diameter").
+    pub window_margin: i32,
+    /// CircleRule parameters for the sparse reparameterization (radius
+    /// bounds double as the STE clip range).
+    pub rule: CircleRuleConfig,
+    /// Loss weights (Eq. 6 / Eq. 15 use 1/1).
+    pub weights: LossWeights,
+    /// Activation threshold for a circle to exist in the final mask.
+    pub q_threshold: f64,
+    /// Morphologically open the stage-1 mask with a 1-px disk to drop
+    /// sub-resolution specks before fracturing.
+    pub cleanup_init: bool,
+    /// How circles combine into the dense mask: the paper's hard max
+    /// with argmax gradient routing (Eq. 11–14), or the smooth softmax
+    /// alternative (ablation).
+    pub composition: Composition,
+    /// Apply the STE indicator gates (Eq. 9). Disabling lets parameters
+    /// drift outside the writer's limits (ablation).
+    pub ste_gates: bool,
+}
+
+/// Dense-mask composition strategy (see [`CircleOptConfig::composition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Composition {
+    /// Paper Eq. 11: per-pixel max, gradients through the argmax only.
+    Max,
+    /// Softmax-weighted blend with sharpness `beta`; gradients reach
+    /// every circle covering a pixel.
+    Softmax {
+        /// Sharpness; `→ ∞` recovers [`Composition::Max`].
+        beta: f64,
+    },
+}
+
+impl Default for CircleOptConfig {
+    fn default() -> Self {
+        CircleOptConfig {
+            init_iterations: 12,
+            circle_iterations: 40,
+            step: 0.1,
+            gamma: 3.0,
+            alpha: 8.0,
+            window_margin: 3,
+            rule: CircleRuleConfig::default(),
+            weights: LossWeights::default(),
+            q_threshold: 0.5,
+            cleanup_init: true,
+            composition: Composition::Max,
+            ste_gates: true,
+        }
+    }
+}
+
+/// Per-iteration trace of the circle-level stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CircleOptTrace {
+    /// Relaxed lithography losses at this iteration.
+    pub loss: LossValues,
+    /// Sparsity penalty `γ Σ|qᵢ|`.
+    pub sparsity: f64,
+    /// Circles with `q` above the activation threshold.
+    pub active: usize,
+}
+
+/// Outcome of a CircleOpt run.
+#[derive(Debug, Clone)]
+pub struct CircleOptResult {
+    /// Final sparse circular representation (all circles, incl. pruned).
+    pub circles: SparseCircles,
+    /// The final fractured mask: active circles, quantized.
+    pub mask: CircularMask,
+    /// The final mask rasterized — identical to `mask.rasterize(...)`,
+    /// provided for convenience.
+    pub mask_raster: BitGrid,
+    /// The stage-1 pixel mask that seeded the reparameterization.
+    pub init_mask: BitGrid,
+    /// Stage-2 per-iteration trace.
+    pub history: Vec<CircleOptTrace>,
+}
+
+impl CircleOptResult {
+    /// Final shot count (`#Shot`).
+    pub fn shot_count(&self) -> usize {
+        self.mask.shot_count()
+    }
+}
+
+/// Runs the full CircleOpt pipeline on `target`.
+///
+/// # Errors
+///
+/// Returns [`LithoError::ShapeMismatch`] when `target` does not match the
+/// simulator grid.
+///
+/// # Examples
+///
+/// ```no_run
+/// use cfaopc_core::{run_circleopt, CircleOptConfig};
+/// use cfaopc_grid::{fill_rect, BitGrid, Rect};
+/// use cfaopc_litho::{LithoConfig, LithoSimulator};
+///
+/// # fn main() -> Result<(), cfaopc_litho::LithoError> {
+/// let sim = LithoSimulator::new(LithoConfig::default())?;
+/// let mut target = BitGrid::new(512, 512);
+/// fill_rect(&mut target, Rect::new(100, 120, 130, 380));
+/// let result = run_circleopt(&sim, &target, &CircleOptConfig::default())?;
+/// println!("#Shot = {}", result.shot_count());
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_circleopt(
+    sim: &LithoSimulator,
+    target: &BitGrid,
+    config: &CircleOptConfig,
+) -> Result<CircleOptResult, LithoError> {
+    run_circleopt_impl(sim, target, config, None)
+}
+
+/// Runs only the circle-level stage from an existing sparse circular
+/// representation — a warm restart. Skips the pixel-level initialization
+/// and the CircleRule reparameterization; useful for parameter sweeps
+/// and incremental re-optimization after small target edits.
+///
+/// # Errors
+///
+/// Returns [`LithoError::ShapeMismatch`] when `target` does not match the
+/// simulator grid.
+pub fn run_circleopt_from(
+    sim: &LithoSimulator,
+    target: &BitGrid,
+    config: &CircleOptConfig,
+    circles: SparseCircles,
+) -> Result<CircleOptResult, LithoError> {
+    run_circleopt_impl(sim, target, config, Some(circles))
+}
+
+fn run_circleopt_impl(
+    sim: &LithoSimulator,
+    target: &BitGrid,
+    config: &CircleOptConfig,
+    warm_start: Option<SparseCircles>,
+) -> Result<CircleOptResult, LithoError> {
+    let n = sim.size();
+    let pixel_nm = sim.config().pixel_nm();
+    let (r_min, r_max) = config.rule.radius_range_px(pixel_nm);
+
+    let (mut circles, init_mask) = match warm_start {
+        Some(circles) => (circles, BitGrid::new(n, n)),
+        None => {
+            // Stage 1: pixel-level initialization (MOSAIC, a few steps).
+            let mut init_cfg = IltEngine::Mosaic.config(config.init_iterations);
+            init_cfg.weights = config.weights;
+            let init = run_pixel_ilt(sim, target, &init_cfg)?;
+            let init_mask = if config.cleanup_init {
+                // Writability hygiene: 1-px opening, then drop regions
+                // smaller than the minimum writable shot — they cannot
+                // survive the circular constraint anyway.
+                let opened = open(&init.mask_binary, Structuring::Disk(1));
+                remove_small_regions(&opened, disk_area(r_min), Connectivity::Eight)
+            } else {
+                init.mask_binary.clone()
+            };
+            // Sparse circular reparameterization (Algorithm 1).
+            let seed_mask = circle_rule(&init_mask, &config.rule, pixel_nm);
+            (SparseCircles::from_circular_mask(&seed_mask), init_mask)
+        }
+    };
+    if circles.is_empty() {
+        return Ok(CircleOptResult {
+            mask: CircularMask::new(),
+            mask_raster: BitGrid::new(n, n),
+            circles,
+            init_mask,
+            history: Vec::new(),
+        });
+    }
+
+    let compose_cfg = ComposeConfig {
+        alpha: config.alpha,
+        window_margin: config.window_margin,
+        size: n,
+        r_min,
+        r_max,
+        quantize: true,
+        clip_gates: config.ste_gates,
+    };
+    let target_real = target.to_real();
+    let mut flat = circles.to_flat();
+    let mut optimizer = Optimizer::new(OptimizerKind::adam(config.step), flat.len());
+    let mut history = Vec::with_capacity(config.circle_iterations);
+
+    type BackwardFn<'b> = Box<dyn Fn(&cfaopc_grid::Grid2D<f64>) -> Vec<f64> + 'b>;
+    for _ in 0..config.circle_iterations {
+        circles.set_from_flat(&flat);
+        let (mask, backward): (_, BackwardFn<'_>) =
+            match config.composition {
+                Composition::Max => {
+                    let composite = compose(&circles, &compose_cfg);
+                    let mask = composite.mask.clone();
+                    (mask, Box::new(move |g| composite.backward(g)))
+                }
+                Composition::Softmax { beta } => {
+                    let composite = crate::soft::compose_soft(&circles, &compose_cfg, beta);
+                    let mask = composite.mask.clone();
+                    (mask, Box::new(move |g| composite.backward(g)))
+                }
+            };
+        let (loss, grad_mask) = loss_and_gradient(sim, &mask, &target_real, config.weights)?;
+        let mut grads = backward(&grad_mask);
+        // Lasso sparsity on the activations (Eq. 17): subgradient
+        // γ·sign(q), 0 at q = 0.
+        let mut sparsity = 0.0;
+        for (i, c) in circles.circles.iter().enumerate() {
+            sparsity += c.q.abs();
+            grads[4 * i + 3] += config.gamma * c.q.signum() * if c.q == 0.0 { 0.0 } else { 1.0 };
+        }
+        history.push(CircleOptTrace {
+            loss,
+            sparsity: config.gamma * sparsity,
+            active: circles.active_count(config.q_threshold),
+        });
+        optimizer.step(&mut flat, &grads);
+    }
+    circles.set_from_flat(&flat);
+
+    let mask = circles.to_circular_mask(config.q_threshold, n, n, r_min, r_max);
+    let mask_raster = mask.rasterize(n, n);
+    Ok(CircleOptResult {
+        mask,
+        mask_raster,
+        circles,
+        init_mask,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfaopc_grid::{fill_rect, Rect};
+    use cfaopc_litho::LithoConfig;
+
+    fn sim() -> LithoSimulator {
+        LithoSimulator::new(LithoConfig {
+            size: 128,
+            kernel_count: 6,
+            ..LithoConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn fast_cfg() -> CircleOptConfig {
+        CircleOptConfig {
+            init_iterations: 8,
+            circle_iterations: 10,
+            ..CircleOptConfig::default()
+        }
+    }
+
+    fn bar_target(n: usize) -> BitGrid {
+        let mut t = BitGrid::new(n, n);
+        // 16 nm/px: a 96nm x 768nm bar.
+        fill_rect(&mut t, Rect::new(61, 40, 67, 88));
+        t
+    }
+
+    #[test]
+    fn pipeline_produces_a_circular_mask() {
+        let s = sim();
+        let target = bar_target(s.size());
+        let result = run_circleopt(&s, &target, &fast_cfg()).unwrap();
+        assert!(result.shot_count() > 0, "no shots");
+        let (r_min, r_max) = fast_cfg().rule.radius_range_px(s.config().pixel_nm());
+        for shot in result.mask.shots() {
+            assert!(shot.r >= r_min && shot.r <= r_max);
+        }
+        // The raster really is the union of the shots (circular
+        // constraint by construction).
+        assert_eq!(result.mask_raster, result.mask.rasterize(128, 128));
+        assert_eq!(result.history.len(), 10);
+    }
+
+    #[test]
+    fn circle_stage_descends_the_loss() {
+        let s = sim();
+        let target = bar_target(s.size());
+        let cfg = CircleOptConfig {
+            circle_iterations: 14,
+            gamma: 0.0, // isolate the lithography objective
+            ..fast_cfg()
+        };
+        let result = run_circleopt(&s, &target, &cfg).unwrap();
+        let first = result.history.first().unwrap().loss.total;
+        let last = result.history.last().unwrap().loss.total;
+        assert!(last < first, "circle ILT failed to descend: {first} -> {last}");
+    }
+
+    #[test]
+    fn sparsity_prunes_shots() {
+        let s = sim();
+        let target = bar_target(s.size());
+        let without = run_circleopt(
+            &s,
+            &target,
+            &CircleOptConfig {
+                gamma: 0.0,
+                ..fast_cfg()
+            },
+        )
+        .unwrap();
+        let with = run_circleopt(
+            &s,
+            &target,
+            &CircleOptConfig {
+                gamma: 30.0, // aggressive to make the effect decisive
+                ..fast_cfg()
+            },
+        )
+        .unwrap();
+        assert!(
+            with.shot_count() < without.shot_count(),
+            "sparsity failed to prune: {} vs {}",
+            with.shot_count(),
+            without.shot_count()
+        );
+        assert!(with.shot_count() > 0);
+    }
+
+    #[test]
+    fn empty_target_yields_empty_mask() {
+        let s = sim();
+        let empty = BitGrid::new(s.size(), s.size());
+        let result = run_circleopt(&s, &empty, &fast_cfg()).unwrap();
+        assert_eq!(result.shot_count(), 0);
+        assert!(result.history.is_empty());
+        assert!(result.mask_raster.is_clear());
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = sim();
+        let target = bar_target(s.size());
+        let a = run_circleopt(&s, &target, &fast_cfg()).unwrap();
+        let b = run_circleopt(&s, &target, &fast_cfg()).unwrap();
+        assert_eq!(a.mask, b.mask);
+    }
+
+    #[test]
+    fn warm_restart_continues_from_given_circles() {
+        let s = sim();
+        let target = bar_target(s.size());
+        let first = run_circleopt(&s, &target, &fast_cfg()).unwrap();
+        let more = CircleOptConfig {
+            circle_iterations: 5,
+            ..fast_cfg()
+        };
+        let restarted =
+            run_circleopt_from(&s, &target, &more, first.circles.clone()).unwrap();
+        assert_eq!(restarted.history.len(), 5);
+        assert!(restarted.shot_count() > 0);
+        // The warm start skips stage 1 entirely.
+        assert!(restarted.init_mask.is_clear());
+        // Restarting must not blow up the objective.
+        let before = first.history.last().unwrap().loss.total;
+        let after = restarted.history.last().unwrap().loss.total;
+        assert!(after < before * 1.5, "restart regressed: {before} -> {after}");
+    }
+
+    #[test]
+    fn rejects_mismatched_target() {
+        let s = sim();
+        let target = BitGrid::new(16, 16);
+        assert!(run_circleopt(&s, &target, &fast_cfg()).is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Softmax (log-sum-exp–weighted) circle composition — the smooth
+//! alternative to the paper's hard max (Eq. 11), used by the
+//! `ablation_compose` study.
+//!
+//! The paper routes gradients through the argmax circle only; a softmax
+//! composition spreads them across every circle covering a pixel:
+//!
+//! ```text
+//! M̄(p) = Σᵢ wᵢ vᵢ,   vᵢ = qᵢ fᵢ(p),   wᵢ = e^{βvᵢ} / (1 + Σⱼ e^{βvⱼ})
+//! ```
+//!
+//! with an implicit background term `v₀ = 0` so empty pixels stay 0 and
+//! the weights are well normalized. As `β → ∞` this approaches the hard
+//! max. The backward pass is exact:
+//! `∂M̄/∂vₖ = wₖ (1 + β vₖ − β M̄)`.
+
+use crate::compose::ComposeConfig;
+use crate::repr::SparseCircles;
+use crate::ste::ste;
+use cfaopc_grid::Grid2D;
+use cfaopc_litho::sigmoid;
+
+/// Dense mask produced by the softmax composition, with the state needed
+/// for its backward pass.
+#[derive(Debug, Clone)]
+pub struct SoftComposite {
+    /// The dense mask `M̄`.
+    pub mask: Grid2D<f64>,
+    /// Normalizer `1 + Σ e^{βv}` per pixel.
+    norm: Grid2D<f64>,
+    placed: Vec<(f64, f64, f64, f64, f64, f64, f64)>, // cx, cy, r, q, gates
+    config: ComposeConfig,
+    beta: f64,
+}
+
+/// Builds the softmax-composed dense mask.
+///
+/// `beta` controls the sharpness (`beta → ∞` recovers the max
+/// composition of [`crate::compose`]).
+pub fn compose_soft(circles: &SparseCircles, config: &ComposeConfig, beta: f64) -> SoftComposite {
+    let n = config.size;
+    let mut num = Grid2D::new(n, n, 0.0f64);
+    let mut norm = Grid2D::new(n, n, 1.0f64); // background e^{β·0}
+    let placed: Vec<(f64, f64, f64, f64, f64, f64, f64)> = circles
+        .circles
+        .iter()
+        .map(|c| {
+            if config.quantize {
+                let sx = ste(c.x, 0.0, (n - 1) as f64);
+                let sy = ste(c.y, 0.0, (n - 1) as f64);
+                let sr = ste(c.r, config.r_min as f64, config.r_max as f64);
+                let (gate_x, gate_y, gate_r) = if config.clip_gates {
+                    (sx.gate, sy.gate, sr.gate)
+                } else {
+                    (1.0, 1.0, 1.0)
+                };
+                (
+                    sx.value as f64,
+                    sy.value as f64,
+                    sr.value as f64,
+                    c.q,
+                    gate_x,
+                    gate_y,
+                    gate_r,
+                )
+            } else {
+                (c.x, c.y, c.r, c.q, 1.0, 1.0, 1.0)
+            }
+        })
+        .collect();
+
+    for &(cx, cy, r, q, ..) in &placed {
+        let half = r.ceil() as i32 + config.window_margin;
+        let x0 = (cx.round() as i32 - half).max(0);
+        let x1 = (cx.round() as i32 + half).min(n as i32 - 1);
+        let y0 = (cy.round() as i32 - half).max(0);
+        let y1 = (cy.round() as i32 + half).min(n as i32 - 1);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let d = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
+                let v = q * sigmoid(config.alpha * (r - d));
+                let e = (beta * v).exp();
+                num[(x as usize, y as usize)] += v * e;
+                norm[(x as usize, y as usize)] += e;
+            }
+        }
+    }
+    let mut mask = Grid2D::new(n, n, 0.0f64);
+    for i in 0..n * n {
+        mask.as_mut_slice()[i] = num.as_slice()[i] / norm.as_slice()[i];
+    }
+    SoftComposite {
+        mask,
+        norm,
+        placed,
+        config: *config,
+        beta,
+    }
+}
+
+impl SoftComposite {
+    /// Backward pass: chain `∂L/∂M̄` into the flat `4n` parameter
+    /// gradient, spreading each pixel's gradient across *all* circles
+    /// covering it (softmax weights), unlike the paper's argmax routing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a gradient shape mismatch.
+    pub fn backward(&self, grad_mask: &Grid2D<f64>) -> Vec<f64> {
+        let n = self.config.size;
+        assert!(
+            grad_mask.width() == n && grad_mask.height() == n,
+            "gradient shape mismatch"
+        );
+        let alpha = self.config.alpha;
+        let beta = self.beta;
+        let mut grads = vec![0.0f64; self.placed.len() * 4];
+        for (i, &(cx, cy, r, q, gate_x, gate_y, gate_r)) in self.placed.iter().enumerate() {
+            let half = r.ceil() as i32 + self.config.window_margin;
+            let x0 = (cx.round() as i32 - half).max(0);
+            let x1 = (cx.round() as i32 + half).min(n as i32 - 1);
+            let y0 = (cy.round() as i32 - half).max(0);
+            let y1 = (cy.round() as i32 + half).min(n as i32 - 1);
+            let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    let p = (x as usize, y as usize);
+                    let dx = x as f64 - cx;
+                    let dy = y as f64 - cy;
+                    let d = (dx * dx + dy * dy).sqrt();
+                    let f = sigmoid(alpha * (r - d));
+                    let v = q * f;
+                    let w = (beta * v).exp() / self.norm[p];
+                    let dm_dv = w * (1.0 + beta * v - beta * self.mask[p]);
+                    let g = grad_mask[p] * dm_dv;
+                    let h = f * (1.0 - f);
+                    if d > 1e-9 {
+                        gx += g * alpha * q * h * (dx / d);
+                        gy += g * alpha * q * h * (dy / d);
+                    }
+                    gr += g * alpha * q * h;
+                    gq += g * f;
+                }
+            }
+            grads[4 * i] = gx * gate_x;
+            grads[4 * i + 1] = gy * gate_y;
+            grads[4 * i + 2] = gr * gate_r;
+            grads[4 * i + 3] = gq;
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::compose;
+    use crate::repr::CircleParams;
+
+    fn two_circles() -> SparseCircles {
+        SparseCircles {
+            circles: vec![
+                CircleParams { x: 12.3, y: 15.1, r: 5.2, q: 0.9 },
+                CircleParams { x: 18.7, y: 16.4, r: 4.1, q: 0.7 },
+            ],
+        }
+    }
+
+    fn cfg(n: usize) -> ComposeConfig {
+        let mut c = ComposeConfig::new(n, 2, 12);
+        c.quantize = false;
+        c
+    }
+
+    #[test]
+    fn high_beta_approaches_hard_max() {
+        let circles = two_circles();
+        let config = cfg(32);
+        let soft = compose_soft(&circles, &config, 200.0);
+        let hard = compose(&circles, &config);
+        for (a, b) in soft.mask.as_slice().iter().zip(hard.mask.as_slice()) {
+            assert!((a - b).abs() < 0.02, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn background_stays_zero() {
+        let circles = two_circles();
+        let soft = compose_soft(&circles, &cfg(32), 20.0);
+        assert!(soft.mask[(0, 0)].abs() < 1e-9);
+        assert!(soft.mask[(31, 31)].abs() < 1e-9);
+    }
+
+    #[test]
+    fn mask_is_bounded_by_max_activation() {
+        let circles = two_circles();
+        let soft = compose_soft(&circles, &cfg(32), 20.0);
+        for &v in soft.mask.as_slice() {
+            assert!((-1e-12..=0.9 + 1e-9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let n = 32;
+        let config = cfg(n);
+        let beta = 20.0;
+        let weights: Vec<f64> = (0..n * n)
+            .map(|i| ((i as f64 * 0.377).cos() * 0.5 + 0.5) * 0.1)
+            .collect();
+        let w_grid = Grid2D::from_vec(n, n, weights);
+        let j = |circles: &SparseCircles| -> f64 {
+            compose_soft(circles, &config, beta)
+                .mask
+                .as_slice()
+                .iter()
+                .zip(w_grid.as_slice())
+                .map(|(&m, &w)| m * w)
+                .sum()
+        };
+        let base = two_circles();
+        let analytic = compose_soft(&base, &config, beta).backward(&w_grid);
+        let eps = 1e-6;
+        for p in 0..8 {
+            let mut flat = base.to_flat();
+            flat[p] += eps;
+            let mut plus = base.clone();
+            plus.set_from_flat(&flat);
+            flat[p] -= 2.0 * eps;
+            let mut minus = base.clone();
+            minus.set_from_flat(&flat);
+            let fd = (j(&plus) - j(&minus)) / (2.0 * eps);
+            assert!(
+                (fd - analytic[p]).abs() < 2e-4 * fd.abs().max(analytic[p].abs()).max(1.0),
+                "param {p}: fd={fd} analytic={}",
+                analytic[p]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_reaches_occluded_circles() {
+        // Two concentric circles: under hard-max routing only one gets
+        // gradient at each pixel; the softmax spreads it to both.
+        let circles = SparseCircles {
+            circles: vec![
+                CircleParams { x: 16.0, y: 16.0, r: 6.0, q: 1.0 },
+                CircleParams { x: 16.0, y: 16.0, r: 6.0, q: 0.8 },
+            ],
+        };
+        let config = cfg(32);
+        let soft = compose_soft(&circles, &config, 20.0);
+        let grad = Grid2D::new(32, 32, 1.0);
+        let g = soft.backward(&grad);
+        assert!(g[7].abs() > 1e-6, "occluded circle's q gradient is zero");
+        let hard = compose(&circles, &config);
+        let gh = hard.backward(&grad);
+        assert_eq!(gh[7], 0.0, "hard max must route past the weaker circle");
+    }
+}

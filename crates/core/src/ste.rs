@@ -1,0 +1,73 @@
+//! Straight-through estimators (paper Eq. 8–9, after Bengio et al. [15]).
+//!
+//! Centers and radii live on the integer pixel grid, so the forward pass
+//! quantizes `STE(x) = Round(Clip(x, X_min, X_max))` while the backward
+//! pass passes the gradient straight through inside the clip range:
+//! `∂STE/∂x = 𝟙{X_min ≤ x ≤ X_max}`.
+
+/// Result of one straight-through quantization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteValue {
+    /// Forward value: `Round(Clip(x, lo, hi))`.
+    pub value: i32,
+    /// Backward gate: `1.0` when `lo ≤ x ≤ hi`, else `0.0` (Eq. 9).
+    pub gate: f64,
+}
+
+/// Applies the straight-through estimator to `x` with bounds `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_core::ste;
+///
+/// assert_eq!(ste(12.4, 0.0, 64.0).value, 12);
+/// assert_eq!(ste(12.4, 0.0, 64.0).gate, 1.0);
+/// assert_eq!(ste(-3.0, 0.0, 64.0).value, 0); // clipped
+/// assert_eq!(ste(-3.0, 0.0, 64.0).gate, 0.0); // gradient blocked
+/// ```
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn ste(x: f64, lo: f64, hi: f64) -> SteValue {
+    assert!(lo <= hi, "STE bounds inverted: [{lo}, {hi}]");
+    SteValue {
+        value: x.clamp(lo, hi).round() as i32,
+        gate: if (lo..=hi).contains(&x) { 1.0 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_inside_range() {
+        assert_eq!(ste(5.49, 0.0, 10.0).value, 5);
+        assert_eq!(ste(5.5, 0.0, 10.0).value, 6);
+        assert_eq!(ste(5.5, 0.0, 10.0).gate, 1.0);
+    }
+
+    #[test]
+    fn clips_and_gates_outside_range() {
+        let below = ste(-1.2, 0.0, 10.0);
+        assert_eq!(below.value, 0);
+        assert_eq!(below.gate, 0.0);
+        let above = ste(11.7, 0.0, 10.0);
+        assert_eq!(above.value, 10);
+        assert_eq!(above.gate, 0.0);
+    }
+
+    #[test]
+    fn boundary_values_pass_gradient() {
+        assert_eq!(ste(0.0, 0.0, 10.0).gate, 1.0);
+        assert_eq!(ste(10.0, 0.0, 10.0).gate, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "STE bounds inverted")]
+    fn inverted_bounds_panic() {
+        ste(1.0, 5.0, 2.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The e-beam point-spread function.
+//!
+//! Electron exposure spreads by two mechanisms: **forward scattering**
+//! (short range, the 20–40 nm blur the paper blames for VSB writing
+//! errors) and **backscattering** from the substrate (micron range,
+//! low amplitude). The classic double-Gaussian proximity function is
+//!
+//! ```text
+//! f(r) = 1/(π(1+η)) · [ 1/α² e^{−r²/α²} + η/β² e^{−r²/β²} ]
+//! ```
+//!
+//! with forward range `α`, backscatter range `β` and backscatter ratio
+//! `η`. Its Fourier transform is analytic — a weighted sum of Gaussians —
+//! so the transfer function is built directly in the frequency domain.
+
+use cfaopc_fft::signed_freq;
+
+/// Double-Gaussian e-beam proximity parameters, in nanometres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EbeamPsf {
+    /// Forward-scattering range `α` (paper: 20–40 nm short-range blur).
+    pub alpha_nm: f64,
+    /// Backscattering range `β` (typically microns).
+    pub beta_nm: f64,
+    /// Backscatter-to-forward deposited-energy ratio `η`.
+    pub eta: f64,
+}
+
+impl Default for EbeamPsf {
+    fn default() -> Self {
+        EbeamPsf {
+            alpha_nm: 30.0,
+            beta_nm: 2000.0,
+            eta: 0.5,
+        }
+    }
+}
+
+impl EbeamPsf {
+    /// A forward-scattering-only PSF (no backscatter) with range `alpha_nm`.
+    pub fn forward_only(alpha_nm: f64) -> Self {
+        EbeamPsf {
+            alpha_nm,
+            beta_nm: 1.0,
+            eta: 0.0,
+        }
+    }
+
+    /// Validates physical ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a range is non-positive or `eta` is negative.
+    pub fn validate(&self) {
+        assert!(self.alpha_nm > 0.0, "forward range must be positive");
+        assert!(self.beta_nm > 0.0, "backscatter range must be positive");
+        assert!(self.eta >= 0.0, "backscatter ratio must be non-negative");
+    }
+
+    /// The transfer function (Fourier transform of the normalized PSF)
+    /// sampled on an `n × n` grid with `pixel_nm` pitch, DC at index 0.
+    ///
+    /// `F(ν) = [e^{−π²α²|ν|²} + η e^{−π²β²|ν|²}] / (1+η)` — real, ≤ 1,
+    /// exactly 1 at DC (energy conservation).
+    pub fn transfer_function(&self, n: usize, pixel_nm: f64) -> Vec<f64> {
+        self.validate();
+        let freq_step = 1.0 / (n as f64 * pixel_nm);
+        let a2 = std::f64::consts::PI.powi(2) * self.alpha_nm * self.alpha_nm;
+        let b2 = std::f64::consts::PI.powi(2) * self.beta_nm * self.beta_nm;
+        let norm = 1.0 / (1.0 + self.eta);
+        let mut out = vec![0.0f64; n * n];
+        for ky in 0..n {
+            let fy = signed_freq(ky, n) as f64 * freq_step;
+            for kx in 0..n {
+                let fx = signed_freq(kx, n) as f64 * freq_step;
+                let nu2 = fx * fx + fy * fy;
+                out[ky * n + kx] =
+                    norm * ((-a2 * nu2).exp() + self.eta * (-b2 * nu2).exp());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_unity() {
+        let psf = EbeamPsf::default();
+        let tf = psf.transfer_function(32, 4.0);
+        assert!((tf[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_decays_with_frequency() {
+        let psf = EbeamPsf::default();
+        let n = 32;
+        let tf = psf.transfer_function(n, 4.0);
+        // Along the first row, frequency grows to Nyquist at n/2.
+        assert!(tf[1] < tf[0]);
+        assert!(tf[n / 2] < tf[4]);
+        assert!(tf.iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)));
+    }
+
+    #[test]
+    fn larger_alpha_blurs_more() {
+        let n = 32;
+        let sharp = EbeamPsf::forward_only(10.0).transfer_function(n, 4.0);
+        let soft = EbeamPsf::forward_only(40.0).transfer_function(n, 4.0);
+        for k in 1..n / 2 {
+            assert!(soft[k] <= sharp[k] + 1e-12, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn eta_zero_removes_backscatter_term() {
+        let n = 16;
+        let a = EbeamPsf::forward_only(30.0).transfer_function(n, 4.0);
+        let b = EbeamPsf {
+            alpha_nm: 30.0,
+            beta_nm: 2000.0,
+            eta: 0.0,
+        }
+        .transfer_function(n, 4.0);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "forward range must be positive")]
+    fn rejects_bad_alpha() {
+        EbeamPsf {
+            alpha_nm: 0.0,
+            ..EbeamPsf::default()
+        }
+        .validate();
+    }
+}

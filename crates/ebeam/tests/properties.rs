@@ -1,0 +1,93 @@
+//! Property-based tests for the e-beam writer model.
+
+use cfaopc_ebeam::{intended_pattern, DosedShot, EbeamPsf, WriterModel};
+use cfaopc_fracture::CircleShot;
+use cfaopc_grid::Rect;
+use proptest::prelude::*;
+
+const N: usize = 64;
+
+fn arb_shots() -> impl Strategy<Value = Vec<DosedShot>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (8i32..56, 8i32..56, 2i32..8, 0.5f64..1.5).prop_map(|(x, y, r, d)| {
+                DosedShot::Circle {
+                    shot: CircleShot::new(x, y, r),
+                    dose: d,
+                }
+            }),
+            (8i32..48, 8i32..48, 2i32..10, 2i32..10, 0.5f64..1.5).prop_map(
+                |(x, y, w, h, d)| DosedShot::Rect {
+                    rect: Rect::new(x, y, x + w, y + h),
+                    dose: d,
+                }
+            ),
+        ],
+        1..6,
+    )
+}
+
+fn writer() -> WriterModel {
+    WriterModel::new(N, 16.0, EbeamPsf::forward_only(30.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn blur_conserves_total_dose(shots in arb_shots()) {
+        let w = writer();
+        let raw = w.deposit(&shots);
+        let blurred = w.blur(&raw);
+        let total_raw: f64 = raw.as_slice().iter().sum();
+        let total_blurred: f64 = blurred.as_slice().iter().sum();
+        // DC gain of the PSF is exactly 1 (cyclic convolution).
+        prop_assert!((total_raw - total_blurred).abs() < 1e-6 * total_raw.max(1.0));
+    }
+
+    #[test]
+    fn delivered_dose_is_nonnegative_and_finite(shots in arb_shots()) {
+        let w = writer();
+        let delivered = w.expose(&shots);
+        for &v in delivered.as_slice() {
+            prop_assert!(v.is_finite());
+            // FFT round-off can leave tiny negative residue.
+            prop_assert!(v > -1e-5, "negative dose {v}");
+        }
+    }
+
+    #[test]
+    fn doubling_every_dose_grows_the_written_pattern(shots in arb_shots()) {
+        let w = writer();
+        let written = w.write(&shots);
+        let doubled: Vec<DosedShot> = shots
+            .iter()
+            .map(|s| match *s {
+                DosedShot::Circle { shot, dose } => DosedShot::Circle { shot, dose: dose * 2.0 },
+                DosedShot::Rect { rect, dose } => DosedShot::Rect { rect, dose: dose * 2.0 },
+            })
+            .collect();
+        let written2 = w.write(&doubled);
+        for p in written.ones() {
+            prop_assert!(written2.at(p), "doubled dose lost pixel {p}");
+        }
+    }
+
+    #[test]
+    fn writing_is_deterministic(shots in arb_shots()) {
+        let w = writer();
+        prop_assert_eq!(w.write(&shots), w.write(&shots));
+    }
+
+    #[test]
+    fn intended_pattern_is_dose_independent(shots in arb_shots()) {
+        let halved: Vec<DosedShot> = shots
+            .iter()
+            .map(|s| match *s {
+                DosedShot::Circle { shot, dose } => DosedShot::Circle { shot, dose: dose * 0.5 },
+                DosedShot::Rect { rect, dose } => DosedShot::Rect { rect, dose: dose * 0.5 },
+            })
+            .collect();
+        prop_assert_eq!(intended_pattern(&shots, N), intended_pattern(&halved, N));
+    }
+}

@@ -1,0 +1,393 @@
+//! One-dimensional radix-2 Cooley–Tukey FFT.
+//!
+//! The plan precomputes the bit-reversal permutation and the twiddle
+//! factors for every butterfly stage so repeated transforms of the same
+//! length (the common case: one plan per grid edge, thousands of row and
+//! column transforms) pay no trigonometry at run time.
+
+use crate::complex::Complex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Error returned when constructing or applying an FFT plan with an
+/// incompatible length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FftError {
+    /// The requested transform length is zero or not a power of two.
+    LengthNotPowerOfTwo(usize),
+    /// The buffer passed to an execute method does not match the plan length.
+    LengthMismatch {
+        /// Length the plan was built for.
+        expected: usize,
+        /// Length of the buffer that was provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for FftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FftError::LengthNotPowerOfTwo(n) => {
+                write!(f, "fft length {n} is not a nonzero power of two")
+            }
+            FftError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match plan length {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+/// Direction of a transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Time/space → frequency, kernel `e^{-2πi kn/N}`.
+    Forward,
+    /// Frequency → time/space, kernel `e^{+2πi kn/N}`, scaled by `1/N`.
+    Inverse,
+}
+
+/// A reusable FFT plan for a fixed power-of-two length.
+///
+/// The plan is cheap to clone (twiddle tables are shared through [`Arc`])
+/// and is `Send + Sync`, so one plan can drive many worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_fft::{Complex, Fft};
+///
+/// # fn main() -> Result<(), cfaopc_fft::FftError> {
+/// let fft = Fft::new(8)?;
+/// let mut data = vec![Complex::ZERO; 8];
+/// data[0] = Complex::ONE; // impulse
+/// fft.forward(&mut data)?;
+/// // The spectrum of an impulse is flat.
+/// for bin in &data {
+///     assert!((bin.re - 1.0).abs() < 1e-12 && bin.im.abs() < 1e-12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    bit_rev: Arc<[u32]>,
+    /// Forward twiddles laid out stage-major: for each stage `s`
+    /// (half-size `m = 2^s`), `m` factors `e^{-iπ j/m}`, `j = 0..m`.
+    twiddles: Arc<[Complex]>,
+}
+
+impl Fft {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthNotPowerOfTwo`] unless `n` is a nonzero
+    /// power of two.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(FftError::LengthNotPowerOfTwo(n));
+        }
+        let log2n = n.trailing_zeros();
+        let mut bit_rev = vec![0u32; n];
+        for (i, slot) in bit_rev.iter_mut().enumerate() {
+            *slot = (i as u32).reverse_bits() >> (32 - log2n.max(1));
+        }
+        if n == 1 {
+            bit_rev[0] = 0;
+        }
+        // Total twiddle count: 1 + 2 + 4 + ... + n/2 = n - 1.
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut m = 1usize;
+        while m < n {
+            for j in 0..m {
+                twiddles.push(Complex::cis(-std::f64::consts::PI * j as f64 / m as f64));
+            }
+            m <<= 1;
+        }
+        Ok(Fft {
+            n,
+            bit_rev: bit_rev.into(),
+            twiddles: twiddles.into(),
+        })
+    }
+
+    /// Transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the degenerate length-1 plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn check(&self, data: &[Complex]) -> Result<(), FftError> {
+        if data.len() != self.n {
+            return Err(FftError::LengthMismatch {
+                expected: self.n,
+                actual: data.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// In-place forward DFT: `X[k] = Σ_n x[n] e^{-2πi kn/N}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        self.check(data)?;
+        self.dispatch(data, Direction::Forward);
+        Ok(())
+    }
+
+    /// In-place inverse DFT: `x[n] = (1/N) Σ_k X[k] e^{+2πi kn/N}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len() != self.len()`.
+    pub fn inverse(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        self.check(data)?;
+        self.dispatch(data, Direction::Inverse);
+        let inv = 1.0 / self.n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(inv);
+        }
+        Ok(())
+    }
+
+    /// In-place transform in the given [`Direction`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len() != self.len()`.
+    pub fn transform(&self, data: &mut [Complex], dir: Direction) -> Result<(), FftError> {
+        match dir {
+            Direction::Forward => self.forward(data),
+            Direction::Inverse => self.inverse(data),
+        }
+    }
+
+    fn dispatch(&self, data: &mut [Complex], dir: Direction) {
+        if self.n == 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..self.n {
+            let j = self.bit_rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Iterative butterflies; twiddle table is stage-major.
+        let mut m = 1usize;
+        let mut tw_base = 0usize;
+        while m < self.n {
+            let step = m << 1;
+            for start in (0..self.n).step_by(step) {
+                for j in 0..m {
+                    let w = match dir {
+                        Direction::Forward => self.twiddles[tw_base + j],
+                        Direction::Inverse => self.twiddles[tw_base + j].conj(),
+                    };
+                    let a = data[start + j];
+                    let b = data[start + j + m] * w;
+                    data[start + j] = a + b;
+                    data[start + j + m] = a - b;
+                }
+            }
+            tw_base += m;
+            m = step;
+        }
+    }
+}
+
+/// Reference O(n²) DFT used by the test-suite as ground truth.
+///
+/// Exposed publicly so downstream crates can sanity-check their own
+/// frequency-domain constructions in tests; do not use it on large inputs.
+pub fn naive_dft(input: &[Complex], dir: Direction) -> Vec<Complex> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![Complex::ZERO; n];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            let phase = sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+            acc += x * Complex::cis(phase);
+        }
+        *slot = if matches!(dir, Direction::Inverse) {
+            acc.scale(1.0 / n as f64)
+        } else {
+            acc
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch at {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new(i as f64 * 0.37 - 1.0, (i as f64 * 0.11).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(Fft::new(0), Err(FftError::LengthNotPowerOfTwo(0))));
+        assert!(matches!(Fft::new(3), Err(FftError::LengthNotPowerOfTwo(3))));
+        assert!(matches!(Fft::new(12), Err(FftError::LengthNotPowerOfTwo(12))));
+        assert!(Fft::new(16).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_buffer_length() {
+        let fft = Fft::new(8).unwrap();
+        let mut buf = vec![Complex::ZERO; 4];
+        assert!(matches!(
+            fft.forward(&mut buf),
+            Err(FftError::LengthMismatch { expected: 8, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn matches_naive_dft_for_all_small_sizes() {
+        for log2 in 0..=9 {
+            let n = 1usize << log2;
+            let input = ramp(n);
+            let expected = naive_dft(&input, Direction::Forward);
+            let mut got = input.clone();
+            Fft::new(n).unwrap().forward(&mut got).unwrap();
+            assert_close(&got, &expected, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive_inverse() {
+        let n = 64;
+        let input = ramp(n);
+        let expected = naive_dft(&input, Direction::Inverse);
+        let mut got = input.clone();
+        Fft::new(n).unwrap().inverse(&mut got).unwrap();
+        assert_close(&got, &expected, 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_recovers_input() {
+        let n = 256;
+        let input = ramp(n);
+        let mut buf = input.clone();
+        let fft = Fft::new(n).unwrap();
+        fft.forward(&mut buf).unwrap();
+        fft.inverse(&mut buf).unwrap();
+        assert_close(&buf, &input, 1e-10);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let n = 32;
+        let mut buf = vec![Complex::ZERO; n];
+        buf[0] = Complex::ONE;
+        Fft::new(n).unwrap().forward(&mut buf).unwrap();
+        for z in &buf {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_concentrates_at_dc() {
+        let n = 32;
+        let mut buf = vec![Complex::from_re(2.0); n];
+        Fft::new(n).unwrap().forward(&mut buf).unwrap();
+        assert!((buf[0].re - 2.0 * n as f64).abs() < 1e-10);
+        for z in buf.iter().skip(1) {
+            assert!(z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shift_theorem() {
+        // Shifting the input by s multiplies bin k by e^{-2πiks/N}.
+        let n = 64;
+        let input = ramp(n);
+        let s = 5usize;
+        let shifted: Vec<Complex> = (0..n).map(|i| input[(i + n - s) % n]).collect();
+        let fft = Fft::new(n).unwrap();
+        let mut a = input.clone();
+        fft.forward(&mut a).unwrap();
+        let mut b = shifted;
+        fft.forward(&mut b).unwrap();
+        for k in 0..n {
+            let phase = Complex::cis(-2.0 * std::f64::consts::PI * (k * s) as f64 / n as f64);
+            assert!((a[k] * phase - b[k]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 128;
+        let input = ramp(n);
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut freq = input;
+        Fft::new(n).unwrap().forward(&mut freq).unwrap();
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let a = ramp(n);
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).cos(), 0.3)).collect();
+        let fft = Fft::new(n).unwrap();
+        let alpha = Complex::new(1.5, -0.5);
+
+        let mut lhs: Vec<Complex> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| alpha * x + y)
+            .collect();
+        fft.forward(&mut lhs).unwrap();
+
+        let mut fa = a.clone();
+        fft.forward(&mut fa).unwrap();
+        let mut fb = b.clone();
+        fft.forward(&mut fb).unwrap();
+        for k in 0..n {
+            let rhs = alpha * fa[k] + fb[k];
+            assert!((lhs[k] - rhs).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let fft = Fft::new(1).unwrap();
+        let mut buf = vec![Complex::new(3.0, -2.0)];
+        fft.forward(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex::new(3.0, -2.0));
+        fft.inverse(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex::new(3.0, -2.0));
+    }
+}

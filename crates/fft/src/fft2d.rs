@@ -1,0 +1,306 @@
+//! Two-dimensional FFT on row-major buffers.
+//!
+//! The 2-D transform is separable: FFT every row, transpose, FFT every
+//! (former) column, transpose back. Row passes are striped across threads
+//! with [`crate::parallel::par_chunks_mut`]; the transpose is cache-blocked.
+
+use crate::complex::Complex;
+use crate::fft1d::{Direction, Fft, FftError};
+use crate::parallel::par_chunks_mut;
+
+/// A reusable plan for 2-D FFTs of a fixed `height × width` shape.
+///
+/// Both dimensions must be powers of two. The plan is `Send + Sync` and
+/// cheap to clone.
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_fft::{Complex, Fft2d};
+///
+/// # fn main() -> Result<(), cfaopc_fft::FftError> {
+/// let plan = Fft2d::new(4, 8)?;
+/// let mut img = vec![Complex::ZERO; 4 * 8];
+/// img[0] = Complex::ONE;
+/// plan.forward(&mut img)?;
+/// assert!(img.iter().all(|z| (z.re - 1.0).abs() < 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft2d {
+    height: usize,
+    width: usize,
+    row_fft: Fft,
+    col_fft: Fft,
+}
+
+impl Fft2d {
+    /// Builds a plan for `height × width` transforms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthNotPowerOfTwo`] if either dimension is not
+    /// a nonzero power of two.
+    pub fn new(height: usize, width: usize) -> Result<Self, FftError> {
+        Ok(Fft2d {
+            height,
+            width,
+            row_fft: Fft::new(width)?,
+            col_fft: Fft::new(height)?,
+        })
+    }
+
+    /// Convenience constructor for square transforms.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fft2d::new`].
+    pub fn square(n: usize) -> Result<Self, FftError> {
+        Self::new(n, n)
+    }
+
+    /// Grid height (number of rows).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Grid width (number of columns).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total element count `height × width`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Returns `true` if the plan covers zero elements (never, by
+    /// construction, but provided alongside `len` per convention).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn check(&self, data: &[Complex]) -> Result<(), FftError> {
+        if data.len() != self.len() {
+            return Err(FftError::LengthMismatch {
+                expected: self.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// In-place forward 2-D DFT of a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len() != height*width`.
+    pub fn forward(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        self.execute(data, Direction::Forward)
+    }
+
+    /// In-place inverse 2-D DFT (normalized by `1/(height·width)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len() != height*width`.
+    pub fn inverse(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        self.execute(data, Direction::Inverse)
+    }
+
+    /// In-place transform in the given [`Direction`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len() != height*width`.
+    pub fn execute(&self, data: &mut [Complex], dir: Direction) -> Result<(), FftError> {
+        self.check(data)?;
+        // Pass 1: FFT all rows in parallel.
+        let row_fft = &self.row_fft;
+        par_chunks_mut(data, self.width, |_, row| {
+            row_fft
+                .transform(row, dir)
+                .expect("row length matches plan by construction");
+        });
+        // Pass 2: transpose, FFT rows (former columns), transpose back.
+        let mut scratch = transpose(data, self.height, self.width);
+        let col_fft = &self.col_fft;
+        par_chunks_mut(&mut scratch, self.height, |_, col| {
+            col_fft
+                .transform(col, dir)
+                .expect("column length matches plan by construction");
+        });
+        transpose_into(&scratch, self.width, self.height, data);
+        Ok(())
+    }
+}
+
+/// Cache-blocked out-of-place transpose of a `rows × cols` buffer.
+fn transpose(src: &[Complex], rows: usize, cols: usize) -> Vec<Complex> {
+    let mut dst = vec![Complex::ZERO; src.len()];
+    transpose_into(src, rows, cols, &mut dst);
+    dst
+}
+
+fn transpose_into(src: &[Complex], rows: usize, cols: usize, dst: &mut [Complex]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    const B: usize = 32;
+    for r0 in (0..rows).step_by(B) {
+        for c0 in (0..cols).step_by(B) {
+            for r in r0..(r0 + B).min(rows) {
+                for c in c0..(c0 + B).min(cols) {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+}
+
+/// Maps a grid index to its signed centered frequency.
+///
+/// For an `n`-point DFT, bin `k` represents frequency `k` for `k < n/2`
+/// and `k - n` otherwise; multiplied by the sample spacing this yields
+/// cycles per unit length.
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_fft::signed_freq;
+/// assert_eq!(signed_freq(0, 8), 0);
+/// assert_eq!(signed_freq(3, 8), 3);
+/// assert_eq!(signed_freq(4, 8), -4);
+/// assert_eq!(signed_freq(7, 8), -1);
+/// ```
+pub fn signed_freq(k: usize, n: usize) -> i64 {
+    debug_assert!(k < n);
+    if k < n / 2 || n <= 1 {
+        k as i64
+    } else {
+        k as i64 - n as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft1d::naive_dft;
+
+    fn naive_dft2(input: &[Complex], h: usize, w: usize, dir: Direction) -> Vec<Complex> {
+        // Rows then columns with the reference 1-D DFT.
+        let mut rows: Vec<Complex> = Vec::with_capacity(h * w);
+        for r in 0..h {
+            rows.extend(naive_dft(&input[r * w..(r + 1) * w], dir));
+        }
+        let mut out = vec![Complex::ZERO; h * w];
+        for c in 0..w {
+            let col: Vec<Complex> = (0..h).map(|r| rows[r * w + c]).collect();
+            let tf = naive_dft(&col, dir);
+            for r in 0..h {
+                out[r * w + c] = tf[r];
+            }
+        }
+        out
+    }
+
+    fn sample(h: usize, w: usize) -> Vec<Complex> {
+        (0..h * w)
+            .map(|i| Complex::new((i as f64 * 0.13).sin(), (i as f64 * 0.07).cos() - 0.2))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_2d_forward() {
+        for (h, w) in [(4, 4), (8, 4), (4, 16), (16, 16)] {
+            let input = sample(h, w);
+            let expected = naive_dft2(&input, h, w, Direction::Forward);
+            let mut got = input.clone();
+            Fft2d::new(h, w).unwrap().forward(&mut got).unwrap();
+            for (a, b) in got.iter().zip(&expected) {
+                assert!((*a - *b).abs() < 1e-8, "{a:?} vs {b:?} ({h}x{w})");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let (h, w) = (32, 64);
+        let input = sample(h, w);
+        let plan = Fft2d::new(h, w).unwrap();
+        let mut buf = input.clone();
+        plan.forward(&mut buf).unwrap();
+        plan.inverse(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(&input) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dc_of_forward_is_sum() {
+        let (h, w) = (8, 8);
+        let input = sample(h, w);
+        let total: Complex = input.iter().copied().sum();
+        let mut buf = input;
+        Fft2d::new(h, w).unwrap().forward(&mut buf).unwrap();
+        assert!((buf[0] - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_theorem_with_delta() {
+        // Convolving with a shifted delta translates the image (cyclically).
+        let n = 16;
+        let plan = Fft2d::square(n).unwrap();
+        let img = sample(n, n);
+        let mut kernel = vec![Complex::ZERO; n * n];
+        let (dy, dx) = (3usize, 5usize);
+        kernel[dy * n + dx] = Complex::ONE;
+
+        let mut fi = img.clone();
+        plan.forward(&mut fi).unwrap();
+        let mut fk = kernel;
+        plan.forward(&mut fk).unwrap();
+        let mut prod: Vec<Complex> = fi.iter().zip(&fk).map(|(&a, &b)| a * b).collect();
+        plan.inverse(&mut prod).unwrap();
+
+        for y in 0..n {
+            for x in 0..n {
+                let src = img[((y + n - dy) % n) * n + (x + n - dx) % n];
+                assert!((prod[y * n + x] - src).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_size_buffer() {
+        let plan = Fft2d::new(8, 8).unwrap();
+        let mut buf = vec![Complex::ZERO; 63];
+        assert!(plan.forward(&mut buf).is_err());
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let (h, w) = (8, 16);
+        let src = sample(h, w);
+        let t = transpose(&src, h, w);
+        let tt = transpose(&t, w, h);
+        assert_eq!(src.len(), tt.len());
+        for (a, b) in src.iter().zip(&tt) {
+            assert_eq!(*a, *b);
+        }
+    }
+
+    #[test]
+    fn signed_freq_covers_edges() {
+        assert_eq!(signed_freq(0, 1), 0);
+        assert_eq!(signed_freq(1, 2), -1);
+        let n = 16;
+        let freqs: Vec<i64> = (0..n).map(|k| signed_freq(k, n)).collect();
+        assert_eq!(*freqs.iter().min().unwrap(), -(n as i64) / 2);
+        assert_eq!(*freqs.iter().max().unwrap(), n as i64 / 2 - 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Self-contained FFT substrate for the CFAOPC lithography stack.
+//!
+//! The Hopkins diffraction model (paper Eq. 1) evaluates `h_k ⊗ M` as
+//! `IFFT(FFT(h_k) · FFT(M))`; this crate provides everything that pipeline
+//! needs without external numerics dependencies:
+//!
+//! * [`Complex`] — a 16-byte double-precision complex number,
+//! * [`Fft`] — a reusable 1-D radix-2 plan with precomputed twiddles,
+//! * [`Fft2d`] — a separable, thread-parallel 2-D plan,
+//! * [`parallel`] — the scoped-thread helpers the rest of the workspace
+//!   reuses for data-parallel loops,
+//! * [`naive_dft`] — an O(n²) reference transform for tests.
+//!
+//! # Examples
+//!
+//! Low-pass filtering an image through the frequency domain:
+//!
+//! ```
+//! use cfaopc_fft::{Complex, Fft2d, signed_freq};
+//!
+//! # fn main() -> Result<(), cfaopc_fft::FftError> {
+//! let n = 32;
+//! let plan = Fft2d::square(n)?;
+//! let mut img: Vec<Complex> = (0..n * n)
+//!     .map(|i| Complex::from_re(if i % 7 == 0 { 1.0 } else { 0.0 }))
+//!     .collect();
+//! plan.forward(&mut img)?;
+//! for ky in 0..n {
+//!     for kx in 0..n {
+//!         let fy = signed_freq(ky, n);
+//!         let fx = signed_freq(kx, n);
+//!         if fx * fx + fy * fy > 16 {
+//!             img[ky * n + kx] = Complex::ZERO;
+//!         }
+//!     }
+//! }
+//! plan.inverse(&mut img)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod fft1d;
+mod fft2d;
+pub mod parallel;
+
+pub use complex::Complex;
+pub use fft1d::{naive_dft, Direction, Fft, FftError};
+pub use fft2d::{signed_freq, Fft2d};

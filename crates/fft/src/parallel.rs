@@ -1,0 +1,188 @@
+//! Tiny scoped-thread data-parallel helpers.
+//!
+//! The lithography pipeline is embarrassingly parallel across FFT rows,
+//! optical kernels and circle shots. Rather than pull in a work-stealing
+//! runtime we stripe slices across `std::thread::scope` workers; the unit
+//! of work here is large (an entire FFT row, a whole kernel convolution)
+//! so static striping is within noise of a real scheduler.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Returns the worker count used by the helpers in this module:
+/// `available_parallelism`, clamped to `[1, 32]`, and overridable with the
+/// `CFAOPC_THREADS` environment variable (useful to force serial runs in
+/// tests or CI).
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("CFAOPC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.clamp(1, 128);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 32)
+}
+
+/// Applies `f` to equal-length mutable chunks of `data` in parallel.
+///
+/// `f` receives the chunk index (i.e. `offset / chunk_len`) and the chunk.
+/// The final chunk may be shorter when `data.len()` is not a multiple of
+/// `chunk_len`. Runs serially when only one worker is available or the
+/// input is small.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`. Panics propagate from `f` (the scope joins
+/// all workers first).
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = worker_count().min(n_chunks.max(1));
+    if workers <= 1 || n_chunks <= 1 {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(idx, chunk);
+        }
+        return;
+    }
+    type Slot<'s, T> = std::sync::Mutex<Option<(usize, &'s mut [T])>>;
+    let next = AtomicUsize::new(0);
+    // Hand out chunks through an atomic cursor over an indexed pool; each
+    // worker repeatedly claims the next unprocessed chunk.
+    let pool: Vec<Slot<'_, T>> = data
+        .chunks_mut(chunk_len)
+        .enumerate()
+        .map(|c| std::sync::Mutex::new(Some(c)))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= pool.len() {
+                    break;
+                }
+                if let Some((idx, chunk)) = pool[i].lock().unwrap().take() {
+                    f(idx, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Runs `f(i)` for every `i in 0..n` in parallel.
+///
+/// Use for index-driven work where each iteration owns its output slot via
+/// interior mutability or returns through `f`'s captured state. Iterations
+/// are claimed dynamically so uneven work balances out.
+pub fn par_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = worker_count().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+}
+
+/// Maps `f` over `0..n` in parallel and collects the results in order.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    {
+        let slots: Vec<std::sync::Mutex<&mut T>> =
+            out.iter_mut().map(std::sync::Mutex::new).collect();
+        par_for(n, |i| {
+            **slots[i].lock().unwrap() = f(i);
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut data = vec![0u32; 1027];
+        par_chunks_mut(&mut data, 64, |_idx, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1; // each element exactly once
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_chunk_indices_are_correct() {
+        let mut data = vec![0usize; 300];
+        par_chunks_mut(&mut data, 100, |idx, chunk| {
+            for v in chunk.iter_mut() {
+                *v = idx;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[150], 1);
+        assert_eq!(data[299], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn par_chunks_mut_rejects_zero_chunk() {
+        let mut data = vec![0u8; 4];
+        par_chunks_mut(&mut data, 0, |_, _| {});
+    }
+
+    #[test]
+    fn par_for_runs_each_index_once() {
+        let count = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        par_for(1000, |i| {
+            count.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map(257, |i| i * i);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn par_for_handles_zero_and_one() {
+        par_for(0, |_| panic!("must not run"));
+        let hit = AtomicU64::new(0);
+        par_for(1, |_| {
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the FFT substrate.
+
+use cfaopc_fft::{naive_dft, Complex, Direction, Fft, Fft2d};
+use proptest::prelude::*;
+
+fn complex_vec(log2_len: std::ops::Range<u32>) -> impl Strategy<Value = Vec<Complex>> {
+    log2_len.prop_flat_map(|lg| {
+        let n = 1usize << lg;
+        proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), n)
+            .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn forward_then_inverse_is_identity(input in complex_vec(0..8)) {
+        let n = input.len();
+        let plan = Fft::new(n).unwrap();
+        let mut buf = input.clone();
+        plan.forward(&mut buf).unwrap();
+        plan.inverse(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(&input) {
+            prop_assert!((*a - *b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn forward_matches_reference(input in complex_vec(0..6)) {
+        let n = input.len();
+        let expected = naive_dft(&input, Direction::Forward);
+        let mut got = input.clone();
+        Fft::new(n).unwrap().forward(&mut got).unwrap();
+        for (a, b) in got.iter().zip(&expected) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(input in complex_vec(1..8)) {
+        let n = input.len();
+        let time: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut freq = input;
+        Fft::new(n).unwrap().forward(&mut freq).unwrap();
+        let spec: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time - spec).abs() <= 1e-6 * time.max(1.0));
+    }
+
+    #[test]
+    fn conjugate_symmetry_for_real_input(reals in proptest::collection::vec(-10.0f64..10.0, 64)) {
+        let n = reals.len();
+        let mut buf: Vec<Complex> = reals.iter().map(|&r| Complex::from_re(r)).collect();
+        Fft::new(n).unwrap().forward(&mut buf).unwrap();
+        for k in 1..n {
+            let a = buf[k];
+            let b = buf[n - k].conj();
+            prop_assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn fft2d_roundtrip(input in complex_vec(4..6)) {
+        // Interpret the vector as a (n/4) x 4... keep it simple: 2^lg = h*w with w=4.
+        let len = input.len();
+        let w = 4usize;
+        let h = len / w;
+        let plan = Fft2d::new(h, w).unwrap();
+        let mut buf = input.clone();
+        plan.forward(&mut buf).unwrap();
+        plan.inverse(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(&input) {
+            prop_assert!((*a - *b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn fft2d_linearity(a in complex_vec(4..5), b in complex_vec(4..5)) {
+        let n = 4usize;
+        let h = a.len() / n;
+        let plan = Fft2d::new(h, n).unwrap();
+        let mut sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        plan.forward(&mut sum).unwrap();
+        let mut fa = a;
+        plan.forward(&mut fa).unwrap();
+        let mut fb = b;
+        plan.forward(&mut fb).unwrap();
+        for ((s, x), y) in sum.iter().zip(&fa).zip(&fb) {
+            prop_assert!((*s - (*x + *y)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Mask fracturing for CFAOPC.
+//!
+//! Two fracturing backends and the MRC layer on top:
+//!
+//! * [`rect_fracture`] — rectangular (VSB) decomposition, the costly
+//!   baseline of paper Figure 1(a); its rectangle count is the `#Shot`
+//!   column for the raw pixel-ILT masks in Table 1;
+//! * [`circle_rule`] — **CircleRule** (paper §3, Algorithm 1): connected
+//!   regions → skeleton → DFS point sampling → cover-rate radius
+//!   selection, producing a [`CircularMask`] of overlapping
+//!   [`CircleShot`]s;
+//! * [`check_mrc`] — the position/radius MRC check the circular writer
+//!   makes trivial.
+//!
+//! # Examples
+//!
+//! ```
+//! use cfaopc_fracture::{circle_rule, rect_shot_count, CircleRuleConfig};
+//! use cfaopc_grid::{fill_circle, BitGrid, Point};
+//!
+//! // A curvilinear blob: circles win on shot count (Figure 1).
+//! let mut mask = BitGrid::new(128, 128);
+//! fill_circle(&mut mask, Point::new(64, 64), 18);
+//! let rects = rect_shot_count(&mask);
+//! let circles = circle_rule(&mask, &CircleRuleConfig::default(), 4.0).shot_count();
+//! assert!(circles < rects);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circle_rule;
+mod mrc;
+mod rect_fracture;
+mod shot_list;
+mod shots;
+
+pub use circle_rule::{circle_rule, CircleRuleConfig};
+pub use mrc::{check_mrc, MrcReport, MrcRules, MrcViolation};
+pub use rect_fracture::{rect_fracture, rect_shot_count};
+pub use shot_list::{ShotList, ShotListError};
+pub use shots::{CircleShot, CircularMask};

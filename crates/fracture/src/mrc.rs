@@ -1,0 +1,214 @@
+//! Mask rule checking (MRC) for circular masks.
+//!
+//! One selling point of the circular writer (paper §1) is that fractured
+//! curvilinear masks are "MRC-friendly since we can effortlessly check
+//! the distances between the circular shots with their positions and
+//! radii" — this module is that check: radius bounds per shot, plus the
+//! external-spacing rule between shots of different connected shot
+//! groups (overlapping shots form one written feature; distinct features
+//! must keep a minimum gap).
+
+use crate::shots::{CircleShot, CircularMask};
+use serde::{Deserialize, Serialize};
+
+/// MRC rules for circular masks, in pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MrcRules {
+    /// Minimum legal shot radius.
+    pub r_min: i32,
+    /// Maximum legal shot radius.
+    pub r_max: i32,
+    /// Minimum edge-to-edge gap between non-overlapping shot groups.
+    pub min_spacing: f64,
+}
+
+/// One MRC violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MrcViolation {
+    /// Shot radius below `r_min`.
+    RadiusTooSmall {
+        /// Offending shot index.
+        shot: usize,
+        /// Its radius.
+        radius: i32,
+    },
+    /// Shot radius above `r_max`.
+    RadiusTooLarge {
+        /// Offending shot index.
+        shot: usize,
+        /// Its radius.
+        radius: i32,
+    },
+    /// Two disjoint shots closer than the spacing rule.
+    SpacingTooSmall {
+        /// First shot index.
+        a: usize,
+        /// Second shot index.
+        b: usize,
+        /// Edge-to-edge gap (positive = disjoint).
+        gap: f64,
+    },
+}
+
+/// MRC check result.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MrcReport {
+    /// All violations found.
+    pub violations: Vec<MrcViolation>,
+}
+
+impl MrcReport {
+    /// `true` when the mask passes every rule.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks `mask` against `rules`.
+///
+/// Spacing is evaluated pairwise on shot centers and radii — exactly the
+/// "effortless" geometric check the circular writer enables; no raster
+/// needed. Shots in the same overlap group (edge-to-edge gap ≤ 0 through
+/// any chain of overlaps) are exempt from the spacing rule.
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_fracture::{check_mrc, CircleShot, CircularMask, MrcRules};
+///
+/// let rules = MrcRules { r_min: 3, r_max: 19, min_spacing: 4.0 };
+/// let good = CircularMask::from_shots(vec![
+///     CircleShot::new(20, 20, 6),
+///     CircleShot::new(26, 20, 6), // overlapping: same feature, fine
+/// ]);
+/// assert!(check_mrc(&good, &rules).is_clean());
+/// ```
+pub fn check_mrc(mask: &CircularMask, rules: &MrcRules) -> MrcReport {
+    let shots = mask.shots();
+    let mut report = MrcReport::default();
+    for (i, s) in shots.iter().enumerate() {
+        if s.r < rules.r_min {
+            report.violations.push(MrcViolation::RadiusTooSmall {
+                shot: i,
+                radius: s.r,
+            });
+        }
+        if s.r > rules.r_max {
+            report.violations.push(MrcViolation::RadiusTooLarge {
+                shot: i,
+                radius: s.r,
+            });
+        }
+    }
+    // Union-find over overlapping shots → overlap groups.
+    let mut parent: Vec<usize> = (0..shots.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    for i in 0..shots.len() {
+        for j in (i + 1)..shots.len() {
+            if gap(&shots[i], &shots[j]) <= 0.0 {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    for i in 0..shots.len() {
+        for j in (i + 1)..shots.len() {
+            let g = gap(&shots[i], &shots[j]);
+            if g > 0.0
+                && g < rules.min_spacing
+                && find(&mut parent, i) != find(&mut parent, j)
+            {
+                report
+                    .violations
+                    .push(MrcViolation::SpacingTooSmall { a: i, b: j, gap: g });
+            }
+        }
+    }
+    report
+}
+
+/// Edge-to-edge gap between two shots (negative when overlapping).
+fn gap(a: &CircleShot, b: &CircleShot) -> f64 {
+    a.center().dist(b.center()) - (a.r + b.r) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> MrcRules {
+        MrcRules {
+            r_min: 3,
+            r_max: 19,
+            min_spacing: 4.0,
+        }
+    }
+
+    #[test]
+    fn clean_mask_passes() {
+        let m = CircularMask::from_shots(vec![
+            CircleShot::new(20, 20, 6),
+            CircleShot::new(27, 20, 6),   // overlaps: same group
+            CircleShot::new(100, 100, 5), // far away: fine
+        ]);
+        assert!(check_mrc(&m, &rules()).is_clean());
+    }
+
+    #[test]
+    fn radius_bounds_are_flagged() {
+        let m = CircularMask::from_shots(vec![
+            CircleShot::new(10, 10, 2),
+            CircleShot::new(50, 50, 25),
+        ]);
+        let report = check_mrc(&m, &rules());
+        assert_eq!(report.violations.len(), 2);
+        assert!(matches!(
+            report.violations[0],
+            MrcViolation::RadiusTooSmall { shot: 0, radius: 2 }
+        ));
+        assert!(matches!(
+            report.violations[1],
+            MrcViolation::RadiusTooLarge { shot: 1, radius: 25 }
+        ));
+    }
+
+    #[test]
+    fn near_miss_spacing_is_flagged() {
+        // Gap = 14 - 12 = 2 < 4 and the shots do not overlap.
+        let m = CircularMask::from_shots(vec![
+            CircleShot::new(0, 0, 6),
+            CircleShot::new(14, 0, 6),
+        ]);
+        let report = check_mrc(&m, &rules());
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            report.violations[0],
+            MrcViolation::SpacingTooSmall { a: 0, b: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn chained_overlaps_form_one_group() {
+        // a–b overlap, b–c overlap, a–c gap is small but they belong to
+        // one written feature through b: no violation.
+        let m = CircularMask::from_shots(vec![
+            CircleShot::new(0, 0, 6),
+            CircleShot::new(10, 0, 6),
+            CircleShot::new(20, 0, 6),
+        ]);
+        assert!(check_mrc(&m, &rules()).is_clean());
+    }
+
+    #[test]
+    fn empty_mask_is_clean() {
+        assert!(check_mrc(&CircularMask::new(), &rules()).is_clean());
+    }
+}

@@ -1,0 +1,266 @@
+//! Shot-list interchange format — the file a circular e-beam mask writer
+//! consumes.
+//!
+//! The writer of paper ref. [7] exposes exactly three knobs per shot:
+//! position and radius. This module serializes a [`CircularMask`] to a
+//! small line-oriented text format (and parses it back), carrying the
+//! grid geometry so coordinates are unambiguous:
+//!
+//! ```text
+//! CSHOT 1
+//! GRID 256 256 8
+//! SHOT 52 48 5
+//! SHOT 60 48 5
+//! END
+//! ```
+//!
+//! `GRID w h pitch_nm` declares the raster; each `SHOT x y r` is one
+//! circle in pixels of that raster.
+
+use crate::shots::{CircleShot, CircularMask};
+use std::fmt;
+
+/// A shot list bound to its grid geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotList {
+    /// Grid width in pixels.
+    pub width: usize,
+    /// Grid height in pixels.
+    pub height: usize,
+    /// Pixel pitch in nanometres.
+    pub pixel_nm: f64,
+    /// The shots.
+    pub mask: CircularMask,
+}
+
+/// Errors from parsing the shot-list format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShotListError {
+    /// Missing or malformed `CSHOT` header.
+    BadHeader,
+    /// Missing or malformed `GRID` record.
+    BadGrid,
+    /// A malformed line (line number, content).
+    BadLine(usize, String),
+    /// A shot lies outside the declared grid or has a non-positive
+    /// radius (line number).
+    BadShot(usize),
+}
+
+impl fmt::Display for ShotListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShotListError::BadHeader => write!(f, "missing CSHOT header"),
+            ShotListError::BadGrid => write!(f, "missing or malformed GRID record"),
+            ShotListError::BadLine(n, l) => write!(f, "cannot parse line {n}: {l:?}"),
+            ShotListError::BadShot(n) => write!(f, "shot on line {n} is off-grid or degenerate"),
+        }
+    }
+}
+
+impl std::error::Error for ShotListError {}
+
+impl ShotList {
+    /// Bundles a mask with its grid geometry.
+    pub fn new(mask: CircularMask, width: usize, height: usize, pixel_nm: f64) -> Self {
+        ShotList {
+            width,
+            height,
+            pixel_nm,
+            mask,
+        }
+    }
+
+    /// Serializes to the `CSHOT` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "CSHOT 1\nGRID {} {} {}\n",
+            self.width, self.height, self.pixel_nm
+        );
+        for s in self.mask.shots() {
+            out.push_str(&format!("SHOT {} {} {}\n", s.x, s.y, s.r));
+        }
+        out.push_str("END\n");
+        out
+    }
+
+    /// Parses the `CSHOT` text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShotListError`] on malformed headers, records, or shots
+    /// that fall outside the declared grid.
+    pub fn from_text(text: &str) -> Result<ShotList, ShotListError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or(ShotListError::BadHeader)?;
+        if header.trim() != "CSHOT 1" {
+            return Err(ShotListError::BadHeader);
+        }
+        let (_, grid_line) = lines.next().ok_or(ShotListError::BadGrid)?;
+        let mut it = grid_line.split_whitespace();
+        if it.next() != Some("GRID") {
+            return Err(ShotListError::BadGrid);
+        }
+        let width: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or(ShotListError::BadGrid)?;
+        let height: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or(ShotListError::BadGrid)?;
+        let pixel_nm: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or(ShotListError::BadGrid)?;
+        if width == 0 || height == 0 || !(pixel_nm > 0.0) {
+            return Err(ShotListError::BadGrid);
+        }
+
+        let mut mask = CircularMask::new();
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "END" {
+                return Ok(ShotList {
+                    width,
+                    height,
+                    pixel_nm,
+                    mask,
+                });
+            }
+            let mut it = line.split_whitespace();
+            if it.next() != Some("SHOT") {
+                return Err(ShotListError::BadLine(i + 1, line.to_string()));
+            }
+            let vals: Vec<i64> = it.filter_map(|t| t.parse().ok()).collect();
+            if vals.len() != 3 {
+                return Err(ShotListError::BadLine(i + 1, line.to_string()));
+            }
+            let (x, y, r) = (vals[0], vals[1], vals[2]);
+            if r <= 0
+                || x < 0
+                || y < 0
+                || x >= width as i64
+                || y >= height as i64
+            {
+                return Err(ShotListError::BadShot(i + 1));
+            }
+            mask.push(CircleShot::new(x as i32, y as i32, r as i32));
+        }
+        // No END record: tolerate EOF-terminated lists.
+        Ok(ShotList {
+            width,
+            height,
+            pixel_nm,
+            mask,
+        })
+    }
+
+    /// Total written area estimate in nm² (union not accounted; an upper
+    /// bound used by writer-time models).
+    pub fn gross_area_nm2(&self) -> f64 {
+        let px_area = self.pixel_nm * self.pixel_nm;
+        self.mask
+            .shots()
+            .iter()
+            .map(|s| s.area() as f64 * px_area)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShotList {
+        ShotList::new(
+            CircularMask::from_shots(vec![
+                CircleShot::new(52, 48, 5),
+                CircleShot::new(60, 48, 7),
+            ]),
+            256,
+            256,
+            8.0,
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let list = sample();
+        let text = list.to_text();
+        let back = ShotList::from_text(&text).unwrap();
+        assert_eq!(back, list);
+    }
+
+    #[test]
+    fn format_is_line_oriented() {
+        let text = sample().to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "CSHOT 1");
+        assert_eq!(lines[1], "GRID 256 256 8");
+        assert_eq!(lines[2], "SHOT 52 48 5");
+        assert_eq!(*lines.last().unwrap(), "END");
+    }
+
+    #[test]
+    fn eof_terminated_list_is_accepted() {
+        let list = ShotList::from_text("CSHOT 1\nGRID 8 8 4\nSHOT 1 2 3\n").unwrap();
+        assert_eq!(list.mask.shot_count(), 1);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(
+            ShotList::from_text("WRONG\nGRID 8 8 4\n"),
+            Err(ShotListError::BadHeader)
+        );
+        assert_eq!(ShotList::from_text(""), Err(ShotListError::BadHeader));
+    }
+
+    #[test]
+    fn bad_grid_rejected() {
+        assert_eq!(
+            ShotList::from_text("CSHOT 1\nGRID 0 8 4\n"),
+            Err(ShotListError::BadGrid)
+        );
+        assert_eq!(
+            ShotList::from_text("CSHOT 1\nGRID 8 8\n"),
+            Err(ShotListError::BadGrid)
+        );
+    }
+
+    #[test]
+    fn off_grid_shot_rejected() {
+        assert_eq!(
+            ShotList::from_text("CSHOT 1\nGRID 8 8 4\nSHOT 9 0 2\n"),
+            Err(ShotListError::BadShot(3))
+        );
+        assert_eq!(
+            ShotList::from_text("CSHOT 1\nGRID 8 8 4\nSHOT 1 1 0\n"),
+            Err(ShotListError::BadShot(3))
+        );
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        assert!(matches!(
+            ShotList::from_text("CSHOT 1\nGRID 8 8 4\nBLOB 1 2 3\n"),
+            Err(ShotListError::BadLine(3, _))
+        ));
+    }
+
+    #[test]
+    fn gross_area() {
+        let list = ShotList::new(
+            CircularMask::from_shots(vec![CircleShot::new(4, 4, 1)]),
+            16,
+            16,
+            2.0,
+        );
+        // disk_area(1) = 5 points × 4 nm² per pixel.
+        assert_eq!(list.gross_area_nm2(), 20.0);
+    }
+}

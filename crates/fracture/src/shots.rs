@@ -1,0 +1,181 @@
+//! Shot primitives: what a mask writer actually exposes.
+
+use cfaopc_grid::{disk_area, fill_circle, BitGrid, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// One circular e-beam shot: a variable-radius circle (the primitive of
+/// the writer in paper ref. \[7\]). Coordinates and radius are in pixels of
+/// the mask grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CircleShot {
+    /// Center column.
+    pub x: i32,
+    /// Center row.
+    pub y: i32,
+    /// Radius (inclusive boundary).
+    pub r: i32,
+}
+
+impl CircleShot {
+    /// Creates a shot.
+    pub const fn new(x: i32, y: i32, r: i32) -> Self {
+        CircleShot { x, y, r }
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(self.x, self.y)
+    }
+
+    /// Grid-point count of the (unclipped) disk.
+    pub fn area(&self) -> usize {
+        disk_area(self.r)
+    }
+
+    /// `true` when `p` lies inside the shot.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.dist_sqr(self.center()) <= (self.r as i64) * (self.r as i64)
+    }
+}
+
+/// A mask represented as a set of overlapping circular shots — the
+/// fracturing-aware mask representation of CFAOPC (`M̃ = ∪ᵢ C(pᵢ, rᵢ)`).
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_fracture::{CircleShot, CircularMask};
+///
+/// let mask = CircularMask::from_shots(vec![
+///     CircleShot::new(10, 10, 5),
+///     CircleShot::new(14, 10, 5), // overlaps the first — allowed
+/// ]);
+/// assert_eq!(mask.shot_count(), 2);
+/// let raster = mask.rasterize(24, 24);
+/// assert!(raster.get(12, 10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CircularMask {
+    shots: Vec<CircleShot>,
+}
+
+impl CircularMask {
+    /// An empty circular mask.
+    pub fn new() -> Self {
+        CircularMask::default()
+    }
+
+    /// Wraps a shot list.
+    pub fn from_shots(shots: Vec<CircleShot>) -> Self {
+        CircularMask { shots }
+    }
+
+    /// The shots.
+    pub fn shots(&self) -> &[CircleShot] {
+        &self.shots
+    }
+
+    /// Adds one shot.
+    pub fn push(&mut self, shot: CircleShot) {
+        self.shots.push(shot);
+    }
+
+    /// Number of shots — the paper's `#Shot` manufacturability metric.
+    pub fn shot_count(&self) -> usize {
+        self.shots.len()
+    }
+
+    /// Returns `true` when the mask has no shots.
+    pub fn is_empty(&self) -> bool {
+        self.shots.is_empty()
+    }
+
+    /// Rasterizes the union of all shots onto a `width × height` grid.
+    pub fn rasterize(&self, width: usize, height: usize) -> BitGrid {
+        let mut mask = BitGrid::new(width, height);
+        for s in &self.shots {
+            fill_circle(&mut mask, s.center(), s.r);
+        }
+        mask
+    }
+
+    /// Tight bounding box over all shots, or `None` when empty.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        if self.shots.is_empty() {
+            return None;
+        }
+        // Rect::new would normalize (swap) this inverted seed box.
+        let mut r = Rect {
+            x0: i32::MAX,
+            y0: i32::MAX,
+            x1: i32::MIN,
+            y1: i32::MIN,
+        };
+        for s in &self.shots {
+            r.x0 = r.x0.min(s.x - s.r);
+            r.y0 = r.y0.min(s.y - s.r);
+            r.x1 = r.x1.max(s.x + s.r + 1);
+            r.y1 = r.y1.max(s.y + s.r + 1);
+        }
+        Some(r)
+    }
+}
+
+impl FromIterator<CircleShot> for CircularMask {
+    fn from_iter<I: IntoIterator<Item = CircleShot>>(iter: I) -> Self {
+        CircularMask {
+            shots: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<CircleShot> for CircularMask {
+    fn extend<I: IntoIterator<Item = CircleShot>>(&mut self, iter: I) {
+        self.shots.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rasterize_union_of_overlapping_shots() {
+        let m = CircularMask::from_shots(vec![
+            CircleShot::new(8, 8, 4),
+            CircleShot::new(12, 8, 4),
+        ]);
+        let raster = m.rasterize(24, 16);
+        // Union is bigger than either disk but smaller than their sum.
+        let union = raster.count_ones();
+        assert!(union > disk_area(4));
+        assert!(union < 2 * disk_area(4));
+    }
+
+    #[test]
+    fn bounding_box_covers_all_shots() {
+        let m = CircularMask::from_shots(vec![
+            CircleShot::new(5, 5, 2),
+            CircleShot::new(20, 9, 3),
+        ]);
+        let bb = m.bounding_box().unwrap();
+        assert_eq!(bb, Rect::new(3, 3, 24, 13));
+        assert!(CircularMask::new().bounding_box().is_none());
+    }
+
+    #[test]
+    fn contains_respects_radius() {
+        let s = CircleShot::new(10, 10, 3);
+        assert!(s.contains(Point::new(13, 10)));
+        assert!(!s.contains(Point::new(13, 11)));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut m: CircularMask = (0..3).map(|i| CircleShot::new(i, 0, 1)).collect();
+        m.extend([CircleShot::new(9, 9, 2)]);
+        assert_eq!(m.shot_count(), 4);
+    }
+}

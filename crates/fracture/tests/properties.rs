@@ -1,0 +1,102 @@
+//! Property-based tests for fracturing.
+
+use cfaopc_fracture::{
+    check_mrc, circle_rule, rect_fracture, CircleRuleConfig, MrcRules,
+};
+use cfaopc_grid::{fill_circle, fill_rect, BitGrid, Point, Rect};
+use proptest::prelude::*;
+
+const N: usize = 96;
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Rect(Rect),
+    Disk(Point, i32),
+}
+
+fn arb_shapes() -> impl Strategy<Value = Vec<Shape>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (8i32..80, 8i32..80, 3i32..24, 3i32..24)
+                .prop_map(|(x, y, w, h)| Shape::Rect(Rect::new(x, y, x + w, y + h))),
+            (12i32..84, 12i32..84, 3i32..12)
+                .prop_map(|(x, y, r)| Shape::Disk(Point::new(x, y), r)),
+        ],
+        1..5,
+    )
+}
+
+fn render(shapes: &[Shape]) -> BitGrid {
+    let mut m = BitGrid::new(N, N);
+    for s in shapes {
+        match s {
+            Shape::Rect(r) => fill_rect(&mut m, *r),
+            Shape::Disk(c, r) => fill_circle(&mut m, *c, *r),
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rect_fracture_is_an_exact_partition(shapes in arb_shapes()) {
+        let mask = render(&shapes);
+        let rects = rect_fracture(&mask);
+        let total: i64 = rects.iter().map(Rect::area).sum();
+        prop_assert_eq!(total, mask.count_ones() as i64);
+        let mut seen = BitGrid::new(N, N);
+        for r in &rects {
+            for y in r.y0..r.y1 {
+                for x in r.x0..r.x1 {
+                    prop_assert!(mask.get(x as usize, y as usize));
+                    prop_assert!(!seen.get(x as usize, y as usize), "overlap at ({x},{y})");
+                    seen.set(x as usize, y as usize, true);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn circle_rule_radii_always_in_bounds(shapes in arb_shapes()) {
+        let mask = render(&shapes);
+        let cfg = CircleRuleConfig::default();
+        let px = 4.0;
+        let circles = circle_rule(&mask, &cfg, px);
+        let (r_min, r_max) = cfg.radius_range_px(px);
+        for s in circles.shots() {
+            prop_assert!(s.r >= r_min && s.r <= r_max, "radius {}", s.r);
+            // Centers lie on mask pixels (they are sampled from region
+            // skeletons / interiors).
+            prop_assert!(mask.at(s.center()), "center {} off the mask", s.center());
+        }
+        // Radius-bound MRC is clean by construction.
+        let report = check_mrc(
+            &circles,
+            &MrcRules { r_min, r_max, min_spacing: 0.0 },
+        );
+        prop_assert!(report.is_clean());
+    }
+
+    #[test]
+    fn circle_rule_covers_most_of_each_big_region(x in 16i32..48, y in 16i32..48, w in 20i32..40, h in 12i32..40) {
+        let mut mask = BitGrid::new(N, N);
+        fill_rect(&mut mask, Rect::new(x, y, x + w, y + h));
+        let circles = circle_rule(&mask, &CircleRuleConfig::default(), 4.0);
+        let raster = circles.rasterize(N, N);
+        let covered = raster.intersection_count(&mask);
+        prop_assert!(
+            covered as f64 >= 0.85 * mask.count_ones() as f64,
+            "covered only {covered} of {}",
+            mask.count_ones()
+        );
+    }
+
+    #[test]
+    fn circle_rule_is_deterministic(shapes in arb_shapes()) {
+        let mask = render(&shapes);
+        let cfg = CircleRuleConfig::default();
+        prop_assert_eq!(circle_rule(&mask, &cfg, 4.0), circle_rule(&mask, &cfg, 4.0));
+    }
+}

@@ -1,0 +1,81 @@
+//! Boundary extraction: the set of mask pixels adjacent to background.
+//!
+//! The EPE metric measures distances from target-edge sample points to
+//! the printed contour; [`boundary_pixels`] provides that contour.
+
+use crate::grid::{BitGrid, Point};
+
+/// Returns a mask of the pixels of `mask` that have at least one
+/// 4-neighbour outside the mask (off-grid counts as outside).
+pub fn boundary_pixels(mask: &BitGrid) -> BitGrid {
+    let (w, h) = (mask.width(), mask.height());
+    let mut out = BitGrid::new(w, h);
+    for y in 0..h as i32 {
+        for x in 0..w as i32 {
+            let p = Point::new(x, y);
+            if !mask.at(p) {
+                continue;
+            }
+            let is_boundary = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+                .iter()
+                .any(|&(dx, dy)| !mask.at(Point::new(x + dx, y + dy)));
+            if is_boundary {
+                out.set(x as usize, y as usize, true);
+            }
+        }
+    }
+    out
+}
+
+/// Total boundary pixel count — a cheap perimeter proxy used by mask
+/// complexity diagnostics.
+pub fn perimeter(mask: &BitGrid) -> usize {
+    boundary_pixels(mask).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raster::{fill_circle, fill_rect, Rect};
+
+    #[test]
+    fn rect_boundary_is_its_ring() {
+        let mut m = BitGrid::new(16, 16);
+        fill_rect(&mut m, Rect::new(4, 4, 12, 12));
+        let b = boundary_pixels(&m);
+        // 8x8 rect: ring = 64 - 36 interior
+        assert_eq!(b.count_ones(), 28);
+        assert!(b.get(4, 4));
+        assert!(!b.get(7, 7));
+    }
+
+    #[test]
+    fn grid_border_counts_as_outside() {
+        let mut m = BitGrid::new(4, 4);
+        fill_rect(&mut m, Rect::new(0, 0, 4, 4));
+        let b = boundary_pixels(&m);
+        assert_eq!(b.count_ones(), 12);
+        assert!(!b.get(1, 1));
+    }
+
+    #[test]
+    fn empty_mask_empty_boundary() {
+        let m = BitGrid::new(8, 8);
+        assert!(boundary_pixels(&m).is_clear());
+        assert_eq!(perimeter(&m), 0);
+    }
+
+    #[test]
+    fn circle_boundary_scales_with_radius() {
+        let mut small = BitGrid::new(64, 64);
+        fill_circle(&mut small, crate::grid::Point::new(32, 32), 8);
+        let mut large = BitGrid::new(64, 64);
+        fill_circle(&mut large, crate::grid::Point::new(32, 32), 16);
+        let ps = perimeter(&small);
+        let pl = perimeter(&large);
+        assert!(pl > ps);
+        // Perimeter grows roughly linearly with radius.
+        let ratio = pl as f64 / ps as f64;
+        assert!((1.5..=2.5).contains(&ratio), "ratio {ratio}");
+    }
+}

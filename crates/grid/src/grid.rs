@@ -1,0 +1,557 @@
+//! Dense row-major 2-D grids.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// An integer pixel coordinate.
+///
+/// Signed so intermediate geometry (circle centers pushed past an edge,
+/// skeleton neighbours, window corners) can go off-grid without wrapping;
+/// grids reject out-of-range access instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point {
+    /// Column (x) coordinate.
+    pub x: i32,
+    /// Row (y) coordinate.
+    pub y: i32,
+}
+
+impl Point {
+    /// Creates a point from its column/row coordinates.
+    #[inline]
+    pub const fn new(x: i32, y: i32) -> Self {
+        Point { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist_sqr(self, other: Point) -> i64 {
+        let dx = (self.x - other.x) as i64;
+        let dy = (self.y - other.y) as i64;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        (self.dist_sqr(other) as f64).sqrt()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i32, i32)> for Point {
+    fn from((x, y): (i32, i32)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// A dense row-major `height × width` grid of `T`.
+///
+/// This is the pixel canvas every stage of the pipeline shares: masks,
+/// aerial images, gradients, label maps.
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_grid::{Grid2D, Point};
+///
+/// let mut g = Grid2D::new(4, 4, 0u8);
+/// g[(1, 2)] = 7; // (x, y) indexing
+/// assert_eq!(g.get(Point::new(1, 2)), Some(&7));
+/// assert_eq!(g.get(Point::new(-1, 0)), None);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Grid2D<T> {
+    width: usize,
+    height: usize,
+    data: Vec<T>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for Grid2D<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Grid2D({}x{})", self.width, self.height)
+    }
+}
+
+impl<T: Clone> Grid2D<T> {
+    /// Creates a grid filled with `fill`.
+    pub fn new(width: usize, height: usize, fill: T) -> Self {
+        Grid2D {
+            width,
+            height,
+            data: vec![fill; width * height],
+        }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            width * height,
+            "buffer length must equal width*height"
+        );
+        Grid2D {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Resets every cell to `value`.
+    pub fn fill(&mut self, value: T) {
+        for v in &mut self.data {
+            *v = value.clone();
+        }
+    }
+}
+
+impl<T> Grid2D<T> {
+    /// Grid width (columns).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height (rows).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total cell count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the grid has zero cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns `true` if `p` lies on the grid.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= 0 && p.y >= 0 && (p.x as usize) < self.width && (p.y as usize) < self.height
+    }
+
+    /// Flat row-major index of an on-grid point.
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        y * self.width + x
+    }
+
+    /// Borrow of the cell at `p`, or `None` when off-grid.
+    #[inline]
+    pub fn get(&self, p: Point) -> Option<&T> {
+        if self.contains(p) {
+            Some(&self.data[p.y as usize * self.width + p.x as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Mutable borrow of the cell at `p`, or `None` when off-grid.
+    #[inline]
+    pub fn get_mut(&mut self, p: Point) -> Option<&mut T> {
+        if self.contains(p) {
+            Some(&mut self.data[p.y as usize * self.width + p.x as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the grid and returns its buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Iterates over `(Point, &T)` in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Point, &T)> {
+        let w = self.width;
+        self.data.iter().enumerate().map(move |(i, v)| {
+            (
+                Point::new((i % w) as i32, (i / w) as i32),
+                v,
+            )
+        })
+    }
+
+    /// Borrow of row `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= height`.
+    pub fn row(&self, y: usize) -> &[T] {
+        assert!(y < self.height, "row {y} out of bounds");
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Applies `f` to every cell, producing a same-shape grid.
+    pub fn map<U, F: FnMut(&T) -> U>(&self, mut f: F) -> Grid2D<U> {
+        Grid2D {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(&mut f).collect(),
+        }
+    }
+}
+
+impl<T> Index<(usize, usize)> for Grid2D<T> {
+    type Output = T;
+    /// Indexes by `(x, y)`.
+    #[inline]
+    fn index(&self, (x, y): (usize, usize)) -> &T {
+        &self.data[self.idx(x, y)]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Grid2D<T> {
+    #[inline]
+    fn index_mut(&mut self, (x, y): (usize, usize)) -> &mut T {
+        let i = self.idx(x, y);
+        &mut self.data[i]
+    }
+}
+
+/// A binary pixel mask.
+///
+/// Thin wrapper over `Grid2D<bool>` with set-algebra helpers used by the
+/// fracturing and metric code (`|C(u,r) ∩ A_i|` cover rates, mask unions).
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_grid::BitGrid;
+///
+/// let mut a = BitGrid::new(8, 8);
+/// a.set(2, 2, true);
+/// let mut b = BitGrid::new(8, 8);
+/// b.set(2, 2, true);
+/// b.set(3, 3, true);
+/// assert_eq!(a.intersection_count(&b), 1);
+/// assert_eq!(a.union(&b).count_ones(), 2);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct BitGrid {
+    inner: Grid2D<bool>,
+}
+
+impl fmt::Debug for BitGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BitGrid({}x{}, {} set)",
+            self.width(),
+            self.height(),
+            self.count_ones()
+        )
+    }
+}
+
+impl BitGrid {
+    /// Creates an all-clear mask.
+    pub fn new(width: usize, height: usize) -> Self {
+        BitGrid {
+            inner: Grid2D::new(width, height, false),
+        }
+    }
+
+    /// Builds a mask by thresholding a real-valued grid at `threshold`
+    /// (strictly greater, matching the resist model of paper Eq. 2).
+    pub fn from_threshold(grid: &Grid2D<f64>, threshold: f64) -> Self {
+        BitGrid {
+            inner: grid.map(|&v| v > threshold),
+        }
+    }
+
+    /// Mask width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.inner.width()
+    }
+
+    /// Mask height.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.inner.height()
+    }
+
+    /// Returns `true` if `p` lies on the grid.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.inner.contains(p)
+    }
+
+    /// Value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds; use [`BitGrid::at`] for checked access.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        self.inner[(x, y)]
+    }
+
+    /// Checked access: `false` off-grid.
+    #[inline]
+    pub fn at(&self, p: Point) -> bool {
+        self.inner.get(p).copied().unwrap_or(false)
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: bool) {
+        self.inner[(x, y)] = value;
+    }
+
+    /// Sets the pixel at `p` when on-grid; off-grid writes are ignored.
+    #[inline]
+    pub fn set_at(&mut self, p: Point, value: bool) {
+        if let Some(v) = self.inner.get_mut(p) {
+            *v = value;
+        }
+    }
+
+    /// Number of set pixels.
+    pub fn count_ones(&self) -> usize {
+        self.inner.as_slice().iter().filter(|&&b| b).count()
+    }
+
+    /// Returns `true` when no pixel is set.
+    pub fn is_clear(&self) -> bool {
+        !self.inner.as_slice().iter().any(|&b| b)
+    }
+
+    /// Set pixels as points, row-major order.
+    pub fn ones(&self) -> Vec<Point> {
+        self.inner
+            .iter()
+            .filter_map(|(p, &b)| if b { Some(p) } else { None })
+            .collect()
+    }
+
+    /// `|self ∩ other|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn intersection_count(&self, other: &BitGrid) -> usize {
+        self.check_shape(other);
+        self.inner
+            .as_slice()
+            .iter()
+            .zip(other.inner.as_slice())
+            .filter(|(&a, &b)| a && b)
+            .count()
+    }
+
+    /// Pixel-wise union.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn union(&self, other: &BitGrid) -> BitGrid {
+        self.check_shape(other);
+        let data = self
+            .inner
+            .as_slice()
+            .iter()
+            .zip(other.inner.as_slice())
+            .map(|(&a, &b)| a || b)
+            .collect();
+        BitGrid {
+            inner: Grid2D::from_vec(self.width(), self.height(), data),
+        }
+    }
+
+    /// Merges `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn union_with(&mut self, other: &BitGrid) {
+        self.check_shape(other);
+        for (a, &b) in self
+            .inner
+            .as_mut_slice()
+            .iter_mut()
+            .zip(other.inner.as_slice())
+        {
+            *a = *a || b;
+        }
+    }
+
+    /// Pixel-wise symmetric difference (XOR) count — the discrete form of
+    /// `‖A − B‖₂²` for binary images, used by the L2 and PVB metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn xor_count(&self, other: &BitGrid) -> usize {
+        self.check_shape(other);
+        self.inner
+            .as_slice()
+            .iter()
+            .zip(other.inner.as_slice())
+            .filter(|(&a, &b)| a != b)
+            .count()
+    }
+
+    /// Converts to a real-valued grid (`1.0` / `0.0`).
+    pub fn to_real(&self) -> Grid2D<f64> {
+        self.inner.map(|&b| if b { 1.0 } else { 0.0 })
+    }
+
+    /// View as the underlying boolean grid.
+    pub fn as_grid(&self) -> &Grid2D<bool> {
+        &self.inner
+    }
+
+    /// Consumes the mask and returns the underlying boolean grid.
+    pub fn into_grid(self) -> Grid2D<bool> {
+        self.inner
+    }
+
+    fn check_shape(&self, other: &BitGrid) {
+        assert!(
+            self.width() == other.width() && self.height() == other.height(),
+            "shape mismatch: {}x{} vs {}x{}",
+            self.width(),
+            self.height(),
+            other.width(),
+            other.height()
+        );
+    }
+}
+
+impl From<Grid2D<bool>> for BitGrid {
+    fn from(inner: Grid2D<bool>) -> Self {
+        BitGrid { inner }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_indexing_roundtrip() {
+        let mut g = Grid2D::new(3, 2, 0i32);
+        g[(2, 1)] = 5;
+        assert_eq!(g[(2, 1)], 5);
+        assert_eq!(g.get(Point::new(2, 1)), Some(&5));
+        assert_eq!(g.get(Point::new(3, 1)), None);
+        assert_eq!(g.get(Point::new(0, -1)), None);
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        let g = Grid2D::from_vec(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(g[(1, 1)], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_len() {
+        let _ = Grid2D::from_vec(2, 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn iter_yields_row_major_points() {
+        let g = Grid2D::from_vec(2, 2, vec![10, 11, 12, 13]);
+        let pts: Vec<(Point, i32)> = g.iter().map(|(p, &v)| (p, v)).collect();
+        assert_eq!(pts[0], (Point::new(0, 0), 10));
+        assert_eq!(pts[1], (Point::new(1, 0), 11));
+        assert_eq!(pts[2], (Point::new(0, 1), 12));
+        assert_eq!(pts[3], (Point::new(1, 1), 13));
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let g = Grid2D::new(4, 3, 2u8);
+        let h = g.map(|&v| v as f64 * 1.5);
+        assert_eq!(h.width(), 4);
+        assert_eq!(h.height(), 3);
+        assert_eq!(h[(3, 2)], 3.0);
+    }
+
+    #[test]
+    fn bitgrid_set_algebra() {
+        let mut a = BitGrid::new(4, 4);
+        let mut b = BitGrid::new(4, 4);
+        a.set(0, 0, true);
+        a.set(1, 1, true);
+        b.set(1, 1, true);
+        b.set(2, 2, true);
+        assert_eq!(a.count_ones(), 2);
+        assert_eq!(a.intersection_count(&b), 1);
+        assert_eq!(a.union(&b).count_ones(), 3);
+        assert_eq!(a.xor_count(&b), 2);
+    }
+
+    #[test]
+    fn bitgrid_threshold_is_strict() {
+        let g = Grid2D::from_vec(2, 1, vec![0.5, 0.6]);
+        let m = BitGrid::from_threshold(&g, 0.5);
+        assert!(!m.get(0, 0));
+        assert!(m.get(1, 0));
+    }
+
+    #[test]
+    fn bitgrid_off_grid_reads_false_writes_ignored() {
+        let mut m = BitGrid::new(2, 2);
+        assert!(!m.at(Point::new(-1, 0)));
+        m.set_at(Point::new(5, 5), true);
+        assert_eq!(m.count_ones(), 0);
+    }
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, 4);
+        assert_eq!(a.dist_sqr(b), 25);
+        assert_eq!(a.dist(b), 5.0);
+    }
+
+    #[test]
+    fn row_access() {
+        let g = Grid2D::from_vec(3, 2, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(g.row(1), &[4, 5, 6]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", Grid2D::new(2, 3, 0u8)), "Grid2D(2x3)");
+        let b = BitGrid::new(2, 2);
+        assert_eq!(format!("{b:?}"), "BitGrid(2x2, 0 set)");
+    }
+}

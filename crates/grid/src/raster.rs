@@ -1,0 +1,440 @@
+//! Rasterization of the primitive shapes the pipeline manipulates:
+//! axis-aligned rectangles (target patterns), disks (circular shots) and
+//! rectilinear polygons (benchmark layouts).
+
+use crate::grid::{BitGrid, Point};
+
+/// An axis-aligned rectangle, half-open: pixels with
+/// `x0 <= x < x1` and `y0 <= y < y1` are inside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Left edge (inclusive).
+    pub x0: i32,
+    /// Top edge (inclusive).
+    pub y0: i32,
+    /// Right edge (exclusive).
+    pub x1: i32,
+    /// Bottom edge (exclusive).
+    pub y1: i32,
+}
+
+impl Rect {
+    /// Creates a rectangle; normalizes so `x0 <= x1`, `y0 <= y1`.
+    pub fn new(x0: i32, y0: i32, x1: i32, y1: i32) -> Self {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Width in pixels.
+    #[inline]
+    pub fn width(&self) -> i32 {
+        self.x1 - self.x0
+    }
+
+    /// Height in pixels.
+    #[inline]
+    pub fn height(&self) -> i32 {
+        self.y1 - self.y0
+    }
+
+    /// Area in pixels.
+    #[inline]
+    pub fn area(&self) -> i64 {
+        self.width() as i64 * self.height() as i64
+    }
+
+    /// Returns `true` when the rectangle covers no pixels.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.width() <= 0 || self.height() <= 0
+    }
+
+    /// Returns `true` if `p` lies inside (half-open semantics).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x0 && p.x < self.x1 && p.y >= self.y0 && p.y < self.y1
+    }
+
+    /// Rectangle translated by `(dx, dy)`.
+    pub fn translated(&self, dx: i32, dy: i32) -> Rect {
+        Rect {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
+    }
+
+    /// Rectangle with every coordinate multiplied by `num` then divided by
+    /// `den` (used to rescale nm-coordinates onto coarser grids).
+    pub fn scaled(&self, num: i32, den: i32) -> Rect {
+        Rect::new(
+            self.x0 * num / den,
+            self.y0 * num / den,
+            self.x1 * num / den,
+            self.y1 * num / den,
+        )
+    }
+
+    /// Intersection with another rectangle, or `None` when disjoint.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        let r = Rect {
+            x0: self.x0.max(other.x0),
+            y0: self.y0.max(other.y0),
+            x1: self.x1.min(other.x1),
+            y1: self.y1.min(other.y1),
+        };
+        if r.is_degenerate() {
+            None
+        } else {
+            Some(r)
+        }
+    }
+}
+
+/// Fills an axis-aligned rectangle (clipped to the grid).
+pub fn fill_rect(mask: &mut BitGrid, rect: Rect) {
+    let x0 = rect.x0.max(0) as usize;
+    let y0 = rect.y0.max(0) as usize;
+    let x1 = (rect.x1.max(0) as usize).min(mask.width());
+    let y1 = (rect.y1.max(0) as usize).min(mask.height());
+    for y in y0..y1 {
+        for x in x0..x1 {
+            mask.set(x, y, true);
+        }
+    }
+}
+
+/// Fills the disk `{p : |p - c| <= r}` (clipped to the grid).
+///
+/// The boundary is inclusive, matching the paper's definition of
+/// `C(p, r)` as the set of points in the circle of radius `r`.
+pub fn fill_circle(mask: &mut BitGrid, center: Point, radius: i32) {
+    if radius < 0 {
+        return;
+    }
+    let r2 = radius as i64 * radius as i64;
+    let y_lo = (center.y - radius).max(0);
+    let y_hi = (center.y + radius).min(mask.height() as i32 - 1);
+    for y in y_lo..=y_hi {
+        let dy = (y - center.y) as i64;
+        // Solve dx^2 <= r^2 - dy^2 exactly in integers.
+        let rem = r2 - dy * dy;
+        let half = (rem as f64).sqrt().floor() as i32;
+        // floating sqrt can be off by one near perfect squares; correct it.
+        let half = correct_isqrt(half, rem);
+        let x_lo = (center.x - half).max(0);
+        let x_hi = (center.x + half).min(mask.width() as i32 - 1);
+        for x in x_lo..=x_hi {
+            mask.set(x as usize, y as usize, true);
+        }
+    }
+}
+
+fn correct_isqrt(mut guess: i32, target: i64) -> i32 {
+    while (guess as i64 + 1) * (guess as i64 + 1) <= target {
+        guess += 1;
+    }
+    while guess > 0 && (guess as i64) * (guess as i64) > target {
+        guess -= 1;
+    }
+    guess
+}
+
+/// Enumerates the points of the disk `C(center, radius)` that fall on an
+/// `width × height` grid. Used for cover-rate computations
+/// (`|C(u,r) ∩ A|/|C(u,r)|`, Algorithm 1 line 20) where the full circle
+/// size (including off-grid points) is needed separately — see
+/// [`disk_area`].
+pub fn disk_points(center: Point, radius: i32, width: usize, height: usize) -> Vec<Point> {
+    let mut pts = Vec::new();
+    if radius < 0 {
+        return pts;
+    }
+    let r2 = radius as i64 * radius as i64;
+    for y in (center.y - radius)..=(center.y + radius) {
+        if y < 0 || y >= height as i32 {
+            continue;
+        }
+        let dy = (y - center.y) as i64;
+        let rem = r2 - dy * dy;
+        let half = correct_isqrt((rem as f64).sqrt().floor() as i32, rem);
+        for x in (center.x - half)..=(center.x + half) {
+            if x >= 0 && x < width as i32 {
+                pts.push(Point::new(x, y));
+            }
+        }
+    }
+    pts
+}
+
+/// Number of grid points in a radius-`r` disk (independent of position,
+/// counting off-grid points too): `|{(x,y) ∈ ℤ² : x²+y² ≤ r²}|`.
+pub fn disk_area(radius: i32) -> usize {
+    if radius < 0 {
+        return 0;
+    }
+    let r2 = radius as i64 * radius as i64;
+    let mut count = 0usize;
+    for y in -radius..=radius {
+        let rem = r2 - (y as i64) * (y as i64);
+        let half = correct_isqrt((rem as f64).sqrt().floor() as i32, rem);
+        count += (2 * half + 1) as usize;
+    }
+    count
+}
+
+/// Fills a rectilinear polygon given as a closed vertex loop using even-odd
+/// scanline parity. Vertices are pixel corners; the filled region follows
+/// half-open semantics like [`Rect`].
+///
+/// # Panics
+///
+/// Panics if fewer than 4 vertices are supplied or consecutive vertices are
+/// neither horizontally nor vertically aligned.
+pub fn fill_rectilinear_polygon(mask: &mut BitGrid, vertices: &[Point]) {
+    assert!(vertices.len() >= 4, "polygon needs at least 4 vertices");
+    let n = vertices.len();
+    for i in 0..n {
+        let a = vertices[i];
+        let b = vertices[(i + 1) % n];
+        assert!(
+            a.x == b.x || a.y == b.y,
+            "polygon edges must be axis-aligned ({a} -> {b})"
+        );
+    }
+    let y_min = vertices.iter().map(|p| p.y).min().unwrap_or(0).max(0);
+    let y_max = vertices
+        .iter()
+        .map(|p| p.y)
+        .max()
+        .unwrap_or(0)
+        .min(mask.height() as i32);
+    for y in y_min..y_max {
+        // Collect x-positions of vertical edges crossing scanline y+0.5.
+        let mut xs: Vec<i32> = Vec::new();
+        for i in 0..n {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % n];
+            if a.x == b.x {
+                let (lo, hi) = (a.y.min(b.y), a.y.max(b.y));
+                if y >= lo && y < hi {
+                    xs.push(a.x);
+                }
+            }
+        }
+        xs.sort_unstable();
+        for pair in xs.chunks_exact(2) {
+            let x0 = pair[0].max(0);
+            let x1 = pair[1].min(mask.width() as i32);
+            for x in x0..x1 {
+                mask.set(x as usize, y as usize, true);
+            }
+        }
+    }
+}
+
+/// Bilinearly upsamples a real grid by an integer `factor`, treating
+/// samples as cell centers. Used to reconstruct smooth curvilinear
+/// boundaries from coarse rasters before native-resolution fracturing.
+pub fn upsample_bilinear(grid: &crate::grid::Grid2D<f64>, factor: usize) -> crate::grid::Grid2D<f64> {
+    assert!(factor > 0, "factor must be positive");
+    let (w, h) = (grid.width(), grid.height());
+    let (ow, oh) = (w * factor, h * factor);
+    let mut out = crate::grid::Grid2D::new(ow, oh, 0.0f64);
+    let f = factor as f64;
+    for oy in 0..oh {
+        // Source coordinate of this output cell center.
+        let sy = (oy as f64 + 0.5) / f - 0.5;
+        let y0 = sy.floor().clamp(0.0, (h - 1) as f64) as usize;
+        let y1 = (y0 + 1).min(h - 1);
+        let ty = (sy - y0 as f64).clamp(0.0, 1.0);
+        for ox in 0..ow {
+            let sx = (ox as f64 + 0.5) / f - 0.5;
+            let x0 = sx.floor().clamp(0.0, (w - 1) as f64) as usize;
+            let x1 = (x0 + 1).min(w - 1);
+            let tx = (sx - x0 as f64).clamp(0.0, 1.0);
+            let top = grid[(x0, y0)] * (1.0 - tx) + grid[(x1, y0)] * tx;
+            let bottom = grid[(x0, y1)] * (1.0 - tx) + grid[(x1, y1)] * tx;
+            out[(ox, oy)] = top * (1.0 - ty) + bottom * ty;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsample_bilinear_constant_is_constant() {
+        let g = crate::grid::Grid2D::new(4, 4, 0.7);
+        let u = upsample_bilinear(&g, 4);
+        assert_eq!(u.width(), 16);
+        assert!(u.as_slice().iter().all(|&v| (v - 0.7).abs() < 1e-12));
+    }
+
+    #[test]
+    fn upsample_bilinear_preserves_range_and_smooths_edges() {
+        let mut g = crate::grid::Grid2D::new(8, 8, 0.0);
+        for y in 0..8 {
+            for x in 4..8 {
+                g[(x, y)] = 1.0;
+            }
+        }
+        let u = upsample_bilinear(&g, 4);
+        assert!(u.as_slice().iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)));
+        // The edge between columns 3 and 4 becomes a gradient.
+        let mid = u[(14, 16)];
+        assert!(mid > 0.05 && mid < 0.95, "edge not smoothed: {mid}");
+        assert_eq!(u[(0, 0)], 0.0);
+        assert_eq!(u[(31, 31)], 1.0);
+    }
+
+    #[test]
+    fn upsample_factor_one_is_identity() {
+        let g = crate::grid::Grid2D::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(upsample_bilinear(&g, 1), g);
+    }
+
+    #[test]
+    fn rect_normalizes() {
+        let r = Rect::new(5, 6, 1, 2);
+        assert_eq!((r.x0, r.y0, r.x1, r.y1), (1, 2, 5, 6));
+        assert_eq!(r.area(), 16);
+    }
+
+    #[test]
+    fn rect_contains_half_open() {
+        let r = Rect::new(0, 0, 2, 2);
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(r.contains(Point::new(1, 1)));
+        assert!(!r.contains(Point::new(2, 1)));
+        assert!(!r.contains(Point::new(-1, 0)));
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(2, 2, 6, 6);
+        assert_eq!(a.intersect(&b), Some(Rect::new(2, 2, 4, 4)));
+        let c = Rect::new(4, 0, 6, 4);
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut m = BitGrid::new(4, 4);
+        fill_rect(&mut m, Rect::new(-2, -2, 2, 2));
+        assert_eq!(m.count_ones(), 4);
+        assert!(m.get(0, 0) && m.get(1, 1));
+    }
+
+    #[test]
+    fn circle_radius_zero_is_single_pixel() {
+        let mut m = BitGrid::new(5, 5);
+        fill_circle(&mut m, Point::new(2, 2), 0);
+        assert_eq!(m.count_ones(), 1);
+        assert!(m.get(2, 2));
+    }
+
+    #[test]
+    fn circle_matches_disk_area_when_unclipped() {
+        for r in 0..12 {
+            let n = 2 * r as usize + 3;
+            let mut m = BitGrid::new(n, n);
+            let c = Point::new(n as i32 / 2, n as i32 / 2);
+            fill_circle(&mut m, c, r);
+            assert_eq!(m.count_ones(), disk_area(r), "radius {r}");
+            // and equals the brute-force definition
+            let brute = (0..n as i32)
+                .flat_map(|y| (0..n as i32).map(move |x| Point::new(x, y)))
+                .filter(|p| p.dist_sqr(c) <= (r as i64) * (r as i64))
+                .count();
+            assert_eq!(m.count_ones(), brute);
+        }
+    }
+
+    #[test]
+    fn disk_points_counts_clipped() {
+        let pts = disk_points(Point::new(0, 0), 2, 8, 8);
+        // Only the quadrant with x>=0, y>=0 survives clipping.
+        let brute = (-2..=2)
+            .flat_map(|y| (-2..=2).map(move |x| Point::new(x, y)))
+            .filter(|p| p.x >= 0 && p.y >= 0 && p.dist_sqr(Point::new(0, 0)) <= 4)
+            .count();
+        assert_eq!(pts.len(), brute);
+    }
+
+    #[test]
+    fn disk_area_small_values() {
+        assert_eq!(disk_area(0), 1);
+        assert_eq!(disk_area(1), 5);
+        assert_eq!(disk_area(2), 13);
+        assert_eq!(disk_area(-1), 0);
+    }
+
+    #[test]
+    fn circle_negative_radius_is_noop() {
+        let mut m = BitGrid::new(4, 4);
+        fill_circle(&mut m, Point::new(1, 1), -3);
+        assert!(m.is_clear());
+    }
+
+    #[test]
+    fn rectilinear_polygon_matches_rect() {
+        let mut a = BitGrid::new(16, 16);
+        let mut b = BitGrid::new(16, 16);
+        fill_rect(&mut a, Rect::new(2, 3, 10, 12));
+        fill_rectilinear_polygon(
+            &mut b,
+            &[
+                Point::new(2, 3),
+                Point::new(10, 3),
+                Point::new(10, 12),
+                Point::new(2, 12),
+            ],
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rectilinear_polygon_l_shape() {
+        // L-shape = union of two rects, as polygon.
+        let mut poly = BitGrid::new(16, 16);
+        fill_rectilinear_polygon(
+            &mut poly,
+            &[
+                Point::new(0, 0),
+                Point::new(4, 0),
+                Point::new(4, 8),
+                Point::new(8, 8),
+                Point::new(8, 12),
+                Point::new(0, 12),
+            ],
+        );
+        let mut rects = BitGrid::new(16, 16);
+        fill_rect(&mut rects, Rect::new(0, 0, 4, 12));
+        fill_rect(&mut rects, Rect::new(4, 8, 8, 12));
+        assert_eq!(poly, rects);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis-aligned")]
+    fn rectilinear_polygon_rejects_diagonals() {
+        let mut m = BitGrid::new(8, 8);
+        fill_rectilinear_polygon(
+            &mut m,
+            &[
+                Point::new(0, 0),
+                Point::new(4, 4),
+                Point::new(4, 0),
+                Point::new(0, 4),
+            ],
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the geometry substrate.
+
+use cfaopc_grid::{
+    connected_components, dilate, disk_area, disk_points, erode, fill_circle, fill_rect,
+    skeletonize, BitGrid, Connectivity, Point, Rect, Structuring,
+};
+use proptest::prelude::*;
+
+fn small_rects() -> impl Strategy<Value = Vec<Rect>> {
+    proptest::collection::vec(
+        (0i32..56, 0i32..56, 1i32..12, 1i32..12)
+            .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h)),
+        1..6,
+    )
+}
+
+fn mask_from_rects(rects: &[Rect]) -> BitGrid {
+    let mut m = BitGrid::new(64, 64);
+    for &r in rects {
+        fill_rect(&mut m, r);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn components_partition_the_mask(rects in small_rects()) {
+        let m = mask_from_rects(&rects);
+        let l = connected_components(&m, Connectivity::Eight);
+        let total: usize = l.regions.iter().map(|r| r.points.len()).sum();
+        prop_assert_eq!(total, m.count_ones());
+        // Labels are consistent and non-overlapping.
+        let mut seen = std::collections::HashSet::new();
+        for region in &l.regions {
+            for &p in &region.points {
+                prop_assert!(seen.insert(p), "pixel {} in two regions", p);
+                prop_assert!(m.at(p));
+            }
+        }
+    }
+
+    #[test]
+    fn skeleton_is_subset_and_preserves_component_count(rects in small_rects()) {
+        let m = mask_from_rects(&rects);
+        let s = skeletonize(&m);
+        for p in s.ones() {
+            prop_assert!(m.at(p));
+        }
+        let before = connected_components(&m, Connectivity::Eight).regions.len();
+        let after = connected_components(&s, Connectivity::Eight).regions.len();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn dilation_grows_erosion_shrinks(rects in small_rects(), r in 0i32..3) {
+        let m = mask_from_rects(&rects);
+        let d = dilate(&m, Structuring::Disk(r));
+        let e = erode(&m, Structuring::Disk(r));
+        prop_assert!(d.count_ones() >= m.count_ones());
+        prop_assert!(e.count_ones() <= m.count_ones());
+        // Monotonicity: mask ⊆ dilation, erosion ⊆ mask.
+        for p in m.ones() {
+            prop_assert!(d.at(p));
+        }
+        for p in e.ones() {
+            prop_assert!(m.at(p));
+        }
+    }
+
+    #[test]
+    fn disk_points_consistent_with_disk_area(cx in -10i32..74, cy in -10i32..74, r in 0i32..12) {
+        // Unclipped count never exceeds disk_area; equality when fully on-grid.
+        let pts = disk_points(Point::new(cx, cy), r, 64, 64);
+        prop_assert!(pts.len() <= disk_area(r));
+        if cx - r >= 0 && cy - r >= 0 && cx + r < 64 && cy + r < 64 {
+            prop_assert_eq!(pts.len(), disk_area(r));
+        }
+        // Every reported point is on-grid and inside the disk.
+        for p in pts {
+            prop_assert!(p.x >= 0 && p.x < 64 && p.y >= 0 && p.y < 64);
+            prop_assert!(p.dist_sqr(Point::new(cx, cy)) <= (r as i64) * (r as i64));
+        }
+    }
+
+    #[test]
+    fn fill_circle_equals_disk_points(cx in 0i32..32, cy in 0i32..32, r in 0i32..10) {
+        let mut m = BitGrid::new(32, 32);
+        fill_circle(&mut m, Point::new(cx, cy), r);
+        let pts = disk_points(Point::new(cx, cy), r, 32, 32);
+        prop_assert_eq!(m.count_ones(), pts.len());
+        for p in pts {
+            prop_assert!(m.at(p));
+        }
+    }
+
+    #[test]
+    fn xor_count_is_a_metric(a in small_rects(), b in small_rects()) {
+        let ma = mask_from_rects(&a);
+        let mb = mask_from_rects(&b);
+        prop_assert_eq!(ma.xor_count(&ma), 0);
+        prop_assert_eq!(ma.xor_count(&mb), mb.xor_count(&ma));
+    }
+}

@@ -1,0 +1,297 @@
+//! Named pixel-ILT engines standing in for the paper's baselines.
+//!
+//! The paper post-processes masks from three published pixel-ILT systems
+//! (DevelSet [4], Neural-ILT [11], MultiILT [10]) and initializes
+//! CircleOpt with MOSAIC [2]. Those systems are GPU/neural stacks; what
+//! the paper's experiments depend on is each system's *mask profile*, so
+//! this module provides from-scratch engines with the matching profiles:
+//!
+//! | Engine          | Profile reproduced                                   |
+//! |-----------------|------------------------------------------------------|
+//! | `Mosaic`        | plain sigmoid ILT, the paper's stage-1 initializer   |
+//! | `DevelSetLike`  | level-set-style front evolution close to the target, **no SRAFs** (the paper notes DevelSet masks carry none) |
+//! | `NeuralIltLike` | domain-restricted ILT with smoothed gradients (the low-complexity masks a trained network produces) |
+//! | `MultiIltLike`  | multi-resolution coarse→fine ILT, full domain, SRAFs — best L2/EPE, highest mask complexity |
+
+use crate::levelset::{run_levelset_ilt, LevelSetConfig};
+use crate::optimizer::OptimizerKind;
+use crate::pixel::{run_pixel_ilt, run_pixel_ilt_with_init, IltResult, PixelIltConfig, UpdateDomain};
+use cfaopc_grid::{BitGrid, Grid2D};
+use cfaopc_litho::{LithoConfig, LithoError, LithoSimulator};
+
+/// The pixel-ILT engine roster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IltEngine {
+    /// Plain sigmoid-ILT (MOSAIC \[2\]); also CircleOpt's stage-1 engine.
+    Mosaic,
+    /// DevelSet-style: front evolution confined to the target
+    /// neighbourhood, no SRAFs.
+    DevelSetLike,
+    /// Neural-ILT-style: restricted domain, smoothed gradients.
+    NeuralIltLike,
+    /// MultiILT-style: multi-resolution, SRAF-rich, highest quality.
+    MultiIltLike,
+}
+
+impl IltEngine {
+    /// Display name used in result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            IltEngine::Mosaic => "Mosaic",
+            IltEngine::DevelSetLike => "DevelSet",
+            IltEngine::NeuralIltLike => "NeuralILT",
+            IltEngine::MultiIltLike => "MultiILT",
+        }
+    }
+
+    /// The three baselines the paper fractures with CircleRule (Table 1
+    /// and Table 2), in the paper's column order.
+    pub const BASELINES: [IltEngine; 3] = [
+        IltEngine::DevelSetLike,
+        IltEngine::NeuralIltLike,
+        IltEngine::MultiIltLike,
+    ];
+
+    /// Full-resolution configuration for this engine with `iterations`
+    /// steps.
+    pub fn config(self, iterations: usize) -> PixelIltConfig {
+        match self {
+            IltEngine::Mosaic => PixelIltConfig {
+                iterations,
+                optimizer: OptimizerKind::adam(0.2),
+                ..PixelIltConfig::default()
+            },
+            IltEngine::DevelSetLike => PixelIltConfig {
+                iterations,
+                optimizer: OptimizerKind::adam(0.25),
+                domain: UpdateDomain::NearTarget { halo_nm: 48.0 },
+                init_dilation_nm: 16.0,
+                grad_smoothing: 1,
+                ..PixelIltConfig::default()
+            },
+            IltEngine::NeuralIltLike => PixelIltConfig {
+                iterations,
+                optimizer: OptimizerKind::adam(0.2),
+                domain: UpdateDomain::NearTarget { halo_nm: 200.0 },
+                grad_smoothing: 2,
+                ..PixelIltConfig::default()
+            },
+            IltEngine::MultiIltLike => PixelIltConfig {
+                iterations,
+                optimizer: OptimizerKind::adam(0.25),
+                // SRAFs nucleate in a wide band around the mains — the
+                // realistic SRAF placement zone — rather than the whole
+                // tile, which at coarse grids grows unmanufacturable
+                // far-field webs.
+                domain: UpdateDomain::NearTarget { halo_nm: 320.0 },
+                grad_smoothing: 1,
+                ..PixelIltConfig::default()
+            },
+        }
+    }
+}
+
+/// Runs `engine` on `target` with `iterations` full-resolution steps.
+///
+/// `MultiIltLike` additionally runs `iterations` steps at 1/4 and 1/2
+/// resolution first (when those grids are at least 64 px), warm-starting
+/// each finer level from the coarser latent.
+///
+/// # Errors
+///
+/// Returns [`LithoError`] on shape mismatches or (for the
+/// multi-resolution path) invalid derived configurations.
+pub fn run_engine(
+    sim: &LithoSimulator,
+    target: &BitGrid,
+    engine: IltEngine,
+    iterations: usize,
+) -> Result<IltResult, LithoError> {
+    match engine {
+        IltEngine::MultiIltLike => run_multiresolution(sim, target, iterations),
+        IltEngine::DevelSetLike => run_levelset_ilt(
+            sim,
+            target,
+            &LevelSetConfig {
+                iterations,
+                ..LevelSetConfig::default()
+            },
+        ),
+        other => run_pixel_ilt(sim, target, &other.config(iterations)),
+    }
+}
+
+fn run_multiresolution(
+    sim: &LithoSimulator,
+    target: &BitGrid,
+    iterations: usize,
+) -> Result<IltResult, LithoError> {
+    let n = sim.size();
+    let mut factors = Vec::new();
+    for f in [4usize, 2] {
+        if n / f >= 64 {
+            factors.push(f);
+        }
+    }
+    let mut warm: Option<Grid2D<f64>> = None;
+    for f in factors {
+        let coarse_cfg = LithoConfig {
+            size: n / f,
+            ..sim.config().clone()
+        };
+        let coarse_sim = LithoSimulator::new(coarse_cfg)?;
+        let coarse_target = downsample_majority(target, f);
+        let cfg = IltEngine::MultiIltLike.config(iterations);
+        let result =
+            run_pixel_ilt_with_init(&coarse_sim, &coarse_target, &cfg, warm.as_ref())?;
+        warm = Some(upsample_nearest(&result.latent, 2));
+        // After upsampling from n/4 we are at n/2; after n/2 at n. The
+        // loop structure advances one octave per level by construction
+        // (4 then 2), so `warm` always matches the next level's size.
+    }
+    let cfg = IltEngine::MultiIltLike.config(iterations);
+    run_pixel_ilt_with_init(sim, target, &cfg, warm.as_ref())
+}
+
+/// Downsamples a binary image by `factor` with 50 % majority voting.
+pub fn downsample_majority(mask: &BitGrid, factor: usize) -> BitGrid {
+    assert!(factor > 0, "factor must be positive");
+    let (w, h) = (mask.width() / factor, mask.height() / factor);
+    let mut out = BitGrid::new(w, h);
+    let votes_needed = (factor * factor).div_ceil(2);
+    for y in 0..h {
+        for x in 0..w {
+            let mut votes = 0usize;
+            for dy in 0..factor {
+                for dx in 0..factor {
+                    if mask.get(x * factor + dx, y * factor + dy) {
+                        votes += 1;
+                    }
+                }
+            }
+            out.set(x, y, votes >= votes_needed);
+        }
+    }
+    out
+}
+
+/// Upsamples a real grid by `factor` with nearest-neighbour replication.
+pub fn upsample_nearest(grid: &Grid2D<f64>, factor: usize) -> Grid2D<f64> {
+    assert!(factor > 0, "factor must be positive");
+    let (w, h) = (grid.width() * factor, grid.height() * factor);
+    let mut out = Grid2D::new(w, h, 0.0);
+    for y in 0..h {
+        for x in 0..w {
+            out[(x, y)] = grid[(x / factor, y / factor)];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfaopc_grid::{dilate, fill_rect, Rect, Structuring};
+
+    fn sim() -> LithoSimulator {
+        LithoSimulator::new(LithoConfig {
+            size: 128,
+            kernel_count: 6,
+            ..LithoConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn bar_target(n: usize) -> BitGrid {
+        let mut t = BitGrid::new(n, n);
+        // 128px/2048nm = 16nm/px: a 96nm x 768nm bar.
+        fill_rect(&mut t, Rect::new(61, 40, 67, 88));
+        t
+    }
+
+    #[test]
+    fn every_engine_descends_its_objective() {
+        let s = sim();
+        let target = bar_target(s.size());
+        for engine in [
+            IltEngine::Mosaic,
+            IltEngine::DevelSetLike,
+            IltEngine::NeuralIltLike,
+            IltEngine::MultiIltLike,
+        ] {
+            let result = run_engine(&s, &target, engine, 15).unwrap();
+            let first = result.loss_history.first().unwrap().total;
+            let last = result.loss_history.last().unwrap().total;
+            assert!(
+                last < first,
+                "{} failed to descend: {first} -> {last}",
+                engine.name()
+            );
+            assert!(
+                result.mask_binary.count_ones() > 0,
+                "{} produced an empty mask",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn develset_like_stays_near_target() {
+        // The level-set front moves, but never nucleates remote SRAFs:
+        // everything stays within a modest halo of the target.
+        let s = sim();
+        let target = bar_target(s.size());
+        let result = run_engine(&s, &target, IltEngine::DevelSetLike, 12).unwrap();
+        let halo_px = s.config().nm_to_px(192.0).round() as i32;
+        let allowed = dilate(&target, Structuring::Disk(halo_px));
+        for p in result.mask_binary.ones() {
+            assert!(allowed.at(p), "DevelSet-like mask grew an SRAF at {p}");
+        }
+        assert!(result.mask_binary.count_ones() > 0);
+    }
+
+    #[test]
+    fn engine_names_are_distinct() {
+        let names: std::collections::HashSet<&str> = [
+            IltEngine::Mosaic,
+            IltEngine::DevelSetLike,
+            IltEngine::NeuralIltLike,
+            IltEngine::MultiIltLike,
+        ]
+        .iter()
+        .map(|e| e.name())
+        .collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn downsample_majority_blocks() {
+        let mut m = BitGrid::new(4, 4);
+        fill_rect(&mut m, Rect::new(0, 0, 2, 2)); // one full quadrant
+        m.set(2, 2, true); // 1 of 4 votes — below majority
+        let d = downsample_majority(&m, 2);
+        assert!(d.get(0, 0));
+        assert!(!d.get(1, 1));
+        assert!(!d.get(1, 0));
+    }
+
+    #[test]
+    fn upsample_nearest_replicates() {
+        let g = Grid2D::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let u = upsample_nearest(&g, 2);
+        assert_eq!(u.width(), 4);
+        assert_eq!(u[(0, 0)], 1.0);
+        assert_eq!(u[(1, 1)], 1.0);
+        assert_eq!(u[(2, 0)], 2.0);
+        assert_eq!(u[(3, 3)], 4.0);
+    }
+
+    #[test]
+    fn multiresolution_runs_and_returns_full_size() {
+        let s = sim();
+        let target = bar_target(s.size());
+        let result = run_engine(&s, &target, IltEngine::MultiIltLike, 8).unwrap();
+        assert_eq!(result.mask_binary.width(), s.size());
+        assert!(!result.loss_history.is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Level-set inverse lithography (the DevelSet [4] / GPU-level-set [9]
+//! family).
+//!
+//! The mask is the sub-zero set of a level-set function `φ` (negative
+//! inside). Each iteration relaxes the mask as
+//! `M = σ(−φ/ε)`, pulls the lithography gradient back onto `φ`
+//! (`∂M/∂φ = −(1/ε)·M(1−M)`), steps, and periodically **re-initializes**
+//! `φ` to a signed distance function of its own zero level set — the
+//! classical stabilization that keeps `|∇φ| ≈ 1`.
+//!
+//! Because `∂M/∂φ` vanishes away from the interface, the evolution moves
+//! the existing front but does not nucleate new regions: level-set masks
+//! carry **no SRAFs**, exactly the DevelSet profile the paper's Table 1/2
+//! rely on.
+
+use crate::optimizer::{Optimizer, OptimizerKind};
+use crate::pixel::IltResult;
+use cfaopc_grid::{distance_to, BitGrid, Grid2D};
+use cfaopc_litho::{loss_and_gradient, sigmoid, LithoError, LithoSimulator, LossWeights};
+
+/// Level-set ILT configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelSetConfig {
+    /// Evolution steps.
+    pub iterations: usize,
+    /// Optimizer over `φ` (Adam by default).
+    pub optimizer: OptimizerKind,
+    /// Loss weights.
+    pub weights: LossWeights,
+    /// Interface half-width `ε` in pixels for the relaxed mask.
+    pub epsilon: f64,
+    /// Re-initialize `φ` to a signed distance function every this many
+    /// steps (0 disables re-initialization).
+    pub reinit_every: usize,
+}
+
+impl Default for LevelSetConfig {
+    fn default() -> Self {
+        LevelSetConfig {
+            iterations: 30,
+            optimizer: OptimizerKind::adam(0.4),
+            weights: LossWeights::default(),
+            epsilon: 1.5,
+            reinit_every: 10,
+        }
+    }
+}
+
+/// Signed distance to the boundary of `mask`: negative inside, positive
+/// outside, approximately `|∇φ| = 1`.
+pub fn signed_distance(mask: &BitGrid) -> Grid2D<f64> {
+    let (w, h) = (mask.width(), mask.height());
+    let mut complement = BitGrid::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            complement.set(x, y, !mask.get(x, y));
+        }
+    }
+    let d_out = distance_to(mask); // 0 inside the mask
+    let d_in = distance_to(&complement); // 0 outside the mask
+    let mut phi = Grid2D::new(w, h, 0.0f64);
+    for i in 0..w * h {
+        phi.as_mut_slice()[i] = d_out.as_slice()[i] - d_in.as_slice()[i];
+    }
+    phi
+}
+
+/// Runs level-set ILT from `target`'s own boundary.
+///
+/// # Errors
+///
+/// Returns [`LithoError::ShapeMismatch`] when `target` does not match the
+/// simulator grid.
+pub fn run_levelset_ilt(
+    sim: &LithoSimulator,
+    target: &BitGrid,
+    config: &LevelSetConfig,
+) -> Result<IltResult, LithoError> {
+    let n = sim.size();
+    if target.width() != n || target.height() != n {
+        return Err(LithoError::ShapeMismatch {
+            expected: n,
+            actual: target.width() * target.height(),
+        });
+    }
+    let target_real = target.to_real();
+    let mut phi = signed_distance(target).into_vec();
+    let inv_eps = 1.0 / config.epsilon;
+    let mut optimizer = Optimizer::new(config.optimizer, phi.len());
+    let mut history = Vec::with_capacity(config.iterations);
+    let mut grad_phi = vec![0.0f64; phi.len()];
+
+    for step in 0..config.iterations {
+        let mask = Grid2D::from_vec(
+            n,
+            n,
+            phi.iter().map(|&p| sigmoid(-p * inv_eps)).collect(),
+        );
+        let (values, grad_m) = loss_and_gradient(sim, &mask, &target_real, config.weights)?;
+        history.push(values);
+        for i in 0..phi.len() {
+            let m = mask.as_slice()[i];
+            grad_phi[i] = -grad_m.as_slice()[i] * inv_eps * m * (1.0 - m);
+        }
+        optimizer.step(&mut phi, &grad_phi);
+        if config.reinit_every > 0 && (step + 1) % config.reinit_every == 0 {
+            let binary = BitGrid::from_threshold(
+                &Grid2D::from_vec(n, n, phi.iter().map(|&p| -p).collect()),
+                0.0,
+            );
+            phi = signed_distance(&binary).into_vec();
+            // The optimizer's moments refer to the pre-reinit surface.
+            optimizer = Optimizer::new(config.optimizer, phi.len());
+        }
+    }
+
+    let latent = Grid2D::from_vec(n, n, phi.iter().map(|&p| -p).collect());
+    let mask_continuous = Grid2D::from_vec(
+        n,
+        n,
+        phi.iter().map(|&p| sigmoid(-p * inv_eps)).collect(),
+    );
+    let mask_binary = BitGrid::from_threshold(&mask_continuous, 0.5);
+    Ok(IltResult {
+        latent,
+        mask_continuous,
+        mask_binary,
+        loss_history: history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfaopc_grid::{fill_rect, Point, Rect};
+    use cfaopc_litho::LithoConfig;
+
+    fn sim() -> LithoSimulator {
+        LithoSimulator::new(LithoConfig {
+            size: 128,
+            kernel_count: 6,
+            ..LithoConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn bar_target(n: usize) -> BitGrid {
+        let mut t = BitGrid::new(n, n);
+        fill_rect(&mut t, Rect::new(61, 40, 67, 88));
+        t
+    }
+
+    #[test]
+    fn signed_distance_signs_and_magnitude() {
+        let mut m = BitGrid::new(32, 32);
+        fill_rect(&mut m, Rect::new(8, 8, 24, 24));
+        let phi = signed_distance(&m);
+        assert!(phi[(16, 16)] < -6.0, "deep inside: {}", phi[(16, 16)]);
+        assert!(phi[(0, 0)] > 6.0, "far outside: {}", phi[(0, 0)]);
+        // Just inside the boundary.
+        assert!((phi[(8, 16)] + 1.0).abs() < 0.5, "{}", phi[(8, 16)]);
+    }
+
+    #[test]
+    fn zero_level_set_recovers_the_mask() {
+        let mut m = BitGrid::new(32, 32);
+        fill_rect(&mut m, Rect::new(5, 9, 20, 27));
+        let phi = signed_distance(&m);
+        let back = BitGrid::from_threshold(&phi.map(|&p| -p), 0.0);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn levelset_descends_the_loss() {
+        let s = sim();
+        let target = bar_target(s.size());
+        let result = run_levelset_ilt(&s, &target, &LevelSetConfig::default()).unwrap();
+        let first = result.loss_history.first().unwrap().total;
+        let last = result.loss_history.last().unwrap().total;
+        assert!(last < first, "level set failed to descend: {first} -> {last}");
+    }
+
+    #[test]
+    fn levelset_masks_have_no_srafs() {
+        let s = sim();
+        let target = bar_target(s.size());
+        let result = run_levelset_ilt(&s, &target, &LevelSetConfig::default()).unwrap();
+        // Every mask pixel stays near the target front (no remote
+        // nucleation).
+        let phi_t = signed_distance(&target);
+        for p in result.mask_binary.ones() {
+            let d = phi_t[(p.x as usize, p.y as usize)];
+            assert!(
+                d < 12.0,
+                "mask pixel {p} nucleated {d:.1} px away from the front"
+            );
+        }
+        assert!(result.mask_binary.count_ones() > 0);
+    }
+
+    #[test]
+    fn reinit_restores_signed_distance() {
+        // After a run with reinit, |φ| near the front stays ~distance-like
+        // (bounded), rather than exploding.
+        let s = sim();
+        let target = bar_target(s.size());
+        let cfg = LevelSetConfig {
+            iterations: 10,
+            reinit_every: 5,
+            ..LevelSetConfig::default()
+        };
+        let result = run_levelset_ilt(&s, &target, &cfg).unwrap();
+        // Latent = -φ; near the mask boundary it must be small.
+        let boundary = cfaopc_grid::boundary_pixels(&result.mask_binary);
+        for p in boundary.ones().into_iter().take(50) {
+            let v = result.latent[(p.x as usize, p.y as usize)].abs();
+            assert!(v < 5.0, "φ at boundary {p} drifted to {v}");
+        }
+        let _ = Point::new(0, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = sim();
+        let target = bar_target(s.size());
+        let a = run_levelset_ilt(&s, &target, &LevelSetConfig::default()).unwrap();
+        let b = run_levelset_ilt(&s, &target, &LevelSetConfig::default()).unwrap();
+        assert_eq!(a.mask_binary, b.mask_binary);
+    }
+
+    #[test]
+    fn rejects_wrong_shape() {
+        let s = sim();
+        let target = BitGrid::new(16, 16);
+        assert!(run_levelset_ilt(&s, &target, &LevelSetConfig::default()).is_err());
+    }
+}

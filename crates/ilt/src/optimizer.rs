@@ -1,0 +1,171 @@
+//! First-order optimizers over flat parameter vectors.
+//!
+//! Both the pixel-level engines (latent mask pixels) and the circle-level
+//! optimizer (the `(xᵢ, yᵢ, rᵢ, qᵢ)` tuples) descend hand-computed
+//! gradients; this module supplies plain SGD and Adam.
+
+/// Optimizer choice and hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// Vanilla gradient descent `p ← p − lr · g`.
+    Sgd {
+        /// Learning rate.
+        lr: f64,
+    },
+    /// Adam (Kingma & Ba) with bias correction.
+    Adam {
+        /// Learning rate.
+        lr: f64,
+        /// First-moment decay (default 0.9).
+        beta1: f64,
+        /// Second-moment decay (default 0.999).
+        beta2: f64,
+        /// Denominator fuzz (default 1e-8).
+        eps: f64,
+    },
+}
+
+impl OptimizerKind {
+    /// Adam with the standard moment decays at learning rate `lr`.
+    pub fn adam(lr: f64) -> Self {
+        OptimizerKind::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Plain SGD at learning rate `lr`.
+    pub fn sgd(lr: f64) -> Self {
+        OptimizerKind::Sgd { lr }
+    }
+}
+
+/// Stateful optimizer over a parameter vector of fixed length.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Optimizer {
+    /// Creates an optimizer for `len` parameters.
+    pub fn new(kind: OptimizerKind, len: usize) -> Self {
+        let state = matches!(kind, OptimizerKind::Adam { .. });
+        Optimizer {
+            kind,
+            m: if state { vec![0.0; len] } else { Vec::new() },
+            v: if state { vec![0.0; len] } else { Vec::new() },
+            t: 0,
+        }
+    }
+
+    /// Number of parameters this optimizer was built for.
+    pub fn len(&self) -> usize {
+        self.m.len()
+    }
+
+    /// `true` when built for zero parameters.
+    pub fn is_empty(&self) -> bool {
+        self.m.is_empty() && matches!(self.kind, OptimizerKind::Adam { .. })
+    }
+
+    /// Applies one descent step in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != grads.len()`, or (for Adam) differs from
+    /// the length given at construction.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), grads.len(), "param/grad length mismatch");
+        match self.kind {
+            OptimizerKind::Sgd { lr } => {
+                for (p, g) in params.iter_mut().zip(grads) {
+                    *p -= lr * g;
+                }
+            }
+            OptimizerKind::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                assert_eq!(params.len(), self.m.len(), "Adam state length mismatch");
+                self.t += 1;
+                let bc1 = 1.0 - beta1.powi(self.t as i32);
+                let bc2 = 1.0 - beta2.powi(self.t as i32);
+                for i in 0..params.len() {
+                    self.m[i] = beta1 * self.m[i] + (1.0 - beta1) * grads[i];
+                    self.v[i] = beta2 * self.v[i] + (1.0 - beta2) * grads[i] * grads[i];
+                    let m_hat = self.m[i] / bc1;
+                    let v_hat = self.v[i] / bc2;
+                    params[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &[f64]) -> Vec<f64> {
+        // f(p) = Σ (p_i - i)², minimum at p_i = i.
+        p.iter().enumerate().map(|(i, &v)| 2.0 * (v - i as f64)).collect()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = vec![10.0; 4];
+        let mut opt = Optimizer::new(OptimizerKind::sgd(0.25), p.len());
+        for _ in 0..100 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        for (i, v) in p.iter().enumerate() {
+            assert!((v - i as f64).abs() < 1e-6, "p[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = vec![-5.0; 4];
+        let mut opt = Optimizer::new(OptimizerKind::adam(0.3), p.len());
+        for _ in 0..400 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        for (i, v) in p.iter().enumerate() {
+            assert!((v - i as f64).abs() < 1e-2, "p[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction, the very first Adam step is ±lr.
+        let mut p = vec![0.0];
+        let mut opt = Optimizer::new(OptimizerKind::adam(0.1), 1);
+        opt.step(&mut p, &[123.0]);
+        assert!((p[0] + 0.1).abs() < 1e-6, "step was {}", p[0]);
+    }
+
+    #[test]
+    fn zero_gradient_is_a_fixed_point() {
+        let mut p = vec![1.0, 2.0];
+        let mut opt = Optimizer::new(OptimizerKind::adam(0.5), 2);
+        opt.step(&mut p, &[0.0, 0.0]);
+        assert_eq!(p, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut p = vec![0.0; 3];
+        let mut opt = Optimizer::new(OptimizerKind::sgd(0.1), 3);
+        opt.step(&mut p, &[1.0]);
+    }
+}

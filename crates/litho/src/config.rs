@@ -1,0 +1,278 @@
+//! Optical and resist model configuration.
+
+use std::fmt;
+
+/// Error raised for invalid lithography configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LithoError {
+    /// The grid edge is not a nonzero power of two.
+    BadGridSize(usize),
+    /// A physical parameter is out of range (message explains which).
+    BadParameter(String),
+    /// A mask buffer does not match the simulator's grid shape.
+    ShapeMismatch {
+        /// Expected edge length in pixels.
+        expected: usize,
+        /// Provided buffer length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for LithoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LithoError::BadGridSize(n) => write!(f, "grid size {n} is not a power of two"),
+            LithoError::BadParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            LithoError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "mask has {actual} pixels but the simulator expects {expected}x{expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LithoError {}
+
+/// Process-window corner of the simulation (paper §2.3: PVB is measured
+/// between the maximum and minimum process corners).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessCorner {
+    /// Nominal dose, best focus.
+    Nominal,
+    /// Over-dose corner (prints fat) — `dose_max`, best focus.
+    Max,
+    /// Under-dose, defocused corner (prints thin) — `dose_min`,
+    /// `defocus_nm` of focus error.
+    Min,
+}
+
+impl ProcessCorner {
+    /// All three corners in `[Nominal, Max, Min]` order.
+    pub const ALL: [ProcessCorner; 3] =
+        [ProcessCorner::Nominal, ProcessCorner::Max, ProcessCorner::Min];
+}
+
+/// Full configuration of the optical projection system, the resist model
+/// and the simulation grid.
+///
+/// Defaults follow the ICCAD-2013 contest conventions used by the paper's
+/// experimental setup (193 nm immersion, NA 1.35, annular illumination,
+/// intensity threshold 0.225, ±2 % dose corners) on a 2048 nm tile. The
+/// grid is `size × size` pixels covering `tile_nm × tile_nm` nanometres,
+/// so the pixel pitch is `tile_nm / size`.
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_litho::LithoConfig;
+///
+/// let cfg = LithoConfig { size: 256, ..LithoConfig::default() };
+/// assert_eq!(cfg.pixel_nm(), 8.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LithoConfig {
+    /// Grid edge in pixels (power of two).
+    pub size: usize,
+    /// Physical tile edge in nanometres (the ICCAD-13 tiles are 2048 nm).
+    pub tile_nm: f64,
+    /// Exposure wavelength in nanometres (193 nm ArF immersion).
+    pub wavelength_nm: f64,
+    /// Numerical aperture of the projection lens.
+    pub na: f64,
+    /// Inner partial-coherence factor of the annular source.
+    pub sigma_inner: f64,
+    /// Outer partial-coherence factor of the annular source.
+    pub sigma_outer: f64,
+    /// Number of source sample points = number of SOCS kernels per corner.
+    pub kernel_count: usize,
+    /// Resist intensity threshold `I_th` (paper Eq. 2).
+    pub threshold: f64,
+    /// Steepness of the relaxed (sigmoid) resist used inside losses.
+    pub resist_steepness: f64,
+    /// Dose of the over-exposure corner (e.g. `1.02`).
+    pub dose_max: f64,
+    /// Dose of the under-exposure corner (e.g. `0.98`).
+    pub dose_min: f64,
+    /// Focus error of the `Min` corner in nanometres.
+    pub defocus_nm: f64,
+}
+
+impl Default for LithoConfig {
+    fn default() -> Self {
+        LithoConfig {
+            size: 512,
+            tile_nm: 2048.0,
+            wavelength_nm: 193.0,
+            na: 1.35,
+            sigma_inner: 0.6,
+            sigma_outer: 0.9,
+            kernel_count: 12,
+            threshold: 0.225,
+            resist_steepness: 50.0,
+            dose_max: 1.02,
+            dose_min: 0.98,
+            defocus_nm: 25.0,
+        }
+    }
+}
+
+impl LithoConfig {
+    /// A small, fast configuration for unit tests (64² grid, 6 kernels).
+    pub fn fast_test() -> Self {
+        LithoConfig {
+            size: 64,
+            kernel_count: 6,
+            ..LithoConfig::default()
+        }
+    }
+
+    /// Pixel pitch in nanometres.
+    #[inline]
+    pub fn pixel_nm(&self) -> f64 {
+        self.tile_nm / self.size as f64
+    }
+
+    /// Converts a length in nanometres to (fractional) pixels.
+    #[inline]
+    pub fn nm_to_px(&self, nm: f64) -> f64 {
+        nm / self.pixel_nm()
+    }
+
+    /// Converts a pixel count to nanometres.
+    #[inline]
+    pub fn px_to_nm(&self, px: f64) -> f64 {
+        px * self.pixel_nm()
+    }
+
+    /// Dose multiplier applied at `corner`.
+    #[inline]
+    pub fn dose(&self, corner: ProcessCorner) -> f64 {
+        match corner {
+            ProcessCorner::Nominal => 1.0,
+            ProcessCorner::Max => self.dose_max,
+            ProcessCorner::Min => self.dose_min,
+        }
+    }
+
+    /// Focus error in nanometres applied at `corner`.
+    #[inline]
+    pub fn defocus(&self, corner: ProcessCorner) -> f64 {
+        match corner {
+            ProcessCorner::Min => self.defocus_nm,
+            _ => 0.0,
+        }
+    }
+
+    /// Validates physical and numerical constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError`] when the grid is not a power of two, the
+    /// source annulus is empty or inverted, doses are non-positive, or the
+    /// pupil would not fit on the frequency grid.
+    pub fn validate(&self) -> Result<(), LithoError> {
+        if self.size == 0 || !self.size.is_power_of_two() {
+            return Err(LithoError::BadGridSize(self.size));
+        }
+        if self.tile_nm <= 0.0 || self.tile_nm.is_nan() {
+            return Err(LithoError::BadParameter("tile_nm must be positive".into()));
+        }
+        if !(self.wavelength_nm > 0.0 && self.na > 0.0) {
+            return Err(LithoError::BadParameter(
+                "wavelength and NA must be positive".into(),
+            ));
+        }
+        if !(0.0 <= self.sigma_inner && self.sigma_inner < self.sigma_outer && self.sigma_outer <= 1.0)
+        {
+            return Err(LithoError::BadParameter(format!(
+                "annular source needs 0 <= sigma_inner < sigma_outer <= 1, got [{}, {}]",
+                self.sigma_inner, self.sigma_outer
+            )));
+        }
+        if self.kernel_count == 0 {
+            return Err(LithoError::BadParameter(
+                "kernel_count must be at least 1".into(),
+            ));
+        }
+        if !(self.dose_min > 0.0 && self.dose_min <= 1.0 && self.dose_max >= 1.0) {
+            return Err(LithoError::BadParameter(format!(
+                "doses must bracket 1.0, got [{}, {}]",
+                self.dose_min, self.dose_max
+            )));
+        }
+        if !(self.threshold > 0.0 && self.threshold < 1.0) {
+            return Err(LithoError::BadParameter(format!(
+                "threshold must lie in (0,1), got {}",
+                self.threshold
+            )));
+        }
+        // The pupil (radius NA/λ in frequency space) must resolve to at
+        // least one frequency bin: NA/λ >= 1/tile.
+        let cutoff = self.na / self.wavelength_nm;
+        if cutoff * self.tile_nm < 1.0 {
+            return Err(LithoError::BadParameter(
+                "pupil smaller than one frequency bin; enlarge tile_nm".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        LithoConfig::default().validate().unwrap();
+        LithoConfig::fast_test().validate().unwrap();
+    }
+
+    #[test]
+    fn pixel_pitch() {
+        let cfg = LithoConfig::default();
+        assert_eq!(cfg.pixel_nm(), 4.0);
+        assert_eq!(cfg.nm_to_px(32.0), 8.0);
+        assert_eq!(cfg.px_to_nm(8.0), 32.0);
+    }
+
+    #[test]
+    fn rejects_bad_grid() {
+        let cfg = LithoConfig { size: 100, ..LithoConfig::default() };
+        assert!(matches!(cfg.validate(), Err(LithoError::BadGridSize(100))));
+    }
+
+    #[test]
+    fn rejects_inverted_annulus() {
+        let cfg = LithoConfig {
+            sigma_inner: 0.9,
+            sigma_outer: 0.6,
+            ..LithoConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_doses() {
+        let cfg = LithoConfig { dose_min: 1.2, ..LithoConfig::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = LithoConfig { dose_max: 0.9, ..LithoConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn corner_dose_and_defocus() {
+        let cfg = LithoConfig::default();
+        assert_eq!(cfg.dose(ProcessCorner::Nominal), 1.0);
+        assert_eq!(cfg.dose(ProcessCorner::Max), 1.02);
+        assert_eq!(cfg.dose(ProcessCorner::Min), 0.98);
+        assert_eq!(cfg.defocus(ProcessCorner::Nominal), 0.0);
+        assert_eq!(cfg.defocus(ProcessCorner::Min), 25.0);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = LithoError::BadGridSize(7);
+        assert!(!e.to_string().is_empty());
+    }
+}

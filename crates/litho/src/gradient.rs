@@ -1,0 +1,352 @@
+//! Manual adjoint of the lithography forward model.
+//!
+//! There is no autodiff here: this module implements, by hand, the exact
+//! gradient of the relaxed ILT loss (paper Eq. 6)
+//!
+//! ```text
+//! L = w_l2 · ‖Z_nom − T‖² + w_pvb · (‖Z_max − T‖² + ‖Z_min − T‖²)
+//! Z_c = σ(θ_z (I_c − I_th)),   I_c = dose_c · Σ_k μ_k |IFFT(H_k ⊙ FFT(M))|²
+//! ```
+//!
+//! with respect to every pixel of the continuous mask `M`. Derivation
+//! (per corner, per kernel, with `A_k = IFFT(H_k ⊙ F)`, `F = FFT(M)`):
+//!
+//! ```text
+//! ∂L/∂I        = 2 w_c (Z − T) · θ_z Z (1 − Z)
+//! ∂I/∂|A_k|²   = dose_c μ_k
+//! ∂L/∂M        = Σ_k 2 dose_c μ_k · Re[ FFT( H_k ⊙ IFFT( G ⊙ conj(A_k) ) ) ]
+//! ```
+//!
+//! where `G = ∂L/∂I` and the outer `FFT` is shared across kernels and
+//! corners (the spectral contributions are accumulated sparsely on the
+//! pupil support first, then transformed once).
+
+use crate::config::{LithoError, ProcessCorner};
+use crate::simulator::{sigmoid, LithoSimulator};
+use cfaopc_fft::parallel::par_map;
+use cfaopc_fft::Complex;
+use cfaopc_grid::Grid2D;
+
+/// Weights of the two loss terms (paper Eq. 6 uses `L = L2 + L_pvb`,
+/// i.e. both 1).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LossWeights {
+    /// Weight of the nominal-corner squared-L2 term.
+    pub l2: f64,
+    /// Weight of the process-variation term (outer + inner corners).
+    pub pvb: f64,
+}
+
+impl Default for LossWeights {
+    fn default() -> Self {
+        LossWeights { l2: 1.0, pvb: 1.0 }
+    }
+}
+
+/// Relaxed loss values from one forward evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct LossValues {
+    /// `‖Z_nom − T‖²` with the sigmoid resist.
+    pub l2: f64,
+    /// `‖Z_max − T‖² + ‖Z_min − T‖²` with the sigmoid resist.
+    pub pvb: f64,
+    /// Weighted total.
+    pub total: f64,
+}
+
+fn corner_plan(weights: LossWeights) -> [(ProcessCorner, f64); 3] {
+    [
+        (ProcessCorner::Nominal, weights.l2),
+        (ProcessCorner::Max, weights.pvb),
+        (ProcessCorner::Min, weights.pvb),
+    ]
+}
+
+/// Evaluates the relaxed loss **and** its exact gradient with respect to
+/// the continuous mask.
+///
+/// The returned gradient has the same shape as `mask`; descending it is
+/// the pixel-level ILT step (paper §4.1), and chaining it through the
+/// circle-to-pixel transformation is the circle-level step (paper §4.2,
+/// Eq. 16).
+///
+/// # Errors
+///
+/// Returns [`LithoError::ShapeMismatch`] when `mask` or `target` do not
+/// match the simulator grid.
+pub fn loss_and_gradient(
+    sim: &LithoSimulator,
+    mask: &Grid2D<f64>,
+    target: &Grid2D<f64>,
+    weights: LossWeights,
+) -> Result<(LossValues, Grid2D<f64>), LithoError> {
+    let n = sim.size();
+    let n2 = n * n;
+    if target.width() != n || target.height() != n {
+        return Err(LithoError::ShapeMismatch {
+            expected: n,
+            actual: target.len(),
+        });
+    }
+    let spectrum = sim.mask_spectrum(mask)?;
+    let cfg = sim.config();
+    let theta = cfg.resist_steepness;
+    let th = cfg.threshold;
+
+    let mut values = LossValues::default();
+    // Spectral gradient accumulator (pupil support only is ever nonzero).
+    let mut acc = vec![Complex::ZERO; n2];
+
+    for (corner, w_c) in corner_plan(weights) {
+        let set = sim.kernel_set(corner);
+        let dose = cfg.dose(corner);
+        let k_count = set.kernels().len();
+
+        // Forward: coherent fields per kernel (kept for the adjoint).
+        let fields: Vec<Vec<Complex>> = par_map(k_count, |k| {
+            let mut field = vec![Complex::ZERO; n2];
+            set.apply(k, &spectrum, &mut field);
+            sim.plan()
+                .inverse(&mut field)
+                .expect("plan matches grid by construction");
+            field
+        });
+
+        let mut intensity = vec![0.0f64; n2];
+        for (k, field) in fields.iter().enumerate() {
+            let w = set.kernels()[k].weight * dose;
+            for (acc_i, z) in intensity.iter_mut().zip(field) {
+                *acc_i += w * z.norm_sqr();
+            }
+        }
+
+        // Relaxed resist, loss value, and dL/dI.
+        let mut corner_loss = 0.0;
+        let mut g_i = vec![0.0f64; n2];
+        for i in 0..n2 {
+            let z = sigmoid(theta * (intensity[i] - th));
+            let diff = z - target.as_slice()[i];
+            corner_loss += diff * diff;
+            g_i[i] = w_c * 2.0 * diff * theta * z * (1.0 - z);
+        }
+        match corner {
+            ProcessCorner::Nominal => values.l2 = corner_loss,
+            _ => values.pvb += corner_loss,
+        }
+        if w_c == 0.0 {
+            continue;
+        }
+
+        // Adjoint: per kernel, B = G ⊙ conj(A); contribute
+        // 2·μ·dose·H ⊙ IFFT(B) on the (sparse) pupil support.
+        let contributions: Vec<Vec<(u32, Complex)>> = par_map(k_count, |k| {
+            let mut b: Vec<Complex> = fields[k]
+                .iter()
+                .zip(&g_i)
+                .map(|(a, &g)| a.conj() * g)
+                .collect();
+            sim.plan()
+                .inverse(&mut b)
+                .expect("plan matches grid by construction");
+            let scale = 2.0 * set.kernels()[k].weight * dose;
+            set.kernels()[k]
+                .spectrum
+                .iter()
+                .map(|&(idx, h)| (idx, h * b[idx as usize] * scale))
+                .collect()
+        });
+        for contribution in contributions {
+            for (idx, v) in contribution {
+                acc[idx as usize] += v;
+            }
+        }
+    }
+
+    values.total = weights.l2 * values.l2 + weights.pvb * values.pvb;
+
+    // One shared forward FFT turns the spectral accumulator into the
+    // pixel-space gradient.
+    sim.plan()
+        .forward(&mut acc)
+        .expect("plan matches grid by construction");
+    let grad = Grid2D::from_vec(n, n, acc.into_iter().map(|z| z.re).collect());
+    Ok((values, grad))
+}
+
+/// Evaluates the relaxed loss only (no gradient) — cheaper when a line
+/// search or a metric snapshot is all that is needed.
+///
+/// # Errors
+///
+/// Returns [`LithoError::ShapeMismatch`] on shape mismatch.
+pub fn loss_only(
+    sim: &LithoSimulator,
+    mask: &Grid2D<f64>,
+    target: &Grid2D<f64>,
+    weights: LossWeights,
+) -> Result<LossValues, LithoError> {
+    let n = sim.size();
+    if target.width() != n || target.height() != n {
+        return Err(LithoError::ShapeMismatch {
+            expected: n,
+            actual: target.len(),
+        });
+    }
+    let images = sim.aerial_corners(mask)?;
+    let theta = sim.config().resist_steepness;
+    let th = sim.config().threshold;
+    let mut values = LossValues::default();
+    for (corner, _) in corner_plan(weights) {
+        let img = images.get(corner);
+        let mut corner_loss = 0.0;
+        for (i, &v) in img.as_slice().iter().enumerate() {
+            let z = sigmoid(theta * (v - th));
+            let diff = z - target.as_slice()[i];
+            corner_loss += diff * diff;
+        }
+        match corner {
+            ProcessCorner::Nominal => values.l2 = corner_loss,
+            _ => values.pvb += corner_loss,
+        }
+    }
+    values.total = weights.l2 * values.l2 + weights.pvb * values.pvb;
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LithoConfig;
+    use cfaopc_grid::{fill_rect, BitGrid, Rect};
+
+    fn small_sim() -> LithoSimulator {
+        LithoSimulator::new(LithoConfig {
+            size: 32,
+            kernel_count: 4,
+            ..LithoConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn smooth_mask(n: usize) -> Grid2D<f64> {
+        let mut g = Grid2D::new(n, n, 0.0);
+        for y in 0..n {
+            for x in 0..n {
+                let fx = x as f64 / n as f64;
+                let fy = y as f64 / n as f64;
+                g[(x, y)] = 0.5
+                    + 0.35 * (2.0 * std::f64::consts::PI * fx).sin()
+                        * (2.0 * std::f64::consts::PI * fy).cos();
+            }
+        }
+        g
+    }
+
+    fn target_square(n: usize) -> Grid2D<f64> {
+        let mut t = BitGrid::new(n, n);
+        let c = n as i32 / 2;
+        fill_rect(&mut t, Rect::new(c - 6, c - 4, c + 6, c + 4));
+        t.to_real()
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let sim = small_sim();
+        let n = sim.size();
+        let mask = smooth_mask(n);
+        let target = target_square(n);
+        let weights = LossWeights::default();
+        let (_, grad) = loss_and_gradient(&sim, &mask, &target, weights).unwrap();
+
+        let eps = 1e-5;
+        for &(x, y) in &[(16usize, 16usize), (10, 20), (3, 3), (25, 12), (16, 10)] {
+            let mut plus = mask.clone();
+            plus[(x, y)] += eps;
+            let mut minus = mask.clone();
+            minus[(x, y)] -= eps;
+            let lp = loss_only(&sim, &plus, &target, weights).unwrap().total;
+            let lm = loss_only(&sim, &minus, &target, weights).unwrap().total;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grad[(x, y)];
+            let denom = fd.abs().max(an.abs()).max(1e-6);
+            assert!(
+                (fd - an).abs() / denom < 1e-3,
+                "gradient mismatch at ({x},{y}): fd={fd}, analytic={an}"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_and_gradient_agree_with_loss_only() {
+        let sim = small_sim();
+        let n = sim.size();
+        let mask = smooth_mask(n);
+        let target = target_square(n);
+        let weights = LossWeights { l2: 1.0, pvb: 0.5 };
+        let (v1, _) = loss_and_gradient(&sim, &mask, &target, weights).unwrap();
+        let v2 = loss_only(&sim, &mask, &target, weights).unwrap();
+        assert!((v1.l2 - v2.l2).abs() < 1e-9);
+        assert!((v1.pvb - v2.pvb).abs() < 1e-9);
+        assert!((v1.total - v2.total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_target_match_has_small_gradient_at_plateau() {
+        // A mask equal to an easily-printable target yields a much smaller
+        // loss than an empty mask.
+        let sim = small_sim();
+        let n = sim.size();
+        let target = target_square(n);
+        let weights = LossWeights::default();
+        let good = loss_only(&sim, &target, &target, weights).unwrap().total;
+        let empty = loss_only(&sim, &Grid2D::new(n, n, 0.0), &target, weights)
+            .unwrap()
+            .total;
+        assert!(good < empty, "printing the target beats printing nothing");
+    }
+
+    #[test]
+    fn descending_the_gradient_reduces_the_loss() {
+        let sim = small_sim();
+        let n = sim.size();
+        let target = target_square(n);
+        let mut mask = target.clone();
+        let weights = LossWeights::default();
+        let (before, grad) = loss_and_gradient(&sim, &mask, &target, weights).unwrap();
+        let norm: f64 = grad.as_slice().iter().map(|g| g * g).sum::<f64>().sqrt();
+        let step = 0.05 / norm.max(1e-12);
+        for (m, g) in mask.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+            *m = (*m - step * g).clamp(0.0, 1.0);
+        }
+        let after = loss_only(&sim, &mask, &target, weights).unwrap();
+        assert!(
+            after.total <= before.total,
+            "descent step increased loss: {} -> {}",
+            before.total,
+            after.total
+        );
+    }
+
+    #[test]
+    fn zero_weights_zero_gradient() {
+        let sim = small_sim();
+        let n = sim.size();
+        let mask = smooth_mask(n);
+        let target = target_square(n);
+        let (v, grad) =
+            loss_and_gradient(&sim, &mask, &target, LossWeights { l2: 0.0, pvb: 0.0 })
+                .unwrap();
+        assert_eq!(v.total, 0.0);
+        assert!(grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn rejects_mismatched_target() {
+        let sim = small_sim();
+        let n = sim.size();
+        let mask = Grid2D::new(n, n, 0.0);
+        let target = Grid2D::new(8, 8, 0.0);
+        assert!(loss_and_gradient(&sim, &mask, &target, LossWeights::default()).is_err());
+        assert!(loss_only(&sim, &mask, &target, LossWeights::default()).is_err());
+    }
+}

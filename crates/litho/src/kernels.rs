@@ -1,0 +1,282 @@
+//! Sum-of-coherent-systems (SOCS) optical kernels.
+//!
+//! The paper's forward model (Eq. 1) is `I = Σ_k μ_k |h_k ⊗ M|²`. We
+//! generate the kernels from first principles with the **Abbe source-point
+//! decomposition**: the annular partially-coherent source is sampled at
+//! `K` points; each point `s` illuminates the mask as a coherent system
+//! whose transfer function is the projection pupil shifted by the source
+//! frequency, `H_s(ν) = P(ν + ν_s)`, optionally carrying a paraxial
+//! defocus phase. This has exactly the SOCS form of Eq. 1 with
+//! `μ_s = 1/K`.
+//!
+//! Kernels are band-limited to the pupil (radius `NA/λ` in frequency
+//! space, ≈14 bins on the default grid) so each spectrum is stored
+//! **sparsely** as `(flat index, value)` pairs; applying a kernel to a
+//! mask spectrum touches only those entries.
+
+use crate::config::{LithoConfig, LithoError, ProcessCorner};
+use cfaopc_fft::{signed_freq, Complex};
+
+/// One coherent kernel: a weight and a sparse frequency-domain transfer
+/// function over an `n × n` grid.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// SOCS weight `μ_k`.
+    pub weight: f64,
+    /// Sparse spectrum: `(row-major frequency index, H(ν))`.
+    pub spectrum: Vec<(u32, Complex)>,
+}
+
+/// The kernel stack for one process corner.
+#[derive(Debug, Clone)]
+pub struct KernelSet {
+    size: usize,
+    corner: ProcessCorner,
+    kernels: Vec<Kernel>,
+}
+
+impl KernelSet {
+    /// Generates the Abbe/SOCS kernel stack for `corner`.
+    ///
+    /// Source points are laid out on an area-uniform golden-angle spiral
+    /// across the annulus `[sigma_inner, sigma_outer]·NA/λ`, giving an
+    /// even, unclustered sampling for any `kernel_count`. Weights are
+    /// uniform and normalized so an open-frame mask images at intensity
+    /// `dose(corner)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError`] when `config` fails validation.
+    pub fn generate(config: &LithoConfig, corner: ProcessCorner) -> Result<Self, LithoError> {
+        Self::generate_inner(config, corner, config.defocus(corner))
+    }
+
+    /// Generates a kernel stack at an arbitrary focus error (used by the
+    /// process-window sweeps); the result is tagged with the corner whose
+    /// geometry it matches least ambiguously (`Nominal`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError`] when `config` fails validation.
+    pub fn generate_with_defocus(
+        config: &LithoConfig,
+        defocus_nm: f64,
+    ) -> Result<Self, LithoError> {
+        Self::generate_inner(config, ProcessCorner::Nominal, defocus_nm)
+    }
+
+    fn generate_inner(
+        config: &LithoConfig,
+        corner: ProcessCorner,
+        defocus: f64,
+    ) -> Result<Self, LithoError> {
+        config.validate()?;
+        let n = config.size;
+        let cutoff = config.na / config.wavelength_nm; // cycles per nm
+        let freq_step = 1.0 / config.tile_nm; // frequency-bin pitch
+        let k_count = config.kernel_count;
+        let golden = std::f64::consts::PI * (3.0 - 5f64.sqrt());
+
+        let mut kernels = Vec::with_capacity(k_count);
+        for k in 0..k_count {
+            // Area-uniform radial position inside the annulus.
+            let t = (k as f64 + 0.5) / k_count as f64;
+            let s2 = config.sigma_inner * config.sigma_inner;
+            let o2 = config.sigma_outer * config.sigma_outer;
+            let sigma = (s2 + t * (o2 - s2)).sqrt();
+            let theta = k as f64 * golden;
+            let src = (
+                sigma * cutoff * theta.cos(),
+                sigma * cutoff * theta.sin(),
+            );
+
+            // Enumerate frequency bins inside the shifted pupil. The pupil
+            // spans at most (1+sigma_outer)*cutoff from DC.
+            let max_bin = (((1.0 + config.sigma_outer) * cutoff / freq_step).ceil() as i64) + 1;
+            let mut spectrum = Vec::new();
+            for ky in 0..n {
+                let fy = signed_freq(ky, n);
+                if fy.abs() > max_bin {
+                    continue;
+                }
+                for kx in 0..n {
+                    let fx = signed_freq(kx, n);
+                    if fx.abs() > max_bin {
+                        continue;
+                    }
+                    let nu_x = fx as f64 * freq_step + src.0;
+                    let nu_y = fy as f64 * freq_step + src.1;
+                    let nu2 = nu_x * nu_x + nu_y * nu_y;
+                    if nu2.sqrt() <= cutoff {
+                        // Paraxial defocus phase: exp(-iπλδ|ν|²).
+                        let phase = -std::f64::consts::PI
+                            * config.wavelength_nm
+                            * defocus
+                            * nu2;
+                        spectrum.push(((ky * n + kx) as u32, Complex::cis(phase)));
+                    }
+                }
+            }
+            kernels.push(Kernel {
+                weight: 1.0 / k_count as f64,
+                spectrum,
+            });
+        }
+        Ok(KernelSet {
+            size: n,
+            corner,
+            kernels,
+        })
+    }
+
+    /// Grid edge the kernels are defined on.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The corner these kernels model.
+    #[inline]
+    pub fn corner(&self) -> ProcessCorner {
+        self.corner
+    }
+
+    /// The kernels.
+    #[inline]
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// Applies kernel `k` to a full mask spectrum: writes
+    /// `H_k ⊙ spectrum` into `out` (zeroing everything else).
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths differ from `size²` or `k` is out of range.
+    pub fn apply(&self, k: usize, spectrum: &[Complex], out: &mut [Complex]) {
+        let n2 = self.size * self.size;
+        assert_eq!(spectrum.len(), n2, "spectrum length");
+        assert_eq!(out.len(), n2, "output length");
+        out.fill(Complex::ZERO);
+        for &(idx, h) in &self.kernels[k].spectrum {
+            out[idx as usize] = h * spectrum[idx as usize];
+        }
+    }
+
+    /// Accumulates `scale · H_k ⊙ field_spectrum` into `acc` (sparse —
+    /// only pupil bins are touched). Used by the adjoint pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer lengths differ from `size²` or `k` is out of range.
+    pub fn accumulate(
+        &self,
+        k: usize,
+        field_spectrum: &[Complex],
+        scale: f64,
+        acc: &mut [Complex],
+    ) {
+        let n2 = self.size * self.size;
+        assert_eq!(field_spectrum.len(), n2, "spectrum length");
+        assert_eq!(acc.len(), n2, "accumulator length");
+        for &(idx, h) in &self.kernels[k].spectrum {
+            acc[idx as usize] += h * field_spectrum[idx as usize] * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_count_and_weights() {
+        let cfg = LithoConfig::fast_test();
+        let set = KernelSet::generate(&cfg, ProcessCorner::Nominal).unwrap();
+        assert_eq!(set.kernels().len(), cfg.kernel_count);
+        let total: f64 = set.kernels().iter().map(|k| k.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectra_are_nonempty_and_band_limited() {
+        let cfg = LithoConfig::fast_test();
+        let set = KernelSet::generate(&cfg, ProcessCorner::Nominal).unwrap();
+        let n = cfg.size;
+        let cutoff = cfg.na / cfg.wavelength_nm;
+        let freq_step = 1.0 / cfg.tile_nm;
+        let max_norm = (1.0 + cfg.sigma_outer) * cutoff;
+        for kernel in set.kernels() {
+            assert!(!kernel.spectrum.is_empty());
+            for &(idx, h) in &kernel.spectrum {
+                // Unit-modulus transfer inside the pupil.
+                assert!((h.abs() - 1.0).abs() < 1e-12);
+                let ky = idx as usize / n;
+                let kx = idx as usize % n;
+                let fy = signed_freq(ky, n) as f64 * freq_step;
+                let fx = signed_freq(kx, n) as f64 * freq_step;
+                assert!((fx * fx + fy * fy).sqrt() <= max_norm + freq_step);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_bin_is_inside_every_kernel() {
+        // Every source point lies inside the pupil (σ ≤ 1), so DC passes;
+        // this is what normalizes the open-frame intensity to 1.
+        let cfg = LithoConfig::fast_test();
+        let set = KernelSet::generate(&cfg, ProcessCorner::Nominal).unwrap();
+        for kernel in set.kernels() {
+            assert!(kernel.spectrum.iter().any(|&(idx, _)| idx == 0));
+        }
+    }
+
+    #[test]
+    fn nominal_kernels_are_real() {
+        let cfg = LithoConfig::fast_test();
+        let set = KernelSet::generate(&cfg, ProcessCorner::Nominal).unwrap();
+        for kernel in set.kernels() {
+            for &(_, h) in &kernel.spectrum {
+                assert!(h.im.abs() < 1e-12, "no defocus phase at nominal");
+            }
+        }
+    }
+
+    #[test]
+    fn defocused_kernels_carry_phase() {
+        let cfg = LithoConfig::fast_test();
+        let set = KernelSet::generate(&cfg, ProcessCorner::Min).unwrap();
+        let has_phase = set
+            .kernels()
+            .iter()
+            .flat_map(|k| k.spectrum.iter())
+            .any(|&(_, h)| h.im.abs() > 1e-6);
+        assert!(has_phase);
+    }
+
+    #[test]
+    fn apply_zeroes_outside_pupil() {
+        let cfg = LithoConfig::fast_test();
+        let set = KernelSet::generate(&cfg, ProcessCorner::Nominal).unwrap();
+        let n2 = cfg.size * cfg.size;
+        let spectrum = vec![Complex::ONE; n2];
+        let mut out = vec![Complex::new(9.0, 9.0); n2];
+        set.apply(0, &spectrum, &mut out);
+        let nonzero = out.iter().filter(|z| z.abs() > 0.0).count();
+        assert_eq!(nonzero, set.kernels()[0].spectrum.len());
+    }
+
+    #[test]
+    fn source_points_spread_across_annulus() {
+        // Kernel supports must not all coincide: distinct source points
+        // shift the pupil to distinct positions.
+        let cfg = LithoConfig::fast_test();
+        let set = KernelSet::generate(&cfg, ProcessCorner::Nominal).unwrap();
+        let supports: std::collections::HashSet<Vec<u32>> = set
+            .kernels()
+            .iter()
+            .map(|k| k.spectrum.iter().map(|&(idx, _)| idx).collect())
+            .collect();
+        assert!(supports.len() > 1, "kernels degenerate to one source point");
+    }
+}

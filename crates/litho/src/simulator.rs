@@ -1,0 +1,400 @@
+//! The forward lithography model: Hopkins aerial image (Eq. 1) and the
+//! threshold / sigmoid resist (Eq. 2).
+
+use crate::config::{LithoConfig, LithoError, ProcessCorner};
+use crate::kernels::KernelSet;
+use cfaopc_fft::parallel::par_map;
+use cfaopc_fft::{Complex, Fft2d};
+use cfaopc_grid::{BitGrid, Grid2D};
+
+/// Aerial images at the three process corners.
+#[derive(Debug, Clone)]
+pub struct CornerImages {
+    /// Nominal dose / best focus.
+    pub nominal: Grid2D<f64>,
+    /// Over-dose corner (prints fat).
+    pub max: Grid2D<f64>,
+    /// Under-dose, defocused corner (prints thin).
+    pub min: Grid2D<f64>,
+}
+
+impl CornerImages {
+    /// Borrow the image for `corner`.
+    pub fn get(&self, corner: ProcessCorner) -> &Grid2D<f64> {
+        match corner {
+            ProcessCorner::Nominal => &self.nominal,
+            ProcessCorner::Max => &self.max,
+            ProcessCorner::Min => &self.min,
+        }
+    }
+}
+
+/// A reusable lithography simulator: FFT plan plus per-corner SOCS
+/// kernel stacks for a fixed grid size.
+///
+/// # Examples
+///
+/// Printing an open frame gives unit intensity:
+///
+/// ```
+/// use cfaopc_litho::{LithoConfig, LithoSimulator};
+/// use cfaopc_grid::Grid2D;
+///
+/// # fn main() -> Result<(), cfaopc_litho::LithoError> {
+/// let cfg = LithoConfig::fast_test();
+/// let sim = LithoSimulator::new(cfg.clone())?;
+/// let open = Grid2D::new(cfg.size, cfg.size, 1.0);
+/// let aerial = sim.aerial_image(&open, cfaopc_litho::ProcessCorner::Nominal)?;
+/// let center = aerial[(cfg.size / 2, cfg.size / 2)];
+/// assert!((center - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LithoSimulator {
+    config: LithoConfig,
+    plan: Fft2d,
+    nominal: KernelSet,
+    max: KernelSet,
+    min: KernelSet,
+}
+
+impl LithoSimulator {
+    /// Builds the simulator (validates the configuration and generates all
+    /// three kernel stacks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError`] for invalid configurations.
+    pub fn new(config: LithoConfig) -> Result<Self, LithoError> {
+        config.validate()?;
+        let plan = Fft2d::square(config.size)
+            .map_err(|_| LithoError::BadGridSize(config.size))?;
+        Ok(LithoSimulator {
+            nominal: KernelSet::generate(&config, ProcessCorner::Nominal)?,
+            max: KernelSet::generate(&config, ProcessCorner::Max)?,
+            min: KernelSet::generate(&config, ProcessCorner::Min)?,
+            plan,
+            config,
+        })
+    }
+
+    /// The configuration this simulator was built from.
+    #[inline]
+    pub fn config(&self) -> &LithoConfig {
+        &self.config
+    }
+
+    /// Grid edge in pixels.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.config.size
+    }
+
+    /// The kernel stack for `corner`.
+    pub fn kernel_set(&self, corner: ProcessCorner) -> &KernelSet {
+        match corner {
+            ProcessCorner::Nominal => &self.nominal,
+            ProcessCorner::Max => &self.max,
+            ProcessCorner::Min => &self.min,
+        }
+    }
+
+    /// The FFT plan (shared with the adjoint pass).
+    #[inline]
+    pub fn plan(&self) -> &Fft2d {
+        &self.plan
+    }
+
+    fn check_mask(&self, mask: &Grid2D<f64>) -> Result<(), LithoError> {
+        if mask.width() != self.config.size || mask.height() != self.config.size {
+            return Err(LithoError::ShapeMismatch {
+                expected: self.config.size,
+                actual: mask.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Forward FFT of a real-valued mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::ShapeMismatch`] when the mask shape differs
+    /// from the simulator grid.
+    pub fn mask_spectrum(&self, mask: &Grid2D<f64>) -> Result<Vec<Complex>, LithoError> {
+        self.check_mask(mask)?;
+        let mut spectrum: Vec<Complex> =
+            mask.as_slice().iter().map(|&v| Complex::from_re(v)).collect();
+        self.plan
+            .forward(&mut spectrum)
+            .expect("plan matches grid by construction");
+        Ok(spectrum)
+    }
+
+    /// Aerial image from a precomputed mask spectrum.
+    ///
+    /// `I(x) = dose(corner) · Σ_k μ_k |IFFT(H_k ⊙ F)(x)|²` — paper Eq. 1
+    /// with the corner's dose folded in. Kernels are evaluated in parallel.
+    pub fn aerial_from_spectrum(
+        &self,
+        spectrum: &[Complex],
+        corner: ProcessCorner,
+    ) -> Grid2D<f64> {
+        let n = self.config.size;
+        let n2 = n * n;
+        assert_eq!(spectrum.len(), n2, "spectrum length");
+        let set = self.kernel_set(corner);
+        let dose = self.config.dose(corner);
+        let k_count = set.kernels().len();
+        let partials: Vec<Vec<f64>> = par_map(k_count, |k| {
+            let mut field = vec![Complex::ZERO; n2];
+            set.apply(k, spectrum, &mut field);
+            self.plan
+                .inverse(&mut field)
+                .expect("plan matches grid by construction");
+            let w = set.kernels()[k].weight * dose;
+            field.iter().map(|z| w * z.norm_sqr()).collect()
+        });
+        let mut intensity = vec![0.0f64; n2];
+        for partial in partials {
+            for (acc, v) in intensity.iter_mut().zip(partial) {
+                *acc += v;
+            }
+        }
+        Grid2D::from_vec(n, n, intensity)
+    }
+
+    /// Aerial image of a continuous mask at one corner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::ShapeMismatch`] on shape mismatch.
+    pub fn aerial_image(
+        &self,
+        mask: &Grid2D<f64>,
+        corner: ProcessCorner,
+    ) -> Result<Grid2D<f64>, LithoError> {
+        let spectrum = self.mask_spectrum(mask)?;
+        Ok(self.aerial_from_spectrum(&spectrum, corner))
+    }
+
+    /// Aerial images at all three corners, sharing one mask FFT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::ShapeMismatch`] on shape mismatch.
+    pub fn aerial_corners(&self, mask: &Grid2D<f64>) -> Result<CornerImages, LithoError> {
+        let spectrum = self.mask_spectrum(mask)?;
+        Ok(CornerImages {
+            nominal: self.aerial_from_spectrum(&spectrum, ProcessCorner::Nominal),
+            max: self.aerial_from_spectrum(&spectrum, ProcessCorner::Max),
+            min: self.aerial_from_spectrum(&spectrum, ProcessCorner::Min),
+        })
+    }
+
+    /// Hard-threshold resist (paper Eq. 2): `Z = 1` where `I > I_th`.
+    pub fn resist_binary(&self, aerial: &Grid2D<f64>) -> BitGrid {
+        BitGrid::from_threshold(aerial, self.config.threshold)
+    }
+
+    /// Relaxed sigmoid resist used inside losses:
+    /// `Z = 1 / (1 + e^{-θ_z (I - I_th)})`.
+    pub fn resist_sigmoid(&self, aerial: &Grid2D<f64>) -> Grid2D<f64> {
+        let th = self.config.threshold;
+        let steep = self.config.resist_steepness;
+        aerial.map(|&i| sigmoid(steep * (i - th)))
+    }
+
+    /// Prints a binary mask at one corner: aerial image + hard resist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::ShapeMismatch`] on shape mismatch.
+    pub fn print(&self, mask: &BitGrid, corner: ProcessCorner) -> Result<BitGrid, LithoError> {
+        let aerial = self.aerial_image(&mask.to_real(), corner)?;
+        Ok(self.resist_binary(&aerial))
+    }
+
+    /// Prints a binary mask at all corners (one FFT of the mask).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::ShapeMismatch`] on shape mismatch.
+    pub fn print_corners(&self, mask: &BitGrid) -> Result<[BitGrid; 3], LithoError> {
+        let images = self.aerial_corners(&mask.to_real())?;
+        Ok([
+            self.resist_binary(&images.nominal),
+            self.resist_binary(&images.max),
+            self.resist_binary(&images.min),
+        ])
+    }
+}
+
+/// Numerically stable logistic function.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfaopc_grid::{fill_rect, Rect};
+
+    fn sim() -> LithoSimulator {
+        LithoSimulator::new(LithoConfig::fast_test()).unwrap()
+    }
+
+    fn square_mask(n: usize, half: i32) -> BitGrid {
+        let c = n as i32 / 2;
+        let mut m = BitGrid::new(n, n);
+        fill_rect(&mut m, Rect::new(c - half, c - half, c + half, c + half));
+        m
+    }
+
+    #[test]
+    fn empty_mask_prints_nothing() {
+        let s = sim();
+        let n = s.size();
+        let printed = s.print(&BitGrid::new(n, n), ProcessCorner::Nominal).unwrap();
+        assert!(printed.is_clear());
+    }
+
+    #[test]
+    fn open_frame_prints_everywhere() {
+        let s = sim();
+        let n = s.size();
+        let mut open = BitGrid::new(n, n);
+        fill_rect(&mut open, Rect::new(0, 0, n as i32, n as i32));
+        let aerial = s.aerial_image(&open.to_real(), ProcessCorner::Nominal).unwrap();
+        for &v in aerial.as_slice() {
+            assert!((v - 1.0).abs() < 1e-9, "open frame intensity {v}");
+        }
+        assert_eq!(s.resist_binary(&aerial).count_ones(), n * n);
+    }
+
+    #[test]
+    fn large_square_prints_smaller_blurred() {
+        let s = sim();
+        let n = s.size();
+        // 64px grid @32nm/px (fast_test tile 2048): 24px square = 768nm.
+        let mask = square_mask(n, 12);
+        let printed = s.print(&mask, ProcessCorner::Nominal).unwrap();
+        assert!(printed.count_ones() > 0, "large feature must print");
+        // The aerial image is band-limited: intensity at center is high,
+        // far corner is dark.
+        let aerial = s.aerial_image(&mask.to_real(), ProcessCorner::Nominal).unwrap();
+        assert!(aerial[(n / 2, n / 2)] > 0.5);
+        assert!(aerial[(2, 2)] < 0.1);
+    }
+
+    #[test]
+    fn dose_corners_are_monotonic() {
+        let s = sim();
+        let mask = square_mask(s.size(), 12);
+        let [nom, max, min] = s.print_corners(&mask).unwrap();
+        // Same focus for Max; higher dose ⇒ superset of nominal print.
+        for p in nom.ones() {
+            assert!(max.at(p), "max-dose print must cover nominal at {p}");
+        }
+        assert!(max.count_ones() >= nom.count_ones());
+        assert!(min.count_ones() <= nom.count_ones());
+    }
+
+    #[test]
+    fn defocus_softens_the_image() {
+        // Isolate defocus: set both doses to 1.0 and compare corner images.
+        let cfg = LithoConfig {
+            dose_max: 1.0,
+            dose_min: 1.0,
+            defocus_nm: 80.0,
+            ..LithoConfig::fast_test()
+        };
+        let s = LithoSimulator::new(cfg).unwrap();
+        let n = s.size();
+        let mask = square_mask(n, 4);
+        let images = s.aerial_corners(&mask.to_real()).unwrap();
+        let peak_nom = images
+            .nominal
+            .as_slice()
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        let peak_min = images.min.as_slice().iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            peak_min < peak_nom,
+            "defocus must lower the peak: {peak_min} vs {peak_nom}"
+        );
+    }
+
+    #[test]
+    fn aerial_is_nonnegative_and_finite() {
+        let s = sim();
+        let mask = square_mask(s.size(), 6);
+        let aerial = s.aerial_image(&mask.to_real(), ProcessCorner::Min).unwrap();
+        for &v in aerial.as_slice() {
+            assert!(v >= 0.0 && v.is_finite());
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let s = sim();
+        let wrong = Grid2D::new(16, 16, 0.0);
+        assert!(matches!(
+            s.aerial_image(&wrong, ProcessCorner::Nominal),
+            Err(LithoError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sigmoid_resist_brackets_binary() {
+        let s = sim();
+        let mask = square_mask(s.size(), 10);
+        let aerial = s.aerial_image(&mask.to_real(), ProcessCorner::Nominal).unwrap();
+        let soft = s.resist_sigmoid(&aerial);
+        let hard = s.resist_binary(&aerial);
+        for (p, &z) in soft.iter() {
+            assert!((0.0..=1.0).contains(&z));
+            if hard.at(p) {
+                assert!(z > 0.5);
+            } else {
+                assert!(z <= 0.5 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_function_properties() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!(sigmoid(30.0) > 0.999);
+        assert!(sigmoid(-30.0) < 0.001);
+        assert!((sigmoid(-700.0)).is_finite());
+        assert!((sigmoid(700.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_equivariance() {
+        // Shifting the mask shifts the print (cyclically) — a property of
+        // the FFT-based convolution model.
+        let s = sim();
+        let n = s.size();
+        let mask = square_mask(n, 6);
+        let printed = s.print(&mask, ProcessCorner::Nominal).unwrap();
+        let mut shifted = BitGrid::new(n, n);
+        for p in mask.ones() {
+            shifted.set(((p.x as usize) + 8) % n, p.y as usize, true);
+        }
+        let printed_shifted = s.print(&shifted, ProcessCorner::Nominal).unwrap();
+        assert_eq!(printed.count_ones(), printed_shifted.count_ones());
+        for p in printed.ones() {
+            assert!(printed_shifted.get(((p.x as usize) + 8) % n, p.y as usize));
+        }
+    }
+}

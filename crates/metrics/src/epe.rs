@@ -1,0 +1,397 @@
+//! Edge placement error (paper §2.3).
+//!
+//! Sample points are placed along every horizontal and vertical edge of
+//! the target shapes; a point violates when the printed contour deviates
+//! from the target edge by more than the EPE constraint. Following common
+//! ILT evaluation practice (and the ICCAD-13 convention the paper uses),
+//! the check probes the printed image at `constraint` nanometres inside
+//! and outside the target edge along its normal: the inner probe must
+//! print, the outer probe must not.
+
+use cfaopc_grid::{BitGrid, Point};
+use serde::{Deserialize, Serialize};
+
+/// EPE measurement parameters, in nanometres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpeConfig {
+    /// Maximum tolerated edge displacement (ICCAD-13 uses 15 nm).
+    pub constraint_nm: f64,
+    /// Spacing between consecutive sample points along an edge
+    /// (ICCAD-13 measures roughly every 40 nm).
+    pub spacing_nm: f64,
+    /// Minimum edge length to receive a sample point at all.
+    pub min_edge_nm: f64,
+    /// Samples keep this distance from edge endpoints (corners); EPE at
+    /// corners is ill-defined along a single normal, so checkers inset
+    /// their sample points.
+    pub corner_inset_nm: f64,
+}
+
+impl Default for EpeConfig {
+    fn default() -> Self {
+        EpeConfig {
+            constraint_nm: 15.0,
+            spacing_nm: 40.0,
+            min_edge_nm: 20.0,
+            corner_inset_nm: 20.0,
+        }
+    }
+}
+
+/// One EPE sample site: a point on a target edge and its outward normal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpeSample {
+    /// The edge pixel (just inside the target).
+    pub site: Point,
+    /// Unit outward normal (one of the four axis directions).
+    pub normal: (i32, i32),
+}
+
+/// Extracts EPE sample sites from a binary target.
+///
+/// Edges are maximal runs of boundary pixels facing the same axis
+/// direction; each run longer than `min_edge_nm` gets its midpoint plus
+/// points every `spacing_nm`.
+pub fn sample_sites(target: &BitGrid, config: &EpeConfig, pixel_nm: f64) -> Vec<EpeSample> {
+    let sampling = RunSampling {
+        spacing_px: (config.spacing_nm / pixel_nm).round().max(1.0) as usize,
+        min_len_px: (config.min_edge_nm / pixel_nm).round().max(1.0) as usize,
+        inset_px: (config.corner_inset_nm / pixel_nm).round().max(0.0) as i32,
+    };
+    let (w, h) = (target.width(), target.height());
+    let mut samples = Vec::new();
+
+    // Vertical edges (left/right faces): scan columns for runs.
+    for x in 0..w as i32 {
+        for (dx, normal) in [(-1, (-1, 0)), (1, (1, 0))] {
+            let mut run_start: Option<i32> = None;
+            for y in 0..=h as i32 {
+                let on_edge = y < h as i32
+                    && target.at(Point::new(x, y))
+                    && !target.at(Point::new(x + dx, y));
+                match (on_edge, run_start) {
+                    (true, None) => run_start = Some(y),
+                    (false, Some(start)) => {
+                        emit_run(
+                            &mut samples,
+                            |t| Point::new(x, t),
+                            start,
+                            y,
+                            sampling,
+                            normal,
+                        );
+                        run_start = None;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    // Horizontal edges (top/bottom faces): scan rows for runs.
+    for y in 0..h as i32 {
+        for (dy, normal) in [(-1, (0, -1)), (1, (0, 1))] {
+            let mut run_start: Option<i32> = None;
+            for x in 0..=w as i32 {
+                let on_edge = x < w as i32
+                    && target.at(Point::new(x, y))
+                    && !target.at(Point::new(x, y + dy));
+                match (on_edge, run_start) {
+                    (true, None) => run_start = Some(x),
+                    (false, Some(start)) => {
+                        emit_run(
+                            &mut samples,
+                            |t| Point::new(t, y),
+                            start,
+                            x,
+                            sampling,
+                            normal,
+                        );
+                        run_start = None;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    samples
+}
+
+#[derive(Clone, Copy)]
+struct RunSampling {
+    spacing_px: usize,
+    min_len_px: usize,
+    inset_px: i32,
+}
+
+fn emit_run(
+    samples: &mut Vec<EpeSample>,
+    make: impl Fn(i32) -> Point,
+    start: i32,
+    end: i32,
+    sampling: RunSampling,
+    normal: (i32, i32),
+) {
+    let RunSampling { spacing_px, min_len_px, inset_px } = sampling;
+    let len = (end - start) as usize;
+    if len < min_len_px {
+        return;
+    }
+    // Midpoint plus symmetric points every `spacing_px`, kept `inset_px`
+    // away from the run's endpoints (the midpoint is always emitted).
+    let mid = start + (end - start) / 2;
+    let mut offsets = vec![0i32];
+    let mut k = 1i32;
+    while (k as usize) * spacing_px <= len / 2 {
+        offsets.push(k * spacing_px as i32);
+        offsets.push(-k * spacing_px as i32);
+        k += 1;
+    }
+    for off in offsets {
+        let t = mid + off;
+        let in_run = t >= start && t < end;
+        let clear_of_corners = off == 0 || (t >= start + inset_px && t < end - inset_px);
+        if in_run && clear_of_corners {
+            samples.push(EpeSample {
+                site: make(t),
+                normal,
+            });
+        }
+    }
+}
+
+/// Counts EPE violations of `printed` against `target`.
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_grid::{fill_rect, BitGrid, Rect};
+/// use cfaopc_metrics::{epe_violations, EpeConfig};
+///
+/// let mut target = BitGrid::new(128, 128);
+/// fill_rect(&mut target, Rect::new(32, 32, 96, 96));
+/// // A perfect print has zero EPE violations.
+/// assert_eq!(epe_violations(&target, &target, &EpeConfig::default(), 4.0), 0);
+/// ```
+pub fn epe_violations(
+    printed: &BitGrid,
+    target: &BitGrid,
+    config: &EpeConfig,
+    pixel_nm: f64,
+) -> usize {
+    let sites = sample_sites(target, config, pixel_nm);
+    let c = (config.constraint_nm / pixel_nm).round().max(1.0) as i32;
+    sites
+        .iter()
+        .filter(|s| edge_displacement(printed, s, c).is_none())
+        .count()
+}
+
+/// Per-site edge-displacement statistics — everything
+/// [`epe_violations`] condenses into one count.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EpeReport {
+    /// Number of sample sites measured.
+    pub sites: usize,
+    /// Sites whose printed edge deviates beyond the constraint (or has
+    /// no printed edge within twice the constraint).
+    pub violations: usize,
+    /// Signed displacements in nm (positive = printed edge outside the
+    /// target), for every site where an edge was found within twice the
+    /// constraint.
+    pub displacements_nm: Vec<f64>,
+}
+
+impl EpeReport {
+    /// Largest absolute measured displacement in nm.
+    pub fn max_abs_nm(&self) -> f64 {
+        self.displacements_nm
+            .iter()
+            .map(|d| d.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean absolute measured displacement in nm (0 when no edges found).
+    pub fn mean_abs_nm(&self) -> f64 {
+        if self.displacements_nm.is_empty() {
+            return 0.0;
+        }
+        self.displacements_nm.iter().map(|d| d.abs()).sum::<f64>()
+            / self.displacements_nm.len() as f64
+    }
+}
+
+/// Full edge-displacement report: like [`epe_violations`] but keeping
+/// every site's signed displacement (searched out to twice the
+/// constraint) for distribution analysis.
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_grid::{dilate, fill_rect, BitGrid, Rect, Structuring};
+/// use cfaopc_metrics::{epe_report, EpeConfig};
+///
+/// let mut target = BitGrid::new(128, 128);
+/// fill_rect(&mut target, Rect::new(32, 32, 96, 96));
+/// let fat = dilate(&target, Structuring::Square(2)); // 8 nm bloat
+/// let report = epe_report(&fat, &target, &EpeConfig::default(), 4.0);
+/// assert_eq!(report.violations, 0);
+/// assert!(report.max_abs_nm() <= 15.0);
+/// assert!(report.displacements_nm.iter().all(|&d| d > 0.0)); // outward
+/// ```
+pub fn epe_report(
+    printed: &BitGrid,
+    target: &BitGrid,
+    config: &EpeConfig,
+    pixel_nm: f64,
+) -> EpeReport {
+    let sites = sample_sites(target, config, pixel_nm);
+    let c = (config.constraint_nm / pixel_nm).round().max(1.0) as i32;
+    let mut report = EpeReport {
+        sites: sites.len(),
+        ..EpeReport::default()
+    };
+    for s in &sites {
+        match edge_displacement(printed, s, 2 * c) {
+            Some(t) => {
+                report.displacements_nm.push(t as f64 * pixel_nm);
+                if t.abs() > c {
+                    report.violations += 1;
+                }
+            }
+            None => report.violations += 1,
+        }
+    }
+    report
+}
+
+/// Finds the printed edge along the sample's outward normal: the signed
+/// offset `t` (in pixels, relative to the target edge pixel at `t = 0`)
+/// of the closest printed→unprinted transition within `±constraint`.
+/// Returns `None` when no edge lies within the constraint — an EPE
+/// violation. This measures *edge displacement* directly, so features
+/// narrower than twice the constraint are handled correctly (a perfect
+/// print of a thin wire has its edge exactly at `t = 0`).
+fn edge_displacement(printed: &BitGrid, sample: &EpeSample, constraint_px: i32) -> Option<i32> {
+    let at = |t: i32| {
+        printed.at(Point::new(
+            sample.site.x + sample.normal.0 * t,
+            sample.site.y + sample.normal.1 * t,
+        ))
+    };
+    let mut best: Option<i32> = None;
+    for t in -constraint_px..=constraint_px {
+        if at(t) && !at(t + 1) && best.is_none_or(|b: i32| t.abs() < b.abs()) {
+            best = Some(t);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfaopc_grid::{dilate, erode, fill_rect, Rect, Structuring};
+
+    fn target_rect(n: usize, r: Rect) -> BitGrid {
+        let mut t = BitGrid::new(n, n);
+        fill_rect(&mut t, r);
+        t
+    }
+
+    #[test]
+    fn perfect_print_has_zero_epe() {
+        let t = target_rect(128, Rect::new(20, 30, 100, 90));
+        assert_eq!(epe_violations(&t, &t, &EpeConfig::default(), 4.0), 0);
+    }
+
+    #[test]
+    fn empty_print_violates_everywhere() {
+        let t = target_rect(128, Rect::new(20, 30, 100, 90));
+        let empty = BitGrid::new(128, 128);
+        let sites = sample_sites(&t, &EpeConfig::default(), 4.0);
+        assert!(!sites.is_empty());
+        assert_eq!(
+            epe_violations(&empty, &t, &EpeConfig::default(), 4.0),
+            sites.len()
+        );
+    }
+
+    #[test]
+    fn small_shift_within_constraint_is_tolerated() {
+        // Constraint 15nm at 4nm/px = ~4px; shift by 2px.
+        let t = target_rect(128, Rect::new(20, 30, 100, 90));
+        let shifted = target_rect(128, Rect::new(22, 30, 102, 90));
+        assert_eq!(epe_violations(&shifted, &t, &EpeConfig::default(), 4.0), 0);
+    }
+
+    #[test]
+    fn large_shrink_violates() {
+        let t = target_rect(128, Rect::new(20, 30, 100, 90));
+        let shrunk = erode(&t, Structuring::Square(6)); // 24nm undercut
+        let v = epe_violations(&shrunk, &t, &EpeConfig::default(), 4.0);
+        let sites = sample_sites(&t, &EpeConfig::default(), 4.0);
+        assert_eq!(v, sites.len(), "every sample sees >15nm pullback");
+    }
+
+    #[test]
+    fn large_bulge_violates() {
+        let t = target_rect(128, Rect::new(40, 40, 88, 88));
+        let fat = dilate(&t, Structuring::Square(6));
+        let v = epe_violations(&fat, &t, &EpeConfig::default(), 4.0);
+        assert!(v > 0);
+    }
+
+    #[test]
+    fn sample_density_scales_with_edge_length() {
+        let short = target_rect(256, Rect::new(10, 10, 30, 30)); // 80nm sides
+        let long = target_rect(256, Rect::new(10, 10, 210, 210)); // 800nm sides
+        let cfg = EpeConfig::default();
+        let s1 = sample_sites(&short, &cfg, 4.0).len();
+        let s2 = sample_sites(&long, &cfg, 4.0).len();
+        assert!(s2 > 2 * s1, "{s2} vs {s1}");
+    }
+
+    #[test]
+    fn tiny_edges_are_skipped() {
+        // 2px = 8nm < min_edge_nm: no samples at all.
+        let t = target_rect(64, Rect::new(10, 10, 12, 12));
+        assert!(sample_sites(&t, &EpeConfig::default(), 4.0).is_empty());
+    }
+
+    #[test]
+    fn report_counts_match_epe_violations() {
+        let t = target_rect(128, Rect::new(20, 30, 100, 90));
+        let shrunk = erode(&t, Structuring::Square(2));
+        let cfg = EpeConfig::default();
+        let report = epe_report(&shrunk, &t, &cfg, 4.0);
+        assert_eq!(report.violations, epe_violations(&shrunk, &t, &cfg, 4.0));
+        assert_eq!(report.sites, sample_sites(&t, &cfg, 4.0).len());
+        // Uniform 8nm undercut: every displacement is -8nm.
+        for &d in &report.displacements_nm {
+            assert_eq!(d, -8.0);
+        }
+        assert_eq!(report.mean_abs_nm(), 8.0);
+        assert_eq!(report.max_abs_nm(), 8.0);
+    }
+
+    #[test]
+    fn report_on_empty_print_has_no_displacements() {
+        let t = target_rect(128, Rect::new(20, 30, 100, 90));
+        let empty = BitGrid::new(128, 128);
+        let report = epe_report(&empty, &t, &EpeConfig::default(), 4.0);
+        assert_eq!(report.violations, report.sites);
+        assert!(report.displacements_nm.is_empty());
+        assert_eq!(report.mean_abs_nm(), 0.0);
+    }
+
+    #[test]
+    fn normals_point_outward() {
+        let t = target_rect(64, Rect::new(16, 16, 48, 48));
+        for s in sample_sites(&t, &EpeConfig::default(), 4.0) {
+            // One step along the normal leaves the target.
+            let out = Point::new(s.site.x + s.normal.0, s.site.y + s.normal.1);
+            assert!(t.at(s.site));
+            assert!(!t.at(out));
+        }
+    }
+}

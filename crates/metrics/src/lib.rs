@@ -1,0 +1,137 @@
+//! Evaluation metrics for CFAOPC masks (paper §2.3).
+//!
+//! * [`l2_error`] — squared L2 between the nominal print and the target
+//!   (Eq. 4), reported in nm²;
+//! * [`pvb`] — process-variation band between the outer and inner corner
+//!   prints (Eq. 5), reported in nm²;
+//! * [`epe_violations`] — edge-placement-error count with the ICCAD-13
+//!   constraint/sampling conventions;
+//! * [`MaskMetrics`] / [`evaluate_mask`] — one-call evaluation of a binary
+//!   mask through the lithography simulator;
+//! * [`MetricRow`] / [`MetricTable`] — the per-case and averaged rows the
+//!   paper's tables report, with plain-text and CSV rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod epe;
+mod meef;
+mod table;
+
+pub use epe::{epe_report, epe_violations, sample_sites, EpeConfig, EpeReport, EpeSample};
+pub use meef::{measure_meef, MeefReport};
+pub use table::{MetricRow, MetricTable};
+
+use cfaopc_grid::BitGrid;
+use cfaopc_litho::{LithoError, LithoSimulator};
+use serde::{Deserialize, Serialize};
+
+/// Squared L2 between two binary images in nm² (paper Eq. 4): for binary
+/// images the squared distance is the symmetric-difference pixel count
+/// scaled by the pixel area.
+pub fn l2_error(printed_nominal: &BitGrid, target: &BitGrid, pixel_nm: f64) -> f64 {
+    printed_nominal.xor_count(target) as f64 * pixel_nm * pixel_nm
+}
+
+/// Process variation band in nm² (paper Eq. 5): squared L2 between the
+/// prints at the maximum and minimum process corners.
+pub fn pvb(printed_max: &BitGrid, printed_min: &BitGrid, pixel_nm: f64) -> f64 {
+    printed_max.xor_count(printed_min) as f64 * pixel_nm * pixel_nm
+}
+
+/// The four paper metrics for one mask on one case.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MaskMetrics {
+    /// Squared L2 of the nominal print vs the target, nm².
+    pub l2: f64,
+    /// PVB between the process corners, nm².
+    pub pvb: f64,
+    /// EPE violation count.
+    pub epe: usize,
+    /// Shot count (filled in by the fracturing stage; 0 when unknown).
+    pub shots: usize,
+}
+
+/// Prints `mask` at all process corners and evaluates L2, PVB and EPE
+/// against `target`. `shots` is left at 0 for the caller to fill in.
+///
+/// # Errors
+///
+/// Returns [`LithoError`] when shapes do not match the simulator grid.
+pub fn evaluate_mask(
+    sim: &LithoSimulator,
+    mask: &BitGrid,
+    target: &BitGrid,
+    epe_config: &EpeConfig,
+) -> Result<MaskMetrics, LithoError> {
+    let [nominal, max, min] = sim.print_corners(mask)?;
+    let px = sim.config().pixel_nm();
+    Ok(MaskMetrics {
+        l2: l2_error(&nominal, target, px),
+        pvb: pvb(&max, &min, px),
+        epe: epe_violations(&nominal, target, epe_config, px),
+        shots: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfaopc_grid::{fill_rect, Rect};
+    use cfaopc_litho::LithoConfig;
+
+    #[test]
+    fn l2_of_identical_masks_is_zero() {
+        let mut a = BitGrid::new(16, 16);
+        fill_rect(&mut a, Rect::new(2, 2, 10, 10));
+        assert_eq!(l2_error(&a, &a, 4.0), 0.0);
+    }
+
+    #[test]
+    fn l2_scales_with_pixel_area() {
+        let a = BitGrid::new(8, 8);
+        let mut b = BitGrid::new(8, 8);
+        b.set(0, 0, true);
+        b.set(1, 0, true);
+        assert_eq!(l2_error(&a, &b, 1.0), 2.0);
+        assert_eq!(l2_error(&a, &b, 4.0), 32.0);
+    }
+
+    #[test]
+    fn pvb_is_symmetric() {
+        let mut a = BitGrid::new(8, 8);
+        fill_rect(&mut a, Rect::new(1, 1, 6, 6));
+        let mut b = BitGrid::new(8, 8);
+        fill_rect(&mut b, Rect::new(2, 2, 5, 5));
+        assert_eq!(pvb(&a, &b, 2.0), pvb(&b, &a, 2.0));
+        assert!(pvb(&a, &b, 2.0) > 0.0);
+    }
+
+    #[test]
+    fn evaluate_mask_end_to_end() {
+        let cfg = LithoConfig::fast_test();
+        let sim = LithoSimulator::new(cfg.clone()).unwrap();
+        let n = cfg.size;
+        let mut target = BitGrid::new(n, n);
+        // fast_test is 64px over 2048nm => 32nm/px; a 32nm-wide bar is at
+        // the resolution limit and cannot print faithfully from the raw
+        // target.
+        fill_rect(&mut target, Rect::new(31, 20, 32, 44));
+        let m = evaluate_mask(&sim, &target, &target, &EpeConfig::default()).unwrap();
+        assert!(m.l2 > 0.0, "a 32nm bar printed from the raw target must deviate");
+        assert!(m.pvb >= 0.0);
+        assert_eq!(m.shots, 0);
+    }
+
+    #[test]
+    fn evaluate_mask_empty_target_empty_mask() {
+        let cfg = LithoConfig::fast_test();
+        let sim = LithoSimulator::new(cfg.clone()).unwrap();
+        let n = cfg.size;
+        let empty = BitGrid::new(n, n);
+        let m = evaluate_mask(&sim, &empty, &empty, &EpeConfig::default()).unwrap();
+        assert_eq!(m.l2, 0.0);
+        assert_eq!(m.pvb, 0.0);
+        assert_eq!(m.epe, 0);
+    }
+}

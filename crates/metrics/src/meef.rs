@@ -1,0 +1,114 @@
+//! Mask Error Enhancement Factor (MEEF).
+//!
+//! MEEF quantifies how strongly mask CD errors amplify on the wafer:
+//! `MEEF = ΔCD_wafer / ΔCD_mask` (at 1× magnification). Low-k1 imaging
+//! pushes MEEF well above 1, which is why mask-side fidelity — the whole
+//! point of fracturing-aware optimization — matters. We measure it by
+//! biasing the mask ±1 pixel and differencing the printed CDs.
+
+use cfaopc_grid::{dilate, erode, BitGrid, Structuring};
+use cfaopc_litho::{
+    measure_cd, CdProbe, LithoError, LithoSimulator, ProcessCorner,
+};
+
+/// MEEF measurement outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeefReport {
+    /// Printed CD of the unbiased mask, nm.
+    pub cd_nominal_nm: f64,
+    /// Printed CD with the mask dilated by one pixel, nm.
+    pub cd_plus_nm: f64,
+    /// Printed CD with the mask eroded by one pixel, nm.
+    pub cd_minus_nm: f64,
+    /// The central-difference MEEF estimate.
+    pub meef: f64,
+}
+
+/// Measures MEEF for `mask` at `probe`.
+///
+/// The mask is biased ±1 pixel with a square structuring element (every
+/// edge moves by one pixel, so the mask CD changes by `2·pixel_nm` per
+/// bias step) and the printed CD difference is divided by the total mask
+/// CD swing.
+///
+/// Returns `None` when the feature fails to print under any of the three
+/// biases (MEEF is undefined off the process window).
+///
+/// # Errors
+///
+/// Returns [`LithoError`] on shape mismatches.
+pub fn measure_meef(
+    sim: &LithoSimulator,
+    mask: &BitGrid,
+    probe: &CdProbe,
+) -> Result<Option<MeefReport>, LithoError> {
+    let px = sim.config().pixel_nm();
+    let plus = dilate(mask, Structuring::Square(1));
+    let minus = erode(mask, Structuring::Square(1));
+    let mut cds = [0.0f64; 3];
+    for (slot, m) in cds.iter_mut().zip([mask, &plus, &minus]) {
+        let printed = sim.print(m, ProcessCorner::Nominal)?;
+        match measure_cd(&printed, probe, px) {
+            Some(cd) => *slot = cd,
+            None => return Ok(None),
+        }
+    }
+    let mask_swing = 4.0 * px; // +1px and −1px biases: mask CD spans 4 px
+    Ok(Some(MeefReport {
+        cd_nominal_nm: cds[0],
+        cd_plus_nm: cds[1],
+        cd_minus_nm: cds[2],
+        meef: (cds[1] - cds[2]) / mask_swing,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfaopc_grid::{fill_rect, Point, Rect};
+    use cfaopc_litho::{CdAxis, LithoConfig};
+
+    fn sim() -> LithoSimulator {
+        LithoSimulator::new(LithoConfig {
+            size: 128,
+            kernel_count: 6,
+            ..LithoConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn meef_of_a_printable_bar_is_positive() {
+        let s = sim();
+        let n = s.size();
+        let mut mask = BitGrid::new(n, n);
+        // 16 nm/px: a 128 nm x 768 nm bar.
+        fill_rect(&mut mask, Rect::new(60, 40, 68, 88));
+        let probe = CdProbe {
+            at: Point::new(64, 64),
+            axis: CdAxis::Horizontal,
+        };
+        let report = measure_meef(&s, &mask, &probe).unwrap().unwrap();
+        assert!(report.cd_nominal_nm > 0.0);
+        assert!(
+            report.cd_plus_nm >= report.cd_nominal_nm,
+            "+bias must not shrink the print"
+        );
+        assert!(report.cd_minus_nm <= report.cd_nominal_nm);
+        assert!(report.meef > 0.0, "MEEF must be positive: {}", report.meef);
+        assert!(report.meef < 20.0, "MEEF implausibly large: {}", report.meef);
+    }
+
+    #[test]
+    fn unprintable_feature_has_no_meef() {
+        let s = sim();
+        let n = s.size();
+        let mut mask = BitGrid::new(n, n);
+        mask.set(64, 64, true); // 16 nm dot: far below resolution
+        let probe = CdProbe {
+            at: Point::new(64, 64),
+            axis: CdAxis::Horizontal,
+        };
+        assert_eq!(measure_meef(&s, &mask, &probe).unwrap(), None);
+    }
+}

@@ -1,0 +1,212 @@
+//! Result rows and tables in the paper's reporting format.
+
+use crate::MaskMetrics;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One table row: a named case (or method) with its four metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricRow {
+    /// Row label, e.g. `case3` or `MultiILT+CircleRule`.
+    pub label: String,
+    /// The metrics.
+    pub metrics: MaskMetrics,
+}
+
+impl MetricRow {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, metrics: MaskMetrics) -> Self {
+        MetricRow {
+            label: label.into(),
+            metrics,
+        }
+    }
+}
+
+/// A named collection of rows with formatting and averaging, mirroring
+/// the layout of the paper's Tables 1–3.
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_metrics::{MaskMetrics, MetricRow, MetricTable};
+///
+/// let mut t = MetricTable::new("demo");
+/// t.push(MetricRow::new("case1", MaskMetrics { l2: 100.0, pvb: 200.0, epe: 2, shots: 10 }));
+/// t.push(MetricRow::new("case2", MaskMetrics { l2: 300.0, pvb: 400.0, epe: 4, shots: 30 }));
+/// let avg = t.average();
+/// assert_eq!(avg.l2, 200.0);
+/// assert_eq!(avg.shots, 20);
+/// assert!(t.to_csv().starts_with("label,l2_nm2,pvb_nm2,epe,shots"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricTable {
+    /// Table title.
+    pub title: String,
+    /// Rows in insertion order.
+    pub rows: Vec<MetricRow>,
+}
+
+impl MetricTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>) -> Self {
+        MetricTable {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: MetricRow) {
+        self.rows.push(row);
+    }
+
+    /// Arithmetic mean of every metric across rows (the paper's
+    /// `Average` line). EPE and shot counts are averaged as reals and
+    /// reported rounded like the paper (`14.4`, `123.8` → kept as f64 in
+    /// [`MetricTable::average_f`]; this method rounds to nearest).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is empty.
+    pub fn average(&self) -> MaskMetrics {
+        let f = self.average_f();
+        MaskMetrics {
+            l2: f.0,
+            pvb: f.1,
+            epe: f.2.round() as usize,
+            shots: f.3.round() as usize,
+        }
+    }
+
+    /// Averages as `(l2, pvb, epe, shots)` floats, exactly as the paper
+    /// prints fractional average EPE/shot values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is empty.
+    pub fn average_f(&self) -> (f64, f64, f64, f64) {
+        assert!(!self.rows.is_empty(), "cannot average an empty table");
+        let n = self.rows.len() as f64;
+        let mut acc = (0.0, 0.0, 0.0, 0.0);
+        for r in &self.rows {
+            acc.0 += r.metrics.l2;
+            acc.1 += r.metrics.pvb;
+            acc.2 += r.metrics.epe as f64;
+            acc.3 += r.metrics.shots as f64;
+        }
+        (acc.0 / n, acc.1 / n, acc.2 / n, acc.3 / n)
+    }
+
+    /// CSV rendering (header + one line per row + average line when
+    /// non-empty).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("label,l2_nm2,pvb_nm2,epe,shots\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.1},{:.1},{},{}\n",
+                r.label, r.metrics.l2, r.metrics.pvb, r.metrics.epe, r.metrics.shots
+            ));
+        }
+        if !self.rows.is_empty() {
+            let (l2, pvb, epe, shots) = self.average_f();
+            out.push_str(&format!("average,{l2:.1},{pvb:.1},{epe:.1},{shots:.1}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for MetricTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        writeln!(
+            f,
+            "{:<28} {:>12} {:>12} {:>6} {:>7}",
+            "case", "L2 (nm^2)", "PVB (nm^2)", "EPE", "#Shot"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<28} {:>12.1} {:>12.1} {:>6} {:>7}",
+                r.label, r.metrics.l2, r.metrics.pvb, r.metrics.epe, r.metrics.shots
+            )?;
+        }
+        if !self.rows.is_empty() {
+            let (l2, pvb, epe, shots) = self.average_f();
+            writeln!(
+                f,
+                "{:<28} {:>12.1} {:>12.1} {:>6.1} {:>7.1}",
+                "average", l2, pvb, epe, shots
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> MetricTable {
+        let mut t = MetricTable::new("t");
+        t.push(MetricRow::new(
+            "a",
+            MaskMetrics {
+                l2: 10.0,
+                pvb: 20.0,
+                epe: 1,
+                shots: 5,
+            },
+        ));
+        t.push(MetricRow::new(
+            "b",
+            MaskMetrics {
+                l2: 30.0,
+                pvb: 40.0,
+                epe: 2,
+                shots: 10,
+            },
+        ));
+        t
+    }
+
+    #[test]
+    fn average_is_arithmetic_mean() {
+        let t = sample_table();
+        let avg = t.average();
+        assert_eq!(avg.l2, 20.0);
+        assert_eq!(avg.pvb, 30.0);
+        assert_eq!(avg.epe, 2); // 1.5 rounds to 2
+        assert_eq!(avg.shots, 8); // 7.5 rounds to 8
+        let f = t.average_f();
+        assert_eq!(f.2, 1.5);
+        assert_eq!(f.3, 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average an empty table")]
+    fn empty_average_panics() {
+        MetricTable::new("empty").average();
+    }
+
+    #[test]
+    fn csv_has_header_rows_and_average() {
+        let t = sample_table();
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("label,"));
+        assert!(lines[1].starts_with("a,10.0"));
+        assert!(lines[3].starts_with("average,20.0,30.0,1.5,7.5"));
+    }
+
+    #[test]
+    fn display_contains_title_and_labels() {
+        let t = sample_table();
+        let s = t.to_string();
+        assert!(s.contains("== t =="));
+        assert!(s.contains("#Shot"));
+        assert!(s.contains('a'));
+        assert!(s.contains("average"));
+    }
+}

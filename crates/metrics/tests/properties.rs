@@ -1,0 +1,81 @@
+//! Property-based tests for the evaluation metrics.
+
+use cfaopc_grid::{dilate, fill_rect, BitGrid, Rect, Structuring};
+use cfaopc_metrics::{epe_violations, l2_error, pvb, sample_sites, EpeConfig};
+use proptest::prelude::*;
+
+const N: usize = 96;
+
+fn arb_target() -> impl Strategy<Value = BitGrid> {
+    proptest::collection::vec((8i32..80, 8i32..80, 6i32..24, 6i32..24), 1..4).prop_map(|v| {
+        let mut t = BitGrid::new(N, N);
+        for (x, y, w, h) in v {
+            fill_rect(&mut t, Rect::new(x, y, x + w, y + h));
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn l2_is_a_metric(a in arb_target(), b in arb_target()) {
+        prop_assert_eq!(l2_error(&a, &a, 4.0), 0.0);
+        prop_assert_eq!(l2_error(&a, &b, 4.0), l2_error(&b, &a, 4.0));
+        prop_assert!(l2_error(&a, &b, 4.0) >= 0.0);
+    }
+
+    #[test]
+    fn pvb_symmetry_and_pixel_scaling(a in arb_target(), b in arb_target()) {
+        prop_assert_eq!(pvb(&a, &b, 2.0), pvb(&b, &a, 2.0));
+        prop_assert!((pvb(&a, &b, 4.0) - 4.0 * pvb(&a, &b, 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_print_never_violates_epe(t in arb_target()) {
+        prop_assert_eq!(epe_violations(&t, &t, &EpeConfig::default(), 4.0), 0);
+    }
+
+    #[test]
+    fn empty_print_violates_every_site(t in arb_target()) {
+        let cfg = EpeConfig::default();
+        let sites = sample_sites(&t, &cfg, 4.0).len();
+        let empty = BitGrid::new(N, N);
+        prop_assert_eq!(epe_violations(&empty, &t, &cfg, 4.0), sites);
+    }
+
+    #[test]
+    fn violations_grow_monotonically_with_undersizing(t in arb_target()) {
+        // Shrinking the print more can only add violations.
+        let cfg = EpeConfig::default();
+        let mut prev = epe_violations(&t, &t, &cfg, 4.0);
+        for r in 1..=6 {
+            let eroded = cfaopc_grid::erode(&t, Structuring::Square(r));
+            let v = epe_violations(&eroded, &t, &cfg, 4.0);
+            prop_assert!(v >= prev, "erode {r}: {v} < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn sample_sites_lie_on_the_boundary(t in arb_target()) {
+        let boundary = cfaopc_grid::boundary_pixels(&t);
+        for s in sample_sites(&t, &EpeConfig::default(), 4.0) {
+            prop_assert!(boundary.at(s.site), "site {} not on boundary", s.site);
+        }
+    }
+
+    #[test]
+    fn small_uniform_bloat_within_constraint_is_clean(
+        x in 8i32..60, y in 8i32..60, w in 6i32..24, h in 6i32..24,
+    ) {
+        // 4 nm/px, constraint 15 nm ⇒ a 1-px (4 nm) uniform bloat passes.
+        // Single shape only: dilating multiple shapes can bridge a gap,
+        // which legitimately displaces edges beyond the constraint.
+        let mut t = BitGrid::new(N, N);
+        fill_rect(&mut t, Rect::new(x, y, x + w, y + h));
+        let fat = dilate(&t, Structuring::Square(1));
+        prop_assert_eq!(epe_violations(&fat, &t, &EpeConfig::default(), 4.0), 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Rendering for CFAOPC artifacts.
+//!
+//! Two output formats, both dependency-free:
+//!
+//! * **PGM** — raw grayscale dumps of real-valued grids (aerial images,
+//!   dense masks) for quick inspection;
+//! * **SVG** — layered scenes of target patterns, circular shots and
+//!   printed contours, reproducing the look of the paper's Figure 1 and
+//!   Figure 6 panels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cfaopc_fracture::CircularMask;
+use cfaopc_grid::{boundary_pixels, BitGrid, Grid2D};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Serializes a real-valued grid as a binary PGM (P5), mapping
+/// `[min, max]` to `[0, 255]`.
+pub fn grid_to_pgm(grid: &Grid2D<f64>) -> Vec<u8> {
+    let (w, h) = (grid.width(), grid.height());
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in grid.as_slice() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let mut out = format!("P5\n{w} {h}\n255\n").into_bytes();
+    out.extend(
+        grid.as_slice()
+            .iter()
+            .map(|&v| (255.0 * (v - lo) / span).round() as u8),
+    );
+    out
+}
+
+/// Writes a grid to a PGM file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_pgm(grid: &Grid2D<f64>, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, grid_to_pgm(grid))
+}
+
+/// An SVG scene over a pixel grid, built layer by layer.
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_fracture::{CircleShot, CircularMask};
+/// use cfaopc_grid::{fill_rect, BitGrid, Rect};
+/// use cfaopc_viz::SvgScene;
+///
+/// let mut target = BitGrid::new(64, 64);
+/// fill_rect(&mut target, Rect::new(8, 8, 56, 24));
+/// let shots = CircularMask::from_shots(vec![CircleShot::new(32, 16, 8)]);
+/// let svg = SvgScene::new(64, 64)
+///     .mask(&target, "#4477aa", 0.35)
+///     .circles(&shots, "#cc3311")
+///     .finish();
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("circle"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SvgScene {
+    width: usize,
+    height: usize,
+    body: String,
+}
+
+impl SvgScene {
+    /// Creates an empty scene over a `width × height` pixel grid.
+    pub fn new(width: usize, height: usize) -> Self {
+        SvgScene {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Adds a binary mask as horizontal run-length rectangles.
+    pub fn mask(mut self, mask: &BitGrid, fill: &str, opacity: f64) -> Self {
+        let _ = writeln!(self.body, r#"<g fill="{fill}" fill-opacity="{opacity}">"#);
+        for y in 0..mask.height() {
+            let mut x = 0usize;
+            while x < mask.width() {
+                if mask.get(x, y) {
+                    let start = x;
+                    while x < mask.width() && mask.get(x, y) {
+                        x += 1;
+                    }
+                    let _ = writeln!(
+                        self.body,
+                        r#"<rect x="{start}" y="{y}" width="{}" height="1"/>"#,
+                        x - start
+                    );
+                } else {
+                    x += 1;
+                }
+            }
+        }
+        self.body.push_str("</g>\n");
+        self
+    }
+
+    /// Adds circular shots as stroked circles (Figure 1(b) style).
+    pub fn circles(mut self, shots: &CircularMask, stroke: &str) -> Self {
+        let _ = writeln!(
+            self.body,
+            r#"<g fill="none" stroke="{stroke}" stroke-width="0.6">"#
+        );
+        for s in shots.shots() {
+            let _ = writeln!(
+                self.body,
+                r#"<circle cx="{}" cy="{}" r="{}"/>"#,
+                s.x, s.y, s.r
+            );
+        }
+        self.body.push_str("</g>\n");
+        self
+    }
+
+    /// Adds the boundary of a binary image as dots — used for printed
+    /// (resist) contours.
+    pub fn contour(mut self, image: &BitGrid, fill: &str) -> Self {
+        let boundary = boundary_pixels(image);
+        let _ = writeln!(self.body, r#"<g fill="{fill}">"#);
+        for p in boundary.ones() {
+            let _ = writeln!(
+                self.body,
+                r#"<rect x="{}" y="{}" width="1" height="1"/>"#,
+                p.x, p.y
+            );
+        }
+        self.body.push_str("</g>\n");
+        self
+    }
+
+    /// Finalizes the SVG document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {w} {h}\" \
+             width=\"{w}\" height=\"{h}\">\n<rect width=\"{w}\" height=\"{h}\" \
+             fill=\"white\"/>\n{body}</svg>\n",
+            w = self.width,
+            h = self.height,
+            body = self.body
+        )
+    }
+
+    /// Writes the finalized SVG to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfaopc_fracture::CircleShot;
+    use cfaopc_grid::{fill_rect, Rect};
+
+    #[test]
+    fn pgm_header_and_size() {
+        let g = Grid2D::from_vec(2, 2, vec![0.0, 0.5, 0.75, 1.0]);
+        let pgm = grid_to_pgm(&g);
+        assert!(pgm.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n2 2\n255\n".len() + 4);
+        assert_eq!(*pgm.last().unwrap(), 255);
+    }
+
+    #[test]
+    fn pgm_constant_grid_does_not_divide_by_zero() {
+        let g = Grid2D::new(3, 3, 0.7);
+        let pgm = grid_to_pgm(&g);
+        assert_eq!(pgm.len(), b"P5\n3 3\n255\n".len() + 9);
+    }
+
+    #[test]
+    fn svg_contains_all_layers() {
+        let mut mask = BitGrid::new(32, 32);
+        fill_rect(&mut mask, Rect::new(4, 4, 20, 10));
+        let shots = CircularMask::from_shots(vec![CircleShot::new(10, 7, 3)]);
+        let svg = SvgScene::new(32, 32)
+            .mask(&mask, "#123456", 0.5)
+            .circles(&shots, "#abcdef")
+            .contour(&mask, "#000000")
+            .finish();
+        assert!(svg.contains("#123456"));
+        assert!(svg.contains(r#"<circle cx="10" cy="7" r="3"/>"#));
+        assert!(svg.contains("viewBox=\"0 0 32 32\""));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn svg_mask_uses_run_length_rects() {
+        let mut mask = BitGrid::new(8, 8);
+        fill_rect(&mut mask, Rect::new(0, 0, 8, 1));
+        let svg = SvgScene::new(8, 8).mask(&mask, "#fff", 1.0).finish();
+        // One run, one rect.
+        assert_eq!(svg.matches("<rect").count(), 2); // background + run
+    }
+}

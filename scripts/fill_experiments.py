@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from target/experiments artifacts."""
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+EXP = ROOT / "target" / "experiments"
+MD = ROOT / "EXPERIMENTS.md"
+
+
+def csv_to_md(path: Path, label_header: str = "Method") -> str:
+    lines = path.read_text().strip().splitlines()
+    out = [f"| {label_header} | L2 | PVB | EPE | #Shot |", "|---|---|---|---|---|"]
+    for line in lines[1:]:
+        label, l2, pvb, epe, shots = line.split(",")
+        out.append(f"| {label} | {float(l2):,.0f} | {float(pvb):,.0f} | {epe} | {shots} |")
+    return "\n".join(out)
+
+
+def section(out_file: Path, start: str = None, last: int = None) -> str:
+    text = out_file.read_text()
+    lines = text.splitlines()
+    if last:
+        lines = lines[-last:]
+    return "```text\n" + "\n".join(lines) + "\n```"
+
+
+md = MD.read_text()
+
+# Table 1
+t1 = EXP / "table1_summary.csv"
+if t1.exists():
+    md = md.replace("<!-- TABLE1_MEASURED -->", csv_to_md(t1))
+
+# Table 2
+t2 = EXP / "table2_summary.csv"
+if t2.exists():
+    md = md.replace("<!-- TABLE2_MEASURED -->", csv_to_md(t2))
+
+# Table 3
+t3 = EXP / "table3_summary.csv"
+if t3.exists():
+    extra = ""
+    out = EXP / "table3.out"
+    if out.exists():
+        m = re.search(r"shot-count reduction.*", out.read_text())
+        if m:
+            extra = "\n\n" + m.group(0)
+    md = md.replace("<!-- TABLE3_MEASURED -->", csv_to_md(t3) + extra)
+
+# Fig 1
+f1 = EXP / "fig1.out"
+if f1.exists():
+    body = "\n".join(
+        l for l in f1.read_text().splitlines() if l.startswith(("curvilinear", "(a)", "(b)", "reduction"))
+    )
+    md = md.replace("<!-- FIG1_MEASURED -->", "```text\n" + body + "\n```")
+
+# Fig 7
+f7 = EXP / "fig7.out"
+if f7.exists():
+    body = "\n".join(
+        l for l in f7.read_text().splitlines() if l.startswith(("m=", "MultiILT VSB"))
+    )
+    md = md.replace("<!-- FIG7_MEASURED -->", "```text\n" + body + "\n```")
+
+# Ablations
+ab = EXP / "ablations.out"
+if ab.exists():
+    body = "\n".join(
+        l for l in ab.read_text().splitlines() if l.startswith(("[1]", "[2]", "[3]", "[4]", "   "))
+    )
+    md = md.replace("<!-- ABLATIONS_MEASURED -->", "```text\n" + body + "\n```")
+
+MD.write_text(md)
+print("EXPERIMENTS.md filled")

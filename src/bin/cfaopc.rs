@@ -1,0 +1,190 @@
+//! `cfaopc` — command-line front end for the CFAOPC library.
+//!
+//! ```text
+//! cfaopc cases
+//! cfaopc fracture --case 3 [--size 256] [--method opt|rule] [--iters 30]
+//!                 [--out mask.cshot] [--svg mask.svg]
+//! cfaopc evaluate --shots mask.cshot --case 3
+//! ```
+
+use cfaopc::litho::loss_only;
+use cfaopc::prelude::*;
+use cfaopc::fracture::ShotList;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("cases") => cmd_cases(),
+        Some("fracture") => cmd_fracture(&parse_flags(&args[1..])),
+        Some("evaluate") => cmd_evaluate(&parse_flags(&args[1..])),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `cfaopc help`").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "cfaopc — fracturing-aware curvilinear ILT\n\n\
+         USAGE:\n  cfaopc cases\n  cfaopc fracture --case <1-10> [--glp FILE] [--size N] \
+         [--method opt|rule] [--iters N] [--out FILE.cshot] [--svg FILE.svg]\n  \
+         cfaopc evaluate --shots FILE.cshot (--case <1-10> | --glp FILE)\n"
+    );
+}
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = it.next().cloned().unwrap_or_default();
+            flags.insert(key.to_string(), value);
+        }
+    }
+    flags
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn cmd_cases() -> CliResult {
+    println!("{:<8} {:>12} {:>7}", "case", "area (nm^2)", "rects");
+    for layout in all_cases() {
+        println!(
+            "{:<8} {:>12} {:>7}",
+            layout.name,
+            layout.area_nm2(),
+            layout.rects.len()
+        );
+    }
+    Ok(())
+}
+
+fn load_layout(flags: &Flags) -> Result<Layout, Box<dyn std::error::Error>> {
+    if let Some(case) = flags.get("case") {
+        return Ok(benchmark_case(case.parse()?)?);
+    }
+    if let Some(path) = flags.get("glp") {
+        return Ok(Layout::from_glp(&std::fs::read_to_string(path)?)?);
+    }
+    Err("need --case <1-10> or --glp FILE".into())
+}
+
+fn build_sim(flags: &Flags) -> Result<LithoSimulator, Box<dyn std::error::Error>> {
+    let size: usize = flags
+        .get("size")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(256);
+    Ok(LithoSimulator::new(LithoConfig {
+        size,
+        kernel_count: 8,
+        ..LithoConfig::default()
+    })?)
+}
+
+fn cmd_fracture(flags: &Flags) -> CliResult {
+    let layout = load_layout(flags)?;
+    let sim = build_sim(flags)?;
+    let n = sim.size();
+    let pixel_nm = sim.config().pixel_nm();
+    let target = layout.rasterize(n);
+    let iters: usize = flags
+        .get("iters")
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(30);
+    let method = flags.get("method").map(String::as_str).unwrap_or("opt");
+
+    let (mask, label) = match method {
+        "rule" => {
+            let pixel = run_engine(&sim, &target, IltEngine::MultiIltLike, iters)?;
+            (
+                circle_rule(&pixel.mask_binary, &CircleRuleConfig::default(), pixel_nm),
+                "MultiILT+CircleRule",
+            )
+        }
+        "opt" => {
+            let gamma = 3.0 * (n as f64 / 2048.0).powi(2);
+            let result = run_circleopt(
+                &sim,
+                &target,
+                &CircleOptConfig {
+                    init_iterations: iters.div_ceil(2),
+                    circle_iterations: iters + 10,
+                    gamma,
+                    ..CircleOptConfig::default()
+                },
+            )?;
+            (result.mask, "CircleOpt")
+        }
+        other => return Err(format!("unknown method {other:?} (use opt|rule)").into()),
+    };
+
+    let raster = mask.rasterize(n, n);
+    let mut metrics = evaluate_mask(&sim, &raster, &target, &EpeConfig::default())?;
+    metrics.shots = mask.shot_count();
+    println!(
+        "{label} on {} @{n}px: L2 {:.0} nm², PVB {:.0} nm², EPE {}, #Shot {}",
+        layout.name, metrics.l2, metrics.pvb, metrics.epe, metrics.shots
+    );
+
+    if let Some(path) = flags.get("out") {
+        let list = ShotList::new(mask.clone(), n, n, pixel_nm);
+        std::fs::write(path, list.to_text())?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = flags.get("svg") {
+        let printed = sim.print(&raster, ProcessCorner::Nominal)?;
+        SvgScene::new(n, n)
+            .mask(&target, "#4477aa", 0.35)
+            .circles(&mask, "#cc3311")
+            .contour(&printed, "#228833")
+            .save(path)?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(flags: &Flags) -> CliResult {
+    let shots_path = flags.get("shots").ok_or("need --shots FILE.cshot")?;
+    let list = ShotList::from_text(&std::fs::read_to_string(shots_path)?)?;
+    let layout = load_layout(flags)?;
+    let size = list.width;
+    if list.height != size {
+        return Err("non-square shot grids are not supported".into());
+    }
+    let sim = LithoSimulator::new(LithoConfig {
+        size,
+        kernel_count: 8,
+        ..LithoConfig::default()
+    })?;
+    let target = layout.rasterize(size);
+    let raster = list.mask.rasterize(size, size);
+    let mut metrics = evaluate_mask(&sim, &raster, &target, &EpeConfig::default())?;
+    metrics.shots = list.mask.shot_count();
+    let relaxed = loss_only(
+        &sim,
+        &raster.to_real(),
+        &target.to_real(),
+        LossWeights::default(),
+    )?;
+    println!(
+        "{} vs {}: L2 {:.0} nm², PVB {:.0} nm², EPE {}, #Shot {} (relaxed total {:.0})",
+        shots_path, layout.name, metrics.l2, metrics.pvb, metrics.epe, metrics.shots,
+        relaxed.total
+    );
+    Ok(())
+}
