@@ -1,19 +1,123 @@
-//! Criterion microbenchmarks of every pipeline stage, sized at the
-//! default experiment resolution (256²). Run with `cargo bench`.
+//! Microbenchmarks of every pipeline stage, sized at the default
+//! experiment resolution (256²). Run with `cargo bench -p cfaopc-bench`.
+//!
+//! Hand-rolled harness (`harness = false`, no external benchmark
+//! dependency): each case is warmed up, timed over a fixed number of
+//! iterations, and summarized as min / median / mean wall time. The
+//! full summary is also written as a JSON perf snapshot (default
+//! `BENCH_components.json`, override with `CFAOPC_BENCH_OUT`) so CI can
+//! archive it as an artifact and successive runs can be diffed.
+//!
+//! The snapshot records the worker-pool configuration
+//! (`worker_count`, `pool_threads`) and the process thread count
+//! before and after the steady-state aerial-image loop, making the
+//! "zero new threads per call" property of the persistent pool
+//! observable from the artifact alone.
 
 use cfaopc_core::{compose, compose_soft, ComposeConfig, SparseCircles};
 use cfaopc_ebeam::{EbeamPsf, WriterModel};
+use cfaopc_fft::parallel::{pool_thread_count, worker_count};
 use cfaopc_fft::{Complex, Fft2d};
 use cfaopc_fracture::{circle_rule, rect_fracture, CircleRuleConfig};
 use cfaopc_grid::{skeletonize, Grid2D};
 use cfaopc_layouts::benchmark_case;
-use cfaopc_litho::{
-    loss_and_gradient, LithoConfig, LithoSimulator, LossWeights, ProcessCorner,
-};
-use criterion::{criterion_group, criterion_main, Criterion};
+use cfaopc_litho::{loss_and_gradient, LithoConfig, LithoSimulator, LossWeights, ProcessCorner};
 use std::hint::black_box;
+use std::time::Instant;
 
 const N: usize = 256;
+const WARMUP_ITERS: usize = 2;
+const TIMED_ITERS: usize = 10;
+
+/// Timing summary of one benchmark case, in nanoseconds.
+struct CaseResult {
+    name: &'static str,
+    iters: usize,
+    min_ns: u128,
+    median_ns: u128,
+    mean_ns: u128,
+}
+
+fn run_case<F: FnMut()>(name: &'static str, mut f: F) -> CaseResult {
+    for _ in 0..WARMUP_ITERS {
+        f();
+    }
+    let mut samples: Vec<u128> = Vec::with_capacity(TIMED_ITERS);
+    for _ in 0..TIMED_ITERS {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let min_ns = samples[0];
+    let median_ns = samples[samples.len() / 2];
+    let mean_ns = samples.iter().sum::<u128>() / samples.len() as u128;
+    let result = CaseResult {
+        name,
+        iters: TIMED_ITERS,
+        min_ns,
+        median_ns,
+        mean_ns,
+    };
+    println!(
+        "{:<32} min {:>12.3} ms   median {:>12.3} ms   mean {:>12.3} ms",
+        name,
+        min_ns as f64 / 1e6,
+        median_ns as f64 / 1e6,
+        mean_ns as f64 / 1e6,
+    );
+    result
+}
+
+/// Current thread count of this process, from `/proc/self/status`
+/// (Linux only; `None` elsewhere).
+fn process_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_snapshot(
+    results: &[CaseResult],
+    threads_before: Option<usize>,
+    threads_after: Option<usize>,
+) -> std::io::Result<String> {
+    let path =
+        std::env::var("CFAOPC_BENCH_OUT").unwrap_or_else(|_| "BENCH_components.json".to_string());
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"grid_size\": {N},\n"));
+    out.push_str(&format!("  \"worker_count\": {},\n", worker_count()));
+    out.push_str(&format!("  \"pool_threads\": {},\n", pool_thread_count()));
+    out.push_str(&format!(
+        "  \"threads_before_steady_state\": {},\n",
+        threads_before.map_or("null".to_string(), |t| t.to_string())
+    ));
+    out.push_str(&format!(
+        "  \"threads_after_steady_state\": {},\n",
+        threads_after.map_or("null".to_string(), |t| t.to_string())
+    ));
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}{}\n",
+            json_escape(r.name),
+            r.iters,
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
 
 fn sim() -> LithoSimulator {
     LithoSimulator::new(LithoConfig {
@@ -24,87 +128,87 @@ fn sim() -> LithoSimulator {
     .unwrap()
 }
 
-fn bench_fft2d(c: &mut Criterion) {
+fn main() {
+    let mut results = Vec::new();
+    println!(
+        "cfaopc component benchmarks: {N}x{N} grid, {} workers ({} pool threads)\n",
+        worker_count(),
+        pool_thread_count(),
+    );
+
+    // FFT.
     let plan = Fft2d::square(N).unwrap();
     let base: Vec<Complex> = (0..N * N)
         .map(|i| Complex::from_re((i % 7) as f64))
         .collect();
-    c.bench_function("fft2d_forward_256", |b| {
-        b.iter(|| {
-            let mut buf = base.clone();
-            plan.forward(&mut buf).unwrap();
-            black_box(buf[0])
-        })
-    });
-}
+    results.push(run_case("fft2d_forward_256", || {
+        let mut buf = base.clone();
+        plan.forward(&mut buf).unwrap();
+        black_box(buf[0]);
+    }));
 
-fn bench_litho_forward(c: &mut Criterion) {
+    // Litho forward model. The warmup iterations also bring the worker
+    // pool and buffer pools to steady state, so the thread count taken
+    // here must stay flat across the timed loop.
     let s = sim();
     let target = benchmark_case(3).unwrap().rasterize(N);
     let mask = target.to_real();
-    c.bench_function("aerial_image_256_8k", |b| {
-        b.iter(|| black_box(s.aerial_image(&mask, ProcessCorner::Nominal).unwrap()))
-    });
-}
+    let _ = s.aerial_image(&mask, ProcessCorner::Nominal).unwrap();
+    let threads_before = process_thread_count();
+    results.push(run_case("aerial_image_256_8k", || {
+        black_box(s.aerial_image(&mask, ProcessCorner::Nominal).unwrap());
+    }));
+    let threads_after = process_thread_count();
+    if let (Some(before), Some(after)) = (threads_before, threads_after) {
+        assert_eq!(
+            before, after,
+            "steady-state aerial_image must not spawn threads"
+        );
+    }
 
-fn bench_litho_gradient(c: &mut Criterion) {
-    let s = sim();
-    let target = benchmark_case(3).unwrap().rasterize(N);
+    // Litho gradient (three process corners).
     let target_real = target.to_real();
-    let mask = Grid2D::new(N, N, 0.4);
-    c.bench_function("loss_and_gradient_256_3corner", |b| {
-        b.iter(|| {
-            black_box(
-                loss_and_gradient(&s, &mask, &target_real, LossWeights::default()).unwrap(),
-            )
-        })
-    });
-}
+    let grad_mask = Grid2D::new(N, N, 0.4);
+    results.push(run_case("loss_and_gradient_256_3corner", || {
+        black_box(loss_and_gradient(&s, &grad_mask, &target_real, LossWeights::default()).unwrap());
+    }));
 
-fn bench_fracture(c: &mut Criterion) {
-    let target = benchmark_case(3).unwrap().rasterize(N);
-    c.bench_function("skeletonize_case3_256", |b| {
-        b.iter(|| black_box(skeletonize(&target)))
-    });
-    c.bench_function("circle_rule_case3_256", |b| {
-        b.iter(|| black_box(circle_rule(&target, &CircleRuleConfig::default(), 8.0)))
-    });
-    c.bench_function("rect_fracture_case3_256", |b| {
-        b.iter(|| black_box(rect_fracture(&target)))
-    });
-}
+    // Fracturing.
+    results.push(run_case("skeletonize_case3_256", || {
+        black_box(skeletonize(&target));
+    }));
+    results.push(run_case("circle_rule_case3_256", || {
+        black_box(circle_rule(&target, &CircleRuleConfig::default(), 8.0));
+    }));
+    results.push(run_case("rect_fracture_case3_256", || {
+        black_box(rect_fracture(&target));
+    }));
 
-fn bench_ebeam(c: &mut Criterion) {
-    let target = benchmark_case(3).unwrap().rasterize(N);
+    // E-beam write.
     let circles = circle_rule(&target, &CircleRuleConfig::default(), 8.0);
     let writer = WriterModel::new(N, 8.0, EbeamPsf::default());
     let shots = WriterModel::dose_circles(&circles);
-    c.bench_function("ebeam_write_case3_256", |b| {
-        b.iter(|| black_box(writer.write(&shots)))
-    });
-}
+    results.push(run_case("ebeam_write_case3_256", || {
+        black_box(writer.write(&shots));
+    }));
 
-fn bench_compose(c: &mut Criterion) {
-    let target = benchmark_case(3).unwrap().rasterize(N);
-    let circles = circle_rule(&target, &CircleRuleConfig::default(), 8.0);
+    // Differentiable composition.
     let sparse = SparseCircles::from_circular_mask(&circles);
     let cfg = ComposeConfig::new(N, 2, 10);
     let grad = Grid2D::new(N, N, 0.01);
-    c.bench_function("compose_case3_256", |b| {
-        b.iter(|| black_box(compose(&sparse, &cfg)))
-    });
+    results.push(run_case("compose_case3_256", || {
+        black_box(compose(&sparse, &cfg));
+    }));
     let composite = compose(&sparse, &cfg);
-    c.bench_function("compose_backward_case3_256", |b| {
-        b.iter(|| black_box(composite.backward(&grad)))
-    });
-    c.bench_function("compose_soft_case3_256", |b| {
-        b.iter(|| black_box(compose_soft(&sparse, &cfg, 20.0)))
-    });
-}
+    results.push(run_case("compose_backward_case3_256", || {
+        black_box(composite.backward(&grad));
+    }));
+    results.push(run_case("compose_soft_case3_256", || {
+        black_box(compose_soft(&sparse, &cfg, 20.0));
+    }));
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fft2d, bench_litho_forward, bench_litho_gradient, bench_fracture, bench_compose, bench_ebeam
+    match write_snapshot(&results, threads_before, threads_after) {
+        Ok(path) => println!("\nperf snapshot written to {path}"),
+        Err(e) => eprintln!("\nfailed to write perf snapshot: {e}"),
+    }
 }
-criterion_main!(benches);

@@ -15,7 +15,11 @@ use cfaopc_litho::*;
 
 fn main() {
     for size in [256usize, 512, 1024] {
-        let cfg = LithoConfig { size, kernel_count: 6, ..LithoConfig::default() };
+        let cfg = LithoConfig {
+            size,
+            kernel_count: 6,
+            ..LithoConfig::default()
+        };
         let px = cfg.pixel_nm();
         let sim = LithoSimulator::new(cfg).unwrap();
         let target = cfaopc_layouts::benchmark_case(4).unwrap().rasterize(size);
@@ -26,7 +30,10 @@ fn main() {
         let mask = remove_small_regions(&opened, disk_area(rmin), Connectivity::Eight);
         let rects = rect_shot_count(&mask);
         let circles = circle_rule(&mask, &CircleRuleConfig::default(), px).shot_count();
-        println!("size {size} ({px} nm/px): rects {rects}, circles {circles}, ratio {:.2} [{:?}]",
-            rects as f64 / circles as f64, t0.elapsed());
+        println!(
+            "size {size} ({px} nm/px): rects {rects}, circles {circles}, ratio {:.2} [{:?}]",
+            rects as f64 / circles as f64,
+            t0.elapsed()
+        );
     }
 }

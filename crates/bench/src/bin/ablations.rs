@@ -40,7 +40,9 @@ fn main() {
     let grad_field = Grid2D::from_vec(
         n,
         n,
-        (0..n * n).map(|i| ((i as f64) * 0.37).sin() * 0.01).collect(),
+        (0..n * n)
+            .map(|i| ((i as f64) * 0.37).sin() * 0.01)
+            .collect(),
     );
 
     let windowed_cfg = ComposeConfig::new(n, r_min, r_max);
@@ -61,8 +63,10 @@ fn main() {
         .fold(0.0f64, f64::max);
     let max_mag = full.iter().map(|g| g.abs()).fold(0.0f64, f64::max);
     println!("[1] gradient window U ({} circles):", circles.len());
-    println!("    windowed backward: {t_windowed:?}, full-plane: {t_full:?} ({:.1}x slower)",
-        t_full.as_secs_f64() / t_windowed.as_secs_f64().max(1e-9));
+    println!(
+        "    windowed backward: {t_windowed:?}, full-plane: {t_full:?} ({:.1}x slower)",
+        t_full.as_secs_f64() / t_windowed.as_secs_f64().max(1e-9)
+    );
     println!("    max |Δgrad| = {max_diff:.3e} (max |grad| = {max_mag:.3e})\n");
 
     // ------------------------------------------------------------------
@@ -99,7 +103,10 @@ fn main() {
     // ------------------------------------------------------------------
     for (label, composition) in [
         ("max composition (paper)", Composition::Max),
-        ("softmax composition β=20", Composition::Softmax { beta: 20.0 }),
+        (
+            "softmax composition β=20",
+            Composition::Softmax { beta: 20.0 },
+        ),
     ] {
         let cfg = CircleOptConfig {
             composition,
@@ -121,14 +128,17 @@ fn main() {
     // ------------------------------------------------------------------
     // 4. CircleRule radius policy.
     // ------------------------------------------------------------------
-    for (label, literal) in [("last r with cover ≥ I (default)", false), ("first r below I (literal)", true)] {
+    for (label, literal) in [
+        ("last r with cover ≥ I (default)", false),
+        ("first r below I (literal)", true),
+    ] {
         let rule = CircleRuleConfig {
             first_below_threshold: literal,
             ..CircleRuleConfig::default()
         };
         let (metrics, mask) = exp.eval_circle_rule(&pixel, &target, &rule);
-        let avg_r = mask.shots().iter().map(|s| s.r as f64).sum::<f64>()
-            / mask.shot_count().max(1) as f64;
+        let avg_r =
+            mask.shots().iter().map(|s| s.r as f64).sum::<f64>() / mask.shot_count().max(1) as f64;
         println!(
             "[4] {label}: L2 {:.0}, PVB {:.0}, EPE {}, #Shot {}, mean radius {avg_r:.2} px",
             metrics.l2, metrics.pvb, metrics.epe, metrics.shots

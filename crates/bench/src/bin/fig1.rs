@@ -57,7 +57,10 @@ fn main() {
         exp.pixel_nm(),
         native_rects
     );
-    println!("(b) circular fracturing:    {} shots (resolution-invariant)", circles.shot_count());
+    println!(
+        "(b) circular fracturing:    {} shots (resolution-invariant)",
+        circles.shot_count()
+    );
     println!(
         "reduction: {:.1}x fewer shots with circles (native-resolution VSB)",
         native_rects as f64 / circles.shot_count().max(1) as f64

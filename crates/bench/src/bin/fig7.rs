@@ -42,9 +42,7 @@ fn main() {
         .sum::<f64>()
         / prepared.len() as f64;
 
-    let mut csv = String::from(
-        "m_nm,method,shots,l2_plus_pvb_nm2,epe\n",
-    );
+    let mut csv = String::from("m_nm,method,shots,l2_plus_pvb_nm2,epe\n");
     for &m_nm in &sweep {
         let rule = CircleRuleConfig {
             sample_distance_nm: m_nm,

@@ -39,10 +39,7 @@ fn main() {
     let mut summary = MetricTable::new("Table 3 (averages)");
     for ((name, _), table) in variants.iter().zip(&per_case) {
         exp.emit(
-            &format!(
-                "table3_{}",
-                name.to_lowercase().replace([' ', '/'], "_")
-            ),
+            &format!("table3_{}", name.to_lowercase().replace([' ', '/'], "_")),
             table,
         );
         summary.push(MetricRow::new(*name, table.average()));

@@ -25,9 +25,8 @@ fn main() {
     let writer = WriterModel::new(n, px * 4.0, EbeamPsf::forward_only(30.0));
     let noise_sigma = 0.08;
 
-    let mut csv = String::from(
-        "case,fracturing,shots,write_time_ms,clean_error_px,noisy_error_px\n",
-    );
+    let mut csv =
+        String::from("case,fracturing,shots,write_time_ms,clean_error_px,noisy_error_px\n");
     println!(
         "{:<8} {:>12} {:>7} {:>12} {:>12} {:>12}",
         "case", "fracturing", "#shots", "t_write(ms)", "err_clean", "err_noisy"
@@ -43,13 +42,11 @@ fn main() {
         for (name, shots) in [("rect", rect_shots), ("circle", circle_shots)] {
             let intended = intended_pattern(&shots, n);
             // PEC first — both writers get the same correction budget.
-            let corrected =
-                correct_proximity(&writer, &shots, &PecConfig::default()).shots;
+            let corrected = correct_proximity(&writer, &shots, &PecConfig::default()).shots;
             let clean = writer.writing_error(&corrected, &intended);
             let noisy: usize = (0..4)
                 .map(|seed| {
-                    let noisy_shots =
-                        WriterModel::with_dose_noise(&corrected, noise_sigma, seed);
+                    let noisy_shots = WriterModel::with_dose_noise(&corrected, noise_sigma, seed);
                     writer.writing_error(&noisy_shots, &intended)
                 })
                 .sum::<usize>()
@@ -57,11 +54,21 @@ fn main() {
             let t_ms = WriterModel::write_time_s(shots.len(), 0.2, 0.3) * 1e3;
             println!(
                 "{:<8} {:>12} {:>7} {:>12.2} {:>12} {:>12}",
-                layout.name, name, shots.len(), t_ms, clean, noisy
+                layout.name,
+                name,
+                shots.len(),
+                t_ms,
+                clean,
+                noisy
             );
             csv.push_str(&format!(
                 "{},{},{},{:.3},{},{}\n",
-                layout.name, name, shots.len(), t_ms, clean, noisy
+                layout.name,
+                name,
+                shots.len(),
+                t_ms,
+                clean,
+                noisy
             ));
         }
     }

@@ -63,8 +63,7 @@ impl Experiment {
             Ok(list) => list
                 .split(',')
                 .map(|t| {
-                    benchmark_case(t.trim().parse().expect("case number"))
-                        .expect("case in 1..=10")
+                    benchmark_case(t.trim().parse().expect("case number")).expect("case in 1..=10")
                 })
                 .collect(),
             Err(_) => all_cases(),
@@ -210,13 +209,14 @@ pub fn banner(what: &str, exp: &Experiment) {
         "### {what} — {0}x{0} px ({1} nm/px), {2} kernels/corner, {3} ILT iters, {4} cases",
         exp.size(),
         exp.pixel_nm(),
-        exp.sim.kernel_set(cfaopc_litho::ProcessCorner::Nominal).kernels().len(),
+        exp.sim
+            .kernel_set(cfaopc_litho::ProcessCorner::Nominal)
+            .kernels()
+            .len(),
         exp.ilt_iterations,
         exp.cases.len()
     );
-    println!(
-        "### paper-native scale: CFAOPC_SIZE=2048 (1 nm/px); defaults favour wall-clock\n"
-    );
+    println!("### paper-native scale: CFAOPC_SIZE=2048 (1 nm/px); defaults favour wall-clock\n");
 }
 
 /// Convenience: does `path` exist already (artifacts reused across bins)?

@@ -260,8 +260,18 @@ mod tests {
     fn overlapping_circles_take_the_max() {
         let circles = SparseCircles {
             circles: vec![
-                CircleParams { x: 14.0, y: 16.0, r: 6.0, q: 1.0 },
-                CircleParams { x: 20.0, y: 16.0, r: 6.0, q: 0.6 },
+                CircleParams {
+                    x: 14.0,
+                    y: 16.0,
+                    r: 6.0,
+                    q: 1.0,
+                },
+                CircleParams {
+                    x: 20.0,
+                    y: 16.0,
+                    r: 6.0,
+                    q: 0.6,
+                },
             ],
         };
         let c = compose(&circles, &cfg(32));
@@ -321,8 +331,18 @@ mod tests {
         };
         let base = SparseCircles {
             circles: vec![
-                CircleParams { x: 12.3, y: 15.1, r: 5.2, q: 0.9 },
-                CircleParams { x: 20.7, y: 18.4, r: 4.1, q: 0.7 },
+                CircleParams {
+                    x: 12.3,
+                    y: 15.1,
+                    r: 5.2,
+                    q: 0.9,
+                },
+                CircleParams {
+                    x: 20.7,
+                    y: 18.4,
+                    r: 4.1,
+                    q: 0.7,
+                },
             ],
         };
         let composite = compose(&base, &config);
@@ -359,7 +379,10 @@ mod tests {
             grad[(21, y)] = -1.0; // right rim pixels want to be brighter
         }
         let grads = c.backward(&grad);
-        assert!(grads[0] < 0.0, "x gradient should point left (descend → right)");
+        assert!(
+            grads[0] < 0.0,
+            "x gradient should point left (descend → right)"
+        );
         assert!(grads[1].abs() < grads[0].abs() * 0.2, "y roughly balanced");
     }
 
@@ -380,7 +403,11 @@ mod tests {
             }
         }
         let grads = c.backward(&grad);
-        assert!(grads[2] < 0.0, "radius gradient should be negative, got {}", grads[2]);
+        assert!(
+            grads[2] < 0.0,
+            "radius gradient should be negative, got {}",
+            grads[2]
+        );
     }
 
     #[test]

@@ -241,19 +241,18 @@ fn run_circleopt_impl(
     type BackwardFn<'b> = Box<dyn Fn(&cfaopc_grid::Grid2D<f64>) -> Vec<f64> + 'b>;
     for _ in 0..config.circle_iterations {
         circles.set_from_flat(&flat);
-        let (mask, backward): (_, BackwardFn<'_>) =
-            match config.composition {
-                Composition::Max => {
-                    let composite = compose(&circles, &compose_cfg);
-                    let mask = composite.mask.clone();
-                    (mask, Box::new(move |g| composite.backward(g)))
-                }
-                Composition::Softmax { beta } => {
-                    let composite = crate::soft::compose_soft(&circles, &compose_cfg, beta);
-                    let mask = composite.mask.clone();
-                    (mask, Box::new(move |g| composite.backward(g)))
-                }
-            };
+        let (mask, backward): (_, BackwardFn<'_>) = match config.composition {
+            Composition::Max => {
+                let composite = compose(&circles, &compose_cfg);
+                let mask = composite.mask.clone();
+                (mask, Box::new(move |g| composite.backward(g)))
+            }
+            Composition::Softmax { beta } => {
+                let composite = crate::soft::compose_soft(&circles, &compose_cfg, beta);
+                let mask = composite.mask.clone();
+                (mask, Box::new(move |g| composite.backward(g)))
+            }
+        };
         let (loss, grad_mask) = loss_and_gradient(sim, &mask, &target_real, config.weights)?;
         let mut grads = backward(&grad_mask);
         // Lasso sparsity on the activations (Eq. 17): subgradient
@@ -341,7 +340,10 @@ mod tests {
         let result = run_circleopt(&s, &target, &cfg).unwrap();
         let first = result.history.first().unwrap().loss.total;
         let last = result.history.last().unwrap().loss.total;
-        assert!(last < first, "circle ILT failed to descend: {first} -> {last}");
+        assert!(
+            last < first,
+            "circle ILT failed to descend: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -403,8 +405,7 @@ mod tests {
             circle_iterations: 5,
             ..fast_cfg()
         };
-        let restarted =
-            run_circleopt_from(&s, &target, &more, first.circles.clone()).unwrap();
+        let restarted = run_circleopt_from(&s, &target, &more, first.circles.clone()).unwrap();
         assert_eq!(restarted.history.len(), 5);
         assert!(restarted.shot_count() > 0);
         // The warm start skips stage 1 entirely.
@@ -412,7 +413,10 @@ mod tests {
         // Restarting must not blow up the objective.
         let before = first.history.last().unwrap().loss.total;
         let after = restarted.history.last().unwrap().loss.total;
-        assert!(after < before * 1.5, "restart regressed: {before} -> {after}");
+        assert!(
+            after < before * 1.5,
+            "restart regressed: {before} -> {after}"
+        );
     }
 
     #[test]

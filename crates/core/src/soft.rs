@@ -160,8 +160,18 @@ mod tests {
     fn two_circles() -> SparseCircles {
         SparseCircles {
             circles: vec![
-                CircleParams { x: 12.3, y: 15.1, r: 5.2, q: 0.9 },
-                CircleParams { x: 18.7, y: 16.4, r: 4.1, q: 0.7 },
+                CircleParams {
+                    x: 12.3,
+                    y: 15.1,
+                    r: 5.2,
+                    q: 0.9,
+                },
+                CircleParams {
+                    x: 18.7,
+                    y: 16.4,
+                    r: 4.1,
+                    q: 0.7,
+                },
             ],
         }
     }
@@ -244,8 +254,18 @@ mod tests {
         // gradient at each pixel; the softmax spreads it to both.
         let circles = SparseCircles {
             circles: vec![
-                CircleParams { x: 16.0, y: 16.0, r: 6.0, q: 1.0 },
-                CircleParams { x: 16.0, y: 16.0, r: 6.0, q: 0.8 },
+                CircleParams {
+                    x: 16.0,
+                    y: 16.0,
+                    r: 6.0,
+                    q: 1.0,
+                },
+                CircleParams {
+                    x: 16.0,
+                    y: 16.0,
+                    r: 6.0,
+                    q: 0.8,
+                },
             ],
         };
         let config = cfg(32);

@@ -39,10 +39,9 @@ impl Default for PecConfig {
 fn probe(shot: &DosedShot) -> Point {
     match shot {
         DosedShot::Circle { shot, .. } => shot.center(),
-        DosedShot::Rect { rect, .. } => Point::new(
-            (rect.x0 + rect.x1) / 2,
-            (rect.y0 + rect.y1) / 2,
-        ),
+        DosedShot::Rect { rect, .. } => {
+            Point::new((rect.x0 + rect.x1) / 2, (rect.y0 + rect.y1) / 2)
+        }
     }
 }
 
@@ -72,11 +71,7 @@ pub fn correct_proximity(
             .iter()
             .map(|s| {
                 let p = probe(s);
-                let got = delivered
-                    .get(p)
-                    .copied()
-                    .unwrap_or(config.target)
-                    .max(1e-6);
+                let got = delivered.get(p).copied().unwrap_or(config.target).max(1e-6);
                 let ideal = s.dose() * config.target / got;
                 let damped = s.dose() + config.damping * (ideal - s.dose());
                 let clamped = damped.clamp(config.dose_range.0, config.dose_range.1);

@@ -74,8 +74,7 @@ impl EbeamPsf {
             for kx in 0..n {
                 let fx = signed_freq(kx, n) as f64 * freq_step;
                 let nu2 = fx * fx + fy * fy;
-                out[ky * n + kx] =
-                    norm * ((-a2 * nu2).exp() + self.eta * (-b2 * nu2).exp());
+                out[ky * n + kx] = norm * ((-a2 * nu2).exp() + self.eta * (-b2 * nu2).exp());
             }
         }
         out

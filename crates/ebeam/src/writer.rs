@@ -239,7 +239,11 @@ mod tests {
             dose: 1.0,
         }];
         let delivered = w.expose(&shots);
-        assert!((delivered[(64, 64)] - 1.0).abs() < 1e-6, "{}", delivered[(64, 64)]);
+        assert!(
+            (delivered[(64, 64)] - 1.0).abs() < 1e-6,
+            "{}",
+            delivered[(64, 64)]
+        );
         assert!(delivered[(4, 4)] < 0.05);
         // The edge delivers ~half dose (Gaussian symmetric).
         assert!((delivered[(20, 64)] - 0.5).abs() < 0.1);
@@ -350,7 +354,9 @@ mod tests {
     #[test]
     fn write_time_scales_with_shots() {
         assert_eq!(WriterModel::write_time_s(1000, 0.2, 0.3), 5e-4);
-        assert!(WriterModel::write_time_s(100, 0.2, 0.3) < WriterModel::write_time_s(200, 0.2, 0.3));
+        assert!(
+            WriterModel::write_time_s(100, 0.2, 0.3) < WriterModel::write_time_s(200, 0.2, 0.3)
+        );
     }
 
     #[test]

@@ -16,12 +16,12 @@ fn arb_shots() -> impl Strategy<Value = Vec<DosedShot>> {
                     dose: d,
                 }
             }),
-            (8i32..48, 8i32..48, 2i32..10, 2i32..10, 0.5f64..1.5).prop_map(
-                |(x, y, w, h, d)| DosedShot::Rect {
+            (8i32..48, 8i32..48, 2i32..10, 2i32..10, 0.5f64..1.5).prop_map(|(x, y, w, h, d)| {
+                DosedShot::Rect {
                     rect: Rect::new(x, y, x + w, y + h),
                     dose: d,
                 }
-            ),
+            }),
         ],
         1..6,
     )

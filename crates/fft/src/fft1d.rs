@@ -31,7 +31,10 @@ impl fmt::Display for FftError {
                 write!(f, "fft length {n} is not a nonzero power of two")
             }
             FftError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match plan length {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match plan length {expected}"
+                )
             }
         }
     }
@@ -241,10 +244,7 @@ mod tests {
     fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!(
-                (*x - *y).abs() < tol,
-                "mismatch at {i}: {x:?} vs {y:?}"
-            );
+            assert!((*x - *y).abs() < tol, "mismatch at {i}: {x:?} vs {y:?}");
         }
     }
 
@@ -258,7 +258,10 @@ mod tests {
     fn rejects_non_power_of_two() {
         assert!(matches!(Fft::new(0), Err(FftError::LengthNotPowerOfTwo(0))));
         assert!(matches!(Fft::new(3), Err(FftError::LengthNotPowerOfTwo(3))));
-        assert!(matches!(Fft::new(12), Err(FftError::LengthNotPowerOfTwo(12))));
+        assert!(matches!(
+            Fft::new(12),
+            Err(FftError::LengthNotPowerOfTwo(12))
+        ));
         assert!(Fft::new(16).is_ok());
     }
 
@@ -268,7 +271,10 @@ mod tests {
         let mut buf = vec![Complex::ZERO; 4];
         assert!(matches!(
             fft.forward(&mut buf),
-            Err(FftError::LengthMismatch { expected: 8, actual: 4 })
+            Err(FftError::LengthMismatch {
+                expected: 8,
+                actual: 4
+            })
         ));
     }
 
@@ -360,15 +366,13 @@ mod tests {
     fn linearity() {
         let n = 64;
         let a = ramp(n);
-        let b: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).cos(), 0.3)).collect();
+        let b: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).cos(), 0.3))
+            .collect();
         let fft = Fft::new(n).unwrap();
         let alpha = Complex::new(1.5, -0.5);
 
-        let mut lhs: Vec<Complex> = a
-            .iter()
-            .zip(&b)
-            .map(|(&x, &y)| alpha * x + y)
-            .collect();
+        let mut lhs: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| alpha * x + y).collect();
         fft.forward(&mut lhs).unwrap();
 
         let mut fa = a.clone();

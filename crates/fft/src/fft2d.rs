@@ -1,17 +1,20 @@
 //! Two-dimensional FFT on row-major buffers.
 //!
 //! The 2-D transform is separable: FFT every row, transpose, FFT every
-//! (former) column, transpose back. Row passes are striped across threads
-//! with [`crate::parallel::par_chunks_mut`]; the transpose is cache-blocked.
+//! (former) column, transpose back. Row passes are striped across the
+//! persistent pool with [`crate::parallel::par_chunks_mut`]; the transpose
+//! is cache-blocked and works in a pooled scratch buffer, so steady-state
+//! transforms allocate nothing.
 
 use crate::complex::Complex;
 use crate::fft1d::{Direction, Fft, FftError};
 use crate::parallel::par_chunks_mut;
+use crate::workspace::BufferPool;
 
 /// A reusable plan for 2-D FFTs of a fixed `height × width` shape.
 ///
 /// Both dimensions must be powers of two. The plan is `Send + Sync` and
-/// cheap to clone.
+/// cheap to clone; clones share the plan's scratch-buffer pool.
 ///
 /// # Examples
 ///
@@ -33,6 +36,8 @@ pub struct Fft2d {
     width: usize,
     row_fft: Fft,
     col_fft: Fft,
+    /// Recycled transpose scratch buffers (shared across clones).
+    scratch: BufferPool<Complex>,
 }
 
 impl Fft2d {
@@ -48,6 +53,7 @@ impl Fft2d {
             width,
             row_fft: Fft::new(width)?,
             col_fft: Fft::new(height)?,
+            scratch: BufferPool::new(),
         })
     }
 
@@ -113,34 +119,87 @@ impl Fft2d {
         self.execute(data, Direction::Inverse)
     }
 
+    /// In-place forward 2-D DFT that stays on the calling thread.
+    ///
+    /// Use inside an outer parallel region (e.g. the per-kernel loop of the
+    /// Hopkins model) where nesting another region would only thrash the
+    /// pool. Bit-identical to [`Fft2d::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len() != height*width`.
+    pub fn forward_serial(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        self.execute_with(data, Direction::Forward, false)
+    }
+
+    /// In-place inverse 2-D DFT that stays on the calling thread.
+    ///
+    /// See [`Fft2d::forward_serial`]; bit-identical to [`Fft2d::inverse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len() != height*width`.
+    pub fn inverse_serial(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        self.execute_with(data, Direction::Inverse, false)
+    }
+
     /// In-place transform in the given [`Direction`].
     ///
     /// # Errors
     ///
     /// Returns [`FftError::LengthMismatch`] if `data.len() != height*width`.
     pub fn execute(&self, data: &mut [Complex], dir: Direction) -> Result<(), FftError> {
+        self.execute_with(data, dir, true)
+    }
+
+    /// Shared body of the parallel and serial entry points. The row/column
+    /// passes write disjoint chunks and perform no cross-chunk reductions,
+    /// so the parallel and serial results are bit-identical.
+    fn execute_with(
+        &self,
+        data: &mut [Complex],
+        dir: Direction,
+        parallel: bool,
+    ) -> Result<(), FftError> {
         self.check(data)?;
-        // Pass 1: FFT all rows in parallel.
+        // Pass 1: FFT all rows.
         let row_fft = &self.row_fft;
-        par_chunks_mut(data, self.width, |_, row| {
+        let row_pass = |row: &mut [Complex]| {
             row_fft
                 .transform(row, dir)
                 .expect("row length matches plan by construction");
-        });
-        // Pass 2: transpose, FFT rows (former columns), transpose back.
-        let mut scratch = transpose(data, self.height, self.width);
+        };
+        if parallel {
+            par_chunks_mut(data, self.width, |_, row| row_pass(row));
+        } else {
+            data.chunks_mut(self.width).for_each(row_pass);
+        }
+        // Pass 2: transpose into pooled scratch, FFT rows (former columns),
+        // transpose back. The scratch is fully overwritten, so recycled
+        // contents never leak through.
+        let mut scratch = self.scratch.take(data.len());
+        transpose_into(data, self.height, self.width, &mut scratch);
         let col_fft = &self.col_fft;
-        par_chunks_mut(&mut scratch, self.height, |_, col| {
+        let col_pass = |col: &mut [Complex]| {
             col_fft
                 .transform(col, dir)
                 .expect("column length matches plan by construction");
-        });
+        };
+        if parallel {
+            par_chunks_mut(&mut scratch, self.height, |_, col| col_pass(col));
+        } else {
+            scratch.chunks_mut(self.height).for_each(col_pass);
+        }
         transpose_into(&scratch, self.width, self.height, data);
+        self.scratch.put(scratch);
         Ok(())
     }
 }
 
 /// Cache-blocked out-of-place transpose of a `rows × cols` buffer.
+/// (Production code transposes into pooled scratch via [`transpose_into`];
+/// this allocating wrapper remains for the involution test.)
+#[cfg(test)]
 fn transpose(src: &[Complex], rows: usize, cols: usize) -> Vec<Complex> {
     let mut dst = vec![Complex::ZERO; src.len()];
     transpose_into(src, rows, cols, &mut dst);

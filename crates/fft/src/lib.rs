@@ -6,9 +6,11 @@
 //!
 //! * [`Complex`] — a 16-byte double-precision complex number,
 //! * [`Fft`] — a reusable 1-D radix-2 plan with precomputed twiddles,
-//! * [`Fft2d`] — a separable, thread-parallel 2-D plan,
-//! * [`parallel`] — the scoped-thread helpers the rest of the workspace
-//!   reuses for data-parallel loops,
+//! * [`Fft2d`] — a separable, thread-parallel 2-D plan with pooled
+//!   (steady-state allocation-free) transpose scratch,
+//! * [`parallel`] — persistent-worker-pool helpers the rest of the
+//!   workspace reuses for data-parallel loops,
+//! * [`workspace`] — recyclable buffer pools for hot-loop scratch space,
 //! * [`naive_dft`] — an O(n²) reference transform for tests.
 //!
 //! # Examples
@@ -39,14 +41,20 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent worker pool in [`parallel`]
+// lends non-`'static` closures to long-lived threads, which requires three
+// tightly-scoped `#[allow(unsafe_code)]` blocks (each with a safety
+// argument). Everything else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod complex;
 mod fft1d;
 mod fft2d;
 pub mod parallel;
+pub mod workspace;
 
 pub use complex::Complex;
 pub use fft1d::{naive_dft, Direction, Fft, FftError};
 pub use fft2d::{signed_freq, Fft2d};
+pub use workspace::BufferPool;

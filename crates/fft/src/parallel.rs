@@ -1,40 +1,330 @@
-//! Tiny scoped-thread data-parallel helpers.
+//! Persistent-pool data-parallel helpers.
 //!
 //! The lithography pipeline is embarrassingly parallel across FFT rows,
-//! optical kernels and circle shots. Rather than pull in a work-stealing
-//! runtime we stripe slices across `std::thread::scope` workers; the unit
-//! of work here is large (an entire FFT row, a whole kernel convolution)
-//! so static striping is within noise of a real scheduler.
+//! optical kernels and circle shots, and the optimizer calls into these
+//! helpers thousands of times per run. Rather than spawn scoped threads on
+//! every call (the original design) or pull in a work-stealing runtime, this
+//! module keeps one **process-wide worker pool**: long-lived threads created
+//! lazily on the first parallel region and reused for every region after
+//! that, so steady-state parallel calls spawn zero new OS threads.
+//!
+//! How a region runs:
+//!
+//! 1. The caller publishes a [`Region`] (an atomic work cursor over `0..n`
+//!    plus a type-erased reference to the closure) on the pool's queue and
+//!    wakes the workers.
+//! 2. Workers and the caller all claim indices through the cursor — dynamic
+//!    claiming, so uneven work balances out; the unit of work (an FFT row
+//!    block, a whole kernel convolution) is large enough that the claim
+//!    cost is noise.
+//! 3. The caller participates until the cursor is exhausted, then blocks
+//!    until every claimed index has finished. Only then does it return,
+//!    which is what makes lending the non-`'static` closure to the pool
+//!    sound.
+//!
+//! Panics inside a task are caught on the worker, carried back, and resumed
+//! on the calling thread once the region has fully drained; the workers
+//! themselves survive. Regions are reentrant: a task may itself open a
+//! nested parallel region (the nested caller participates in its own
+//! region, so progress is always guaranteed), although the hot paths in
+//! `cfaopc-litho` deliberately flatten nesting instead — one parallel
+//! region with serial FFTs inside beats thread-thrashing nested regions.
+//!
+//! `CFAOPC_THREADS` overrides the worker count; it is read **once**, when
+//! the pool configuration is first consulted, and clamped to `[1, 32]`.
+//! `CFAOPC_THREADS=1` keeps everything on the calling thread and never
+//! creates the pool. Unparsable values emit a warning on stderr and fall
+//! back to auto-detection. [`with_worker_limit`] narrows the count further
+//! for a scope (e.g. benchmarking scaling curves, or forcing a bit-exact
+//! serial run next to a parallel one in tests).
 
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// Returns the worker count used by the helpers in this module:
-/// `available_parallelism`, clamped to `[1, 32]`, and overridable with the
-/// `CFAOPC_THREADS` environment variable (useful to force serial runs in
-/// tests or CI).
+/// Upper bound on pool size; beyond this the FFT row blocks are too small
+/// for extra threads to pay for themselves.
+const MAX_WORKERS: usize = 32;
+
+/// Returns the configured worker count: `CFAOPC_THREADS` if set and valid,
+/// else `available_parallelism`, both clamped to `[1, 32]`.
+///
+/// The value is computed once per process (the persistent pool is sized by
+/// it); changing the environment variable afterwards has no effect.
+/// Unparsable values are ignored with a warning on stderr.
 pub fn worker_count() -> usize {
-    if let Ok(v) = std::env::var("CFAOPC_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.clamp(1, 128);
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| {
+        if let Ok(v) = std::env::var("CFAOPC_THREADS") {
+            match v.trim().parse::<usize>() {
+                Ok(n) => return n.clamp(1, MAX_WORKERS),
+                Err(_) => {
+                    eprintln!(
+                        "cfaopc-fft: warning: CFAOPC_THREADS={v:?} is not a valid \
+                         thread count; falling back to auto-detection"
+                    );
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, MAX_WORKERS)
+    })
+}
+
+thread_local! {
+    static WORKER_LIMIT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Runs `f` with parallel regions on this thread capped at `limit` workers
+/// (including the calling thread). `limit == 1` forces fully serial, inline
+/// execution — bit-identical to what a `CFAOPC_THREADS=1` process computes —
+/// which is how the test suite compares serial and parallel results within
+/// one process. Limits nest; the innermost one wins.
+pub fn with_worker_limit<R>(limit: usize, f: impl FnOnce() -> R) -> R {
+    let limit = limit.max(1);
+    let prev = WORKER_LIMIT.with(|l| l.replace(limit));
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKER_LIMIT.with(|l| l.set(self.0));
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .clamp(1, 32)
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Worker count after applying the scoped [`with_worker_limit`] cap.
+fn effective_workers() -> usize {
+    worker_count().min(WORKER_LIMIT.with(|l| l.get()))
+}
+
+/// Number of OS threads the persistent pool has spawned so far (0 until the
+/// first parallel region runs, then constant). Exposed for benchmarks and
+/// the steady-state "zero new threads" test.
+pub fn pool_thread_count() -> usize {
+    POOL.get().map_or(0, |p| p.spawned)
+}
+
+/// Type-erased borrow of a region body. The region protocol (caller blocks
+/// until all claimed indices finish) keeps the borrow alive for as long as
+/// any thread can dereference it.
+#[derive(Clone, Copy)]
+struct RawTask(&'static (dyn Fn(usize) + Sync));
+
+/// One parallel region: an atomic cursor over `0..n` plus completion
+/// tracking. Shared between the caller and the pool workers via `Arc`.
+struct Region {
+    task: RawTask,
+    n: usize,
+    /// Next unclaimed index; claims beyond `n` mean "exhausted".
+    next: AtomicUsize,
+    /// Finished task count; the region is complete when it reaches `n`.
+    done: AtomicUsize,
+    /// Cap on pool workers attached concurrently (caller not counted).
+    max_extra: usize,
+    /// Pool workers currently attached.
+    extra: AtomicUsize,
+    /// Completion flag + first caught panic, guarded for the condvar.
+    state: Mutex<RegionState>,
+    finished: Condvar,
+}
+
+struct RegionState {
+    complete: bool,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Region {
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.n
+    }
+
+    /// Reserves an attachment slot for a pool worker, respecting the cap.
+    fn try_attach(&self) -> bool {
+        let mut cur = self.extra.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max_extra {
+                return false;
+            }
+            match self.extra.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn detach(&self) {
+        self.extra.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Claims and runs indices until the cursor is exhausted. Panics from
+    /// the task body are caught and recorded (first one wins); every claimed
+    /// index still counts toward completion so the caller never hangs.
+    fn participate(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| (self.task.0)(i)));
+            if let Err(payload) = result {
+                let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                st.panic.get_or_insert(payload);
+            }
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+                let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                st.complete = true;
+                self.finished.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every index has finished, then surfaces the first panic.
+    fn wait_and_propagate(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while !st.complete {
+            st = self.finished.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// The process-wide pool: a queue of active regions and the workers that
+/// drain it.
+struct Pool {
+    shared: Arc<PoolShared>,
+    /// Worker threads spawned (pool size minus the participating caller).
+    spawned: usize,
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<Region>>>,
+    work_available: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    fn global() -> &'static Pool {
+        POOL.get_or_init(|| {
+            let shared = Arc::new(PoolShared {
+                queue: Mutex::new(VecDeque::new()),
+                work_available: Condvar::new(),
+            });
+            let spawned = worker_count().saturating_sub(1);
+            for i in 0..spawned {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cfaopc-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning pool worker");
+            }
+            Pool { shared, spawned }
+        })
+    }
+
+    fn inject(&self, region: Arc<Region>) {
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(region);
+        drop(q);
+        self.shared.work_available.notify_all();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let region = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                // Retire exhausted regions from the front; their caller holds
+                // its own Arc and is responsible for completion.
+                while q.front().is_some_and(|r| r.exhausted()) {
+                    q.pop_front();
+                }
+                // First region with free work and a free attachment slot.
+                let claimed = q.iter().find(|r| !r.exhausted() && r.try_attach()).cloned();
+                match claimed {
+                    Some(r) => break r,
+                    None => {
+                        q = shared
+                            .work_available
+                            .wait(q)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        };
+        region.participate();
+        region.detach();
+        if !region.exhausted() {
+            // We hit the attachment cap race or bailed early: let a sleeping
+            // worker reconsider the region.
+            shared.work_available.notify_all();
+        }
+    }
+}
+
+/// Runs `f(0..n)` on the persistent pool with at most `workers` threads
+/// (including the caller). Blocks until the whole region has finished;
+/// resumes the first panic on the calling thread.
+///
+/// # Safety-by-protocol
+///
+/// The closure reference is lifetime-erased before it is shared with the
+/// pool. This is sound because (a) the caller does not return until
+/// `done == n`, i.e. every dereference has completed, and (b) once the
+/// cursor passes `n`, workers only touch the region's atomics, never the
+/// closure.
+fn run_region(n: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
+    debug_assert!(n > 1 && workers > 1);
+    // SAFETY: see "Safety-by-protocol" above — the borrow outlives every
+    // dereference because this function blocks until the region drains.
+    #[allow(unsafe_code)]
+    let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    let region = Arc::new(Region {
+        task: RawTask(task),
+        n,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        max_extra: workers - 1,
+        extra: AtomicUsize::new(0),
+        state: Mutex::new(RegionState {
+            complete: false,
+            panic: None,
+        }),
+        finished: Condvar::new(),
+    });
+    let pool = Pool::global();
+    if pool.spawned > 0 {
+        pool.inject(Arc::clone(&region));
+    }
+    region.participate();
+    region.wait_and_propagate();
 }
 
 /// Applies `f` to equal-length mutable chunks of `data` in parallel.
 ///
 /// `f` receives the chunk index (i.e. `offset / chunk_len`) and the chunk.
 /// The final chunk may be shorter when `data.len()` is not a multiple of
-/// `chunk_len`. Runs serially when only one worker is available or the
-/// input is small.
+/// `chunk_len`. Runs serially (inline, spawning nothing) when only one
+/// worker is configured or there is at most one chunk.
 ///
 /// # Panics
 ///
-/// Panics if `chunk_len == 0`. Panics propagate from `f` (the scope joins
-/// all workers first).
+/// Panics if `chunk_len == 0`. Panics propagate from `f` (the region drains
+/// fully before the panic resumes on this thread).
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
 where
     T: Send,
@@ -42,38 +332,29 @@ where
 {
     assert!(chunk_len > 0, "chunk_len must be positive");
     let n_chunks = data.len().div_ceil(chunk_len);
-    let workers = worker_count().min(n_chunks.max(1));
+    let workers = effective_workers().min(n_chunks.max(1));
     if workers <= 1 || n_chunks <= 1 {
         for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(idx, chunk);
         }
         return;
     }
-    type Slot<'s, T> = std::sync::Mutex<Option<(usize, &'s mut [T])>>;
-    let next = AtomicUsize::new(0);
-    // Hand out chunks through an atomic cursor over an indexed pool; each
-    // worker repeatedly claims the next unprocessed chunk.
-    let pool: Vec<Slot<'_, T>> = data
-        .chunks_mut(chunk_len)
-        .enumerate()
-        .map(|c| std::sync::Mutex::new(Some(c)))
-        .collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= pool.len() {
-                    break;
-                }
-                if let Some((idx, chunk)) = pool[i].lock().unwrap().take() {
-                    f(idx, chunk);
-                }
-            });
-        }
+    let len = data.len();
+    let base = SendPtr(data.as_mut_ptr());
+    run_region(n_chunks, workers, &|i| {
+        let start = i * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // SAFETY: chunk index `i` is claimed exactly once per region, and
+        // distinct indices map to disjoint `[start, end)` windows of `data`,
+        // so no two live `&mut` slices alias. `data` outlives the region
+        // because `run_region` blocks until all tasks finish.
+        #[allow(unsafe_code)]
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.at(start), end - start) };
+        f(i, chunk);
     });
 }
 
-/// Runs `f(i)` for every `i in 0..n` in parallel.
+/// Runs `f(i)` for every `i in 0..n` in parallel on the persistent pool.
 ///
 /// Use for index-driven work where each iteration owns its output slot via
 /// interior mutability or returns through `f`'s captured state. Iterations
@@ -82,40 +363,75 @@ pub fn par_for<F>(n: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
-    let workers = worker_count().min(n.max(1));
+    let workers = effective_workers().min(n.max(1));
     if workers <= 1 || n <= 1 {
         for i in 0..n {
             f(i);
         }
         return;
     }
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                f(i);
-            });
-        }
-    });
+    run_region(n, workers, &f);
 }
 
+/// Wrapper making a raw pointer `Send + Sync` so region tasks can write
+/// disjoint slots of a shared buffer.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer offset by `i` elements. Going through a method
+    /// keeps closures capturing the (Sync) wrapper, not the raw field.
+    fn at(&self, i: usize) -> *mut T {
+        // Caller guarantees `i` is in bounds of the owning buffer.
+        #[allow(unsafe_code)]
+        unsafe {
+            self.0.add(i)
+        }
+    }
+}
+
+#[allow(unsafe_code)]
+// SAFETY: every use in this module writes through disjoint, exactly-once
+// claimed offsets, and the owning buffer outlives the region.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+#[allow(unsafe_code)]
+// SAFETY: as above — the pointer is only dereferenced at disjoint offsets.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
 /// Maps `f` over `0..n` in parallel and collects the results in order.
+///
+/// Unlike the earlier scoped implementation this needs no `Default + Clone`
+/// bound and allocates no per-element synchronization: results are written
+/// straight into the output vector's slots. If `f` panics, the panic
+/// resumes on the caller and the values produced by other iterations are
+/// leaked (their destructors do not run) — acceptable for the numeric
+/// buffers this workspace maps over.
 pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
 where
-    T: Send + Default + Clone,
+    T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let mut out = vec![T::default(); n];
-    {
-        let slots: Vec<std::sync::Mutex<&mut T>> =
-            out.iter_mut().map(std::sync::Mutex::new).collect();
-        par_for(n, |i| {
-            **slots[i].lock().unwrap() = f(i);
-        });
+    let workers = effective_workers().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let base = SendPtr(out.as_mut_ptr());
+    run_region(n, workers, &|i| {
+        let value = f(i);
+        // SAFETY: each index in `0..n < capacity` is claimed exactly once,
+        // so each slot is written exactly once, and the buffer outlives the
+        // region. Until `set_len` below the elements are not owned by the
+        // Vec, hence the documented leak-on-panic.
+        #[allow(unsafe_code)]
+        unsafe {
+            base.at(i).write(value);
+        }
+    });
+    // All n slots are initialized: run_region returns only after every
+    // index completed, and a panic would have propagated above.
+    #[allow(unsafe_code)]
+    unsafe {
+        out.set_len(n);
     }
     out
 }
@@ -177,6 +493,16 @@ mod tests {
     }
 
     #[test]
+    fn par_map_without_default_bound() {
+        // String: Send but the old `T: Default + Clone` path never cloned
+        // correctly-ordered non-trivial values through slots this cheaply.
+        let out = par_map(64, |i| format!("item-{i}"));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v, &format!("item-{i}"));
+        }
+    }
+
+    #[test]
     fn par_for_handles_zero_and_one() {
         par_for(0, |_| panic!("must not run"));
         let hit = AtomicU64::new(0);
@@ -184,5 +510,51 @@ mod tests {
             hit.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_limit_is_scoped_and_restored() {
+        let outer = worker_count();
+        with_worker_limit(1, || {
+            assert_eq!(super::effective_workers(), 1);
+            with_worker_limit(5, || {
+                assert_eq!(super::effective_workers(), outer.min(5));
+            });
+            assert_eq!(super::effective_workers(), 1);
+        });
+        assert_eq!(super::effective_workers(), outer);
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_region() {
+        let result = std::panic::catch_unwind(|| {
+            par_for(64, |i| {
+                if i == 13 {
+                    panic!("boom at 13");
+                }
+            });
+        });
+        let err = result.expect_err("panic must propagate to the caller");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 13"), "unexpected payload: {msg}");
+        // The pool still works afterwards.
+        let out = par_map(128, |i| i + 1);
+        assert_eq!(out.iter().sum::<usize>(), (1..=128).sum::<usize>());
+    }
+
+    #[test]
+    fn nested_regions_do_not_deadlock() {
+        let out = par_map(8, |i| {
+            let inner = par_map(16, move |j| i * 100 + j);
+            inner.iter().sum::<usize>()
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (0..16).map(|j| i * 100 + j).sum::<usize>());
+        }
     }
 }

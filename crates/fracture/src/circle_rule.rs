@@ -411,7 +411,12 @@ mod tests {
         );
         assert_eq!(default.shot_count(), literal.shot_count());
         for (a, b) in default.shots().iter().zip(literal.shots()) {
-            assert!(b.r - a.r <= 1 && b.r >= a.r, "default {} literal {}", a.r, b.r);
+            assert!(
+                b.r - a.r <= 1 && b.r >= a.r,
+                "default {} literal {}",
+                a.r,
+                b.r
+            );
         }
     }
 
@@ -422,7 +427,11 @@ mod tests {
         fill_circle(&mut mask, Point::new(180, 60), 10);
         fill_rect(&mut mask, Rect::new(40, 150, 220, 170));
         let circles = circle_rule(&mask, &cfg(), PX);
-        for &c in &[Point::new(40, 40), Point::new(180, 60), Point::new(130, 160)] {
+        for &c in &[
+            Point::new(40, 40),
+            Point::new(180, 60),
+            Point::new(130, 160),
+        ] {
             assert!(
                 circles.shots().iter().any(|s| s.center().dist(c) < 60.0),
                 "no shot near region at {c}"

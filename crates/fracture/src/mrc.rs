@@ -122,10 +122,7 @@ pub fn check_mrc(mask: &CircularMask, rules: &MrcRules) -> MrcReport {
     for i in 0..shots.len() {
         for j in (i + 1)..shots.len() {
             let g = gap(&shots[i], &shots[j]);
-            if g > 0.0
-                && g < rules.min_spacing
-                && find(&mut parent, i) != find(&mut parent, j)
-            {
+            if g > 0.0 && g < rules.min_spacing && find(&mut parent, i) != find(&mut parent, j) {
                 report
                     .violations
                     .push(MrcViolation::SpacingTooSmall { a: i, b: j, gap: g });
@@ -176,17 +173,17 @@ mod tests {
         ));
         assert!(matches!(
             report.violations[1],
-            MrcViolation::RadiusTooLarge { shot: 1, radius: 25 }
+            MrcViolation::RadiusTooLarge {
+                shot: 1,
+                radius: 25
+            }
         ));
     }
 
     #[test]
     fn near_miss_spacing_is_flagged() {
         // Gap = 14 - 12 = 2 < 4 and the shots do not overlap.
-        let m = CircularMask::from_shots(vec![
-            CircleShot::new(0, 0, 6),
-            CircleShot::new(14, 0, 6),
-        ]);
+        let m = CircularMask::from_shots(vec![CircleShot::new(0, 0, 6), CircleShot::new(14, 0, 6)]);
         let report = check_mrc(&m, &rules());
         assert_eq!(report.violations.len(), 1);
         assert!(matches!(

@@ -113,7 +113,7 @@ impl ShotList {
             .next()
             .and_then(|t| t.parse().ok())
             .ok_or(ShotListError::BadGrid)?;
-        if width == 0 || height == 0 || !(pixel_nm > 0.0) {
+        if width == 0 || height == 0 || pixel_nm.is_nan() || pixel_nm <= 0.0 {
             return Err(ShotListError::BadGrid);
         }
 
@@ -140,12 +140,7 @@ impl ShotList {
                 return Err(ShotListError::BadLine(i + 1, line.to_string()));
             }
             let (x, y, r) = (vals[0], vals[1], vals[2]);
-            if r <= 0
-                || x < 0
-                || y < 0
-                || x >= width as i64
-                || y >= height as i64
-            {
+            if r <= 0 || x < 0 || y < 0 || x >= width as i64 || y >= height as i64 {
                 return Err(ShotListError::BadShot(i + 1));
             }
             mask.push(CircleShot::new(x as i32, y as i32, r as i32));
@@ -177,10 +172,7 @@ mod tests {
 
     fn sample() -> ShotList {
         ShotList::new(
-            CircularMask::from_shots(vec![
-                CircleShot::new(52, 48, 5),
-                CircleShot::new(60, 48, 7),
-            ]),
+            CircularMask::from_shots(vec![CircleShot::new(52, 48, 5), CircleShot::new(60, 48, 7)]),
             256,
             256,
             8.0,

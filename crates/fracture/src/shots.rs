@@ -143,10 +143,7 @@ mod tests {
 
     #[test]
     fn rasterize_union_of_overlapping_shots() {
-        let m = CircularMask::from_shots(vec![
-            CircleShot::new(8, 8, 4),
-            CircleShot::new(12, 8, 4),
-        ]);
+        let m = CircularMask::from_shots(vec![CircleShot::new(8, 8, 4), CircleShot::new(12, 8, 4)]);
         let raster = m.rasterize(24, 16);
         // Union is bigger than either disk but smaller than their sum.
         let union = raster.count_ones();
@@ -156,10 +153,7 @@ mod tests {
 
     #[test]
     fn bounding_box_covers_all_shots() {
-        let m = CircularMask::from_shots(vec![
-            CircleShot::new(5, 5, 2),
-            CircleShot::new(20, 9, 3),
-        ]);
+        let m = CircularMask::from_shots(vec![CircleShot::new(5, 5, 2), CircleShot::new(20, 9, 3)]);
         let bb = m.bounding_box().unwrap();
         assert_eq!(bb, Rect::new(3, 3, 24, 13));
         assert!(CircularMask::new().bounding_box().is_none());

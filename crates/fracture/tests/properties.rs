@@ -1,8 +1,6 @@
 //! Property-based tests for fracturing.
 
-use cfaopc_fracture::{
-    check_mrc, circle_rule, rect_fracture, CircleRuleConfig, MrcRules,
-};
+use cfaopc_fracture::{check_mrc, circle_rule, rect_fracture, CircleRuleConfig, MrcRules};
 use cfaopc_grid::{fill_circle, fill_rect, BitGrid, Point, Rect};
 use proptest::prelude::*;
 
@@ -19,8 +17,7 @@ fn arb_shapes() -> impl Strategy<Value = Vec<Shape>> {
         prop_oneof![
             (8i32..80, 8i32..80, 3i32..24, 3i32..24)
                 .prop_map(|(x, y, w, h)| Shape::Rect(Rect::new(x, y, x + w, y + h))),
-            (12i32..84, 12i32..84, 3i32..12)
-                .prop_map(|(x, y, r)| Shape::Disk(Point::new(x, y), r)),
+            (12i32..84, 12i32..84, 3i32..12).prop_map(|(x, y, r)| Shape::Disk(Point::new(x, y), r)),
         ],
         1..5,
     )

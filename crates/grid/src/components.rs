@@ -105,8 +105,7 @@ pub fn connected_components(mask: &BitGrid, conn: Connectivity) -> Labeling {
             labels[(x, y)] = label;
             queue.push_back(seed);
             let mut points = Vec::new();
-            let (mut x0, mut y0, mut x1, mut y1) =
-                (seed.x, seed.y, seed.x + 1, seed.y + 1);
+            let (mut x0, mut y0, mut x1, mut y1) = (seed.x, seed.y, seed.x + 1, seed.y + 1);
             while let Some(p) = queue.pop_front() {
                 points.push(p);
                 x0 = x0.min(p.x);
@@ -230,8 +229,14 @@ mod tests {
         let mut m = BitGrid::new(4, 4);
         m.set(0, 0, true);
         m.set(1, 1, true);
-        assert_eq!(connected_components(&m, Connectivity::Four).regions.len(), 2);
-        assert_eq!(connected_components(&m, Connectivity::Eight).regions.len(), 1);
+        assert_eq!(
+            connected_components(&m, Connectivity::Four).regions.len(),
+            2
+        );
+        assert_eq!(
+            connected_components(&m, Connectivity::Eight).regions.len(),
+            1
+        );
     }
 
     #[test]

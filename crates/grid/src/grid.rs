@@ -193,12 +193,10 @@ impl<T> Grid2D<T> {
     /// Iterates over `(Point, &T)` in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (Point, &T)> {
         let w = self.width;
-        self.data.iter().enumerate().map(move |(i, v)| {
-            (
-                Point::new((i % w) as i32, (i / w) as i32),
-                v,
-            )
-        })
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (Point::new((i % w) as i32, (i / w) as i32), v))
     }
 
     /// Borrow of row `y`.

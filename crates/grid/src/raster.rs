@@ -241,7 +241,10 @@ pub fn fill_rectilinear_polygon(mask: &mut BitGrid, vertices: &[Point]) {
 /// Bilinearly upsamples a real grid by an integer `factor`, treating
 /// samples as cell centers. Used to reconstruct smooth curvilinear
 /// boundaries from coarse rasters before native-resolution fracturing.
-pub fn upsample_bilinear(grid: &crate::grid::Grid2D<f64>, factor: usize) -> crate::grid::Grid2D<f64> {
+pub fn upsample_bilinear(
+    grid: &crate::grid::Grid2D<f64>,
+    factor: usize,
+) -> crate::grid::Grid2D<f64> {
     assert!(factor > 0, "factor must be positive");
     let (w, h) = (grid.width(), grid.height());
     let (ow, oh) = (w * factor, h * factor);
@@ -287,7 +290,10 @@ mod tests {
             }
         }
         let u = upsample_bilinear(&g, 4);
-        assert!(u.as_slice().iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)));
+        assert!(u
+            .as_slice()
+            .iter()
+            .all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)));
         // The edge between columns 3 and 4 becomes a gradient.
         let mid = u[(14, 16)];
         assert!(mid > 0.05 && mid < 0.95, "edge not smoothed: {mid}");

@@ -52,7 +52,8 @@ pub fn skeletonize(mask: &BitGrid) -> BitGrid {
     // Zhang–Suen erases 2x2 blocks completely; every input region must
     // keep at least one skeleton pixel (Algorithm 1 samples a point per
     // region), so reinstate the deepest pixel of any vanished region.
-    let regions = crate::components::connected_components(mask, crate::components::Connectivity::Eight);
+    let regions =
+        crate::components::connected_components(mask, crate::components::Connectivity::Eight);
     for region in &regions.regions {
         if region.points.iter().any(|&p| img.at(p)) {
             continue;
@@ -94,9 +95,7 @@ fn removable(img: &BitGrid, x: i32, y: i32, sub_iteration: usize) -> bool {
         return false;
     }
     // A(P1): 0→1 transitions around the ring.
-    let a = (0..8)
-        .filter(|&i| !p[i] && p[(i + 1) % 8])
-        .count();
+    let a = (0..8).filter(|&i| !p[i] && p[(i + 1) % 8]).count();
     if a != 1 {
         return false;
     }
@@ -157,7 +156,10 @@ mod tests {
         // most 2 set pixels (Zhang-Suen can leave short staircases).
         for x in 10..54 {
             let col: usize = (0..32).filter(|&y| s.get(x, y)).count();
-            assert!((1..=2).contains(&col), "column {x} has {col} skeleton pixels");
+            assert!(
+                (1..=2).contains(&col),
+                "column {x} has {col} skeleton pixels"
+            );
         }
     }
 
@@ -191,9 +193,16 @@ mod tests {
         fill_circle(&mut m, Point::new(20, 20), 9);
         let s = skeletonize(&m);
         assert!(s.count_ones() >= 1);
-        assert!(s.count_ones() <= 16, "disk skeleton too big: {}", s.count_ones());
+        assert!(
+            s.count_ones() <= 16,
+            "disk skeleton too big: {}",
+            s.count_ones()
+        );
         for p in s.ones() {
-            assert!(p.dist(Point::new(20, 20)) <= 4.0, "skeleton pixel {p} far from center");
+            assert!(
+                p.dist(Point::new(20, 20)) <= 4.0,
+                "skeleton pixel {p} far from center"
+            );
         }
     }
 

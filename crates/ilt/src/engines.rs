@@ -15,7 +15,9 @@
 
 use crate::levelset::{run_levelset_ilt, LevelSetConfig};
 use crate::optimizer::OptimizerKind;
-use crate::pixel::{run_pixel_ilt, run_pixel_ilt_with_init, IltResult, PixelIltConfig, UpdateDomain};
+use crate::pixel::{
+    run_pixel_ilt, run_pixel_ilt_with_init, IltResult, PixelIltConfig, UpdateDomain,
+};
 use cfaopc_grid::{BitGrid, Grid2D};
 use cfaopc_litho::{LithoConfig, LithoError, LithoSimulator};
 
@@ -142,8 +144,7 @@ fn run_multiresolution(
         let coarse_sim = LithoSimulator::new(coarse_cfg)?;
         let coarse_target = downsample_majority(target, f);
         let cfg = IltEngine::MultiIltLike.config(iterations);
-        let result =
-            run_pixel_ilt_with_init(&coarse_sim, &coarse_target, &cfg, warm.as_ref())?;
+        let result = run_pixel_ilt_with_init(&coarse_sim, &coarse_target, &cfg, warm.as_ref())?;
         warm = Some(upsample_nearest(&result.latent, 2));
         // After upsampling from n/4 we are at n/2; after n/2 at n. The
         // loop structure advances one octave per level by construction

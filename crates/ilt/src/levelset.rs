@@ -79,8 +79,8 @@ pub fn run_levelset_ilt(
     let n = sim.size();
     if target.width() != n || target.height() != n {
         return Err(LithoError::ShapeMismatch {
-            expected: n,
-            actual: target.width() * target.height(),
+            expected: (n, n),
+            actual: (target.width(), target.height()),
         });
     }
     let target_real = target.to_real();
@@ -91,16 +91,14 @@ pub fn run_levelset_ilt(
     let mut grad_phi = vec![0.0f64; phi.len()];
 
     for step in 0..config.iterations {
-        let mask = Grid2D::from_vec(
-            n,
-            n,
-            phi.iter().map(|&p| sigmoid(-p * inv_eps)).collect(),
-        );
+        let mask = Grid2D::from_vec(n, n, phi.iter().map(|&p| sigmoid(-p * inv_eps)).collect());
         let (values, grad_m) = loss_and_gradient(sim, &mask, &target_real, config.weights)?;
         history.push(values);
-        for i in 0..phi.len() {
-            let m = mask.as_slice()[i];
-            grad_phi[i] = -grad_m.as_slice()[i] * inv_eps * m * (1.0 - m);
+        for (g, (&m, &gm)) in grad_phi
+            .iter_mut()
+            .zip(mask.as_slice().iter().zip(grad_m.as_slice()))
+        {
+            *g = -gm * inv_eps * m * (1.0 - m);
         }
         optimizer.step(&mut phi, &grad_phi);
         if config.reinit_every > 0 && (step + 1) % config.reinit_every == 0 {
@@ -115,11 +113,8 @@ pub fn run_levelset_ilt(
     }
 
     let latent = Grid2D::from_vec(n, n, phi.iter().map(|&p| -p).collect());
-    let mask_continuous = Grid2D::from_vec(
-        n,
-        n,
-        phi.iter().map(|&p| sigmoid(-p * inv_eps)).collect(),
-    );
+    let mask_continuous =
+        Grid2D::from_vec(n, n, phi.iter().map(|&p| sigmoid(-p * inv_eps)).collect());
     let mask_binary = BitGrid::from_threshold(&mask_continuous, 0.5);
     Ok(IltResult {
         latent,
@@ -177,7 +172,10 @@ mod tests {
         let result = run_levelset_ilt(&s, &target, &LevelSetConfig::default()).unwrap();
         let first = result.loss_history.first().unwrap().total;
         let last = result.loss_history.last().unwrap().total;
-        assert!(last < first, "level set failed to descend: {first} -> {last}");
+        assert!(
+            last < first,
+            "level set failed to descend: {first} -> {last}"
+        );
     }
 
     #[test]

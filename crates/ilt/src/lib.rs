@@ -41,6 +41,4 @@ mod pixel;
 pub use engines::{downsample_majority, run_engine, upsample_nearest, IltEngine};
 pub use levelset::{run_levelset_ilt, signed_distance, LevelSetConfig};
 pub use optimizer::{Optimizer, OptimizerKind};
-pub use pixel::{
-    run_pixel_ilt, run_pixel_ilt_with_init, IltResult, PixelIltConfig, UpdateDomain,
-};
+pub use pixel::{run_pixel_ilt, run_pixel_ilt_with_init, IltResult, PixelIltConfig, UpdateDomain};

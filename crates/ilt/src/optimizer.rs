@@ -115,7 +115,10 @@ mod tests {
 
     fn quadratic_grad(p: &[f64]) -> Vec<f64> {
         // f(p) = Σ (p_i - i)², minimum at p_i = i.
-        p.iter().enumerate().map(|(i, &v)| 2.0 * (v - i as f64)).collect()
+        p.iter()
+            .enumerate()
+            .map(|(i, &v)| 2.0 * (v - i as f64))
+            .collect()
     }
 
     #[test]

@@ -108,15 +108,15 @@ pub fn run_pixel_ilt_with_init(
     let n = sim.size();
     if target.width() != n || target.height() != n {
         return Err(LithoError::ShapeMismatch {
-            expected: n,
-            actual: target.width() * target.height(),
+            expected: (n, n),
+            actual: (target.width(), target.height()),
         });
     }
     if let Some(l) = init_latent {
         if l.width() != n || l.height() != n {
             return Err(LithoError::ShapeMismatch {
-                expected: n,
-                actual: l.len(),
+                expected: (n, n),
+                actual: (l.width(), l.height()),
             });
         }
     }
@@ -159,8 +159,7 @@ pub fn run_pixel_ilt_with_init(
 
     for _ in 0..config.iterations {
         let mask = mask_from_latent(&latent, n, theta);
-        let (values, mut grad_m) =
-            loss_and_gradient(sim, &mask, &target_real, config.weights)?;
+        let (values, mut grad_m) = loss_and_gradient(sim, &mask, &target_real, config.weights)?;
         history.push(values);
         for _ in 0..config.grad_smoothing {
             grad_m = box_blur3(&grad_m);
@@ -190,11 +189,7 @@ pub fn run_pixel_ilt_with_init(
 }
 
 fn mask_from_latent(latent: &[f64], n: usize, theta: f64) -> Grid2D<f64> {
-    Grid2D::from_vec(
-        n,
-        n,
-        latent.iter().map(|&p| sigmoid(theta * p)).collect(),
-    )
+    Grid2D::from_vec(n, n, latent.iter().map(|&p| sigmoid(theta * p)).collect())
 }
 
 /// One 3×3 box-blur pass with clamped borders.
@@ -245,10 +240,7 @@ mod tests {
         let result = run_pixel_ilt(&s, &target, &cfg).unwrap();
         let first = result.loss_history.first().unwrap().total;
         let last = result.loss_history.last().unwrap().total;
-        assert!(
-            last < first,
-            "ILT failed to descend: {first} -> {last}"
-        );
+        assert!(last < first, "ILT failed to descend: {first} -> {last}");
     }
 
     #[test]

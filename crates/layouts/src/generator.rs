@@ -67,8 +67,10 @@ pub fn generate_layout(seed: u64, config: &GeneratorConfig) -> Layout {
 
     let try_place = |rects: &mut Vec<Rect>, rng: &mut StdRng, w: i32, h: i32| -> Option<Rect> {
         for _ in 0..64 {
-            let x = rng.gen_range(config.margin..(TILE_NM - config.margin - w).max(config.margin + 1));
-            let y = rng.gen_range(config.margin..(TILE_NM - config.margin - h).max(config.margin + 1));
+            let x =
+                rng.gen_range(config.margin..(TILE_NM - config.margin - w).max(config.margin + 1));
+            let y =
+                rng.gen_range(config.margin..(TILE_NM - config.margin - h).max(config.margin + 1));
             let candidate = Rect::new(x, y, x + w, y + h);
             let padded = Rect::new(
                 x - clearance,
@@ -102,9 +104,19 @@ pub fn generate_layout(seed: u64, config: &GeneratorConfig) -> Layout {
             for i in 0..count {
                 let off = i * pitch;
                 let wire = if horizontal {
-                    Rect::new(anchor.x0, anchor.y0 + off, anchor.x0 + length, anchor.y0 + off + width)
+                    Rect::new(
+                        anchor.x0,
+                        anchor.y0 + off,
+                        anchor.x0 + length,
+                        anchor.y0 + off + width,
+                    )
                 } else {
-                    Rect::new(anchor.x0 + off, anchor.y0, anchor.x0 + off + width, anchor.y0 + length)
+                    Rect::new(
+                        anchor.x0 + off,
+                        anchor.y0,
+                        anchor.x0 + off + width,
+                        anchor.y0 + length,
+                    )
                 };
                 rects.push(wire);
             }
@@ -115,7 +127,11 @@ pub fn generate_layout(seed: u64, config: &GeneratorConfig) -> Layout {
         let horizontal: bool = rng.gen();
         let width = rng.gen_range(config.wire_width.0..=config.wire_width.1);
         let length = rng.gen_range(config.wire_length.0..=config.wire_length.1);
-        let (w, h) = if horizontal { (length, width) } else { (width, length) };
+        let (w, h) = if horizontal {
+            (length, width)
+        } else {
+            (width, length)
+        };
         try_place(&mut rects, &mut rng, w, h);
     }
     // Contacts.

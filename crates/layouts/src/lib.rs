@@ -53,7 +53,9 @@ pub enum LayoutError {
 impl fmt::Display for LayoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LayoutError::UnknownCase(n) => write!(f, "unknown benchmark case {n} (expected 1..=10)"),
+            LayoutError::UnknownCase(n) => {
+                write!(f, "unknown benchmark case {n} (expected 1..=10)")
+            }
             LayoutError::Parse(line, text) => write!(f, "cannot parse GLP line {line}: {text:?}"),
         }
     }
@@ -287,7 +289,12 @@ mod tests {
     fn full_resolution_raster_area_is_exact() {
         for layout in all_cases() {
             let mask = layout.rasterize(2048);
-            assert_eq!(mask.count_ones() as i64, layout.area_nm2(), "{}", layout.name);
+            assert_eq!(
+                mask.count_ones() as i64,
+                layout.area_nm2(),
+                "{}",
+                layout.name
+            );
         }
     }
 
@@ -324,8 +331,14 @@ mod tests {
 
     #[test]
     fn unknown_case_is_an_error() {
-        assert!(matches!(benchmark_case(0), Err(LayoutError::UnknownCase(0))));
-        assert!(matches!(benchmark_case(11), Err(LayoutError::UnknownCase(11))));
+        assert!(matches!(
+            benchmark_case(0),
+            Err(LayoutError::UnknownCase(0))
+        ));
+        assert!(matches!(
+            benchmark_case(11),
+            Err(LayoutError::UnknownCase(11))
+        ));
     }
 
     #[test]

@@ -9,12 +9,14 @@ pub enum LithoError {
     BadGridSize(usize),
     /// A physical parameter is out of range (message explains which).
     BadParameter(String),
-    /// A mask buffer does not match the simulator's grid shape.
+    /// A mask buffer does not match the simulator's grid shape. Both sides
+    /// are reported in the same unit — `(width, height)` in pixels — so the
+    /// message never mixes a pixel count with a grid edge.
     ShapeMismatch {
-        /// Expected edge length in pixels.
-        expected: usize,
-        /// Provided buffer length.
-        actual: usize,
+        /// Grid shape the simulator expects, as `(width, height)` pixels.
+        expected: (usize, usize),
+        /// Shape of the buffer provided, as `(width, height)` pixels.
+        actual: (usize, usize),
     },
 }
 
@@ -25,7 +27,8 @@ impl fmt::Display for LithoError {
             LithoError::BadParameter(msg) => write!(f, "invalid parameter: {msg}"),
             LithoError::ShapeMismatch { expected, actual } => write!(
                 f,
-                "mask has {actual} pixels but the simulator expects {expected}x{expected}"
+                "mask is {}x{} pixels but the simulator expects {}x{}",
+                actual.0, actual.1, expected.0, expected.1
             ),
         }
     }
@@ -48,8 +51,11 @@ pub enum ProcessCorner {
 
 impl ProcessCorner {
     /// All three corners in `[Nominal, Max, Min]` order.
-    pub const ALL: [ProcessCorner; 3] =
-        [ProcessCorner::Nominal, ProcessCorner::Max, ProcessCorner::Min];
+    pub const ALL: [ProcessCorner; 3] = [
+        ProcessCorner::Nominal,
+        ProcessCorner::Max,
+        ProcessCorner::Min,
+    ];
 }
 
 /// Full configuration of the optical projection system, the resist model
@@ -182,7 +188,9 @@ impl LithoConfig {
                 "wavelength and NA must be positive".into(),
             ));
         }
-        if !(0.0 <= self.sigma_inner && self.sigma_inner < self.sigma_outer && self.sigma_outer <= 1.0)
+        if !(0.0 <= self.sigma_inner
+            && self.sigma_inner < self.sigma_outer
+            && self.sigma_outer <= 1.0)
         {
             return Err(LithoError::BadParameter(format!(
                 "annular source needs 0 <= sigma_inner < sigma_outer <= 1, got [{}, {}]",
@@ -238,7 +246,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_grid() {
-        let cfg = LithoConfig { size: 100, ..LithoConfig::default() };
+        let cfg = LithoConfig {
+            size: 100,
+            ..LithoConfig::default()
+        };
         assert!(matches!(cfg.validate(), Err(LithoError::BadGridSize(100))));
     }
 
@@ -254,9 +265,15 @@ mod tests {
 
     #[test]
     fn rejects_bad_doses() {
-        let cfg = LithoConfig { dose_min: 1.2, ..LithoConfig::default() };
+        let cfg = LithoConfig {
+            dose_min: 1.2,
+            ..LithoConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let cfg = LithoConfig { dose_max: 0.9, ..LithoConfig::default() };
+        let cfg = LithoConfig {
+            dose_max: 0.9,
+            ..LithoConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
@@ -274,5 +291,20 @@ mod tests {
     fn error_display_nonempty() {
         let e = LithoError::BadGridSize(7);
         assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn shape_mismatch_reports_consistent_units() {
+        // Regression: `actual` used to hold a raw pixel count while
+        // `expected` held the grid edge, producing "mask has 256 pixels but
+        // the simulator expects 64x64" for a 16x16 mask on a 64x64 grid.
+        let e = LithoError::ShapeMismatch {
+            expected: (64, 64),
+            actual: (16, 16),
+        };
+        assert_eq!(
+            e.to_string(),
+            "mask is 16x16 pixels but the simulator expects 64x64"
+        );
     }
 }

@@ -84,8 +84,8 @@ pub fn loss_and_gradient(
     let n2 = n * n;
     if target.width() != n || target.height() != n {
         return Err(LithoError::ShapeMismatch {
-            expected: n,
-            actual: target.len(),
+            expected: (n, n),
+            actual: (target.width(), target.height()),
         });
     }
     let spectrum = sim.mask_spectrum(mask)?;
@@ -102,12 +102,14 @@ pub fn loss_and_gradient(
         let dose = cfg.dose(corner);
         let k_count = set.kernels().len();
 
-        // Forward: coherent fields per kernel (kept for the adjoint).
+        // Forward: coherent fields per kernel (kept for the adjoint). One
+        // flat parallel region; each task's IFFT runs serially on its
+        // claimed thread in a pooled buffer.
         let fields: Vec<Vec<Complex>> = par_map(k_count, |k| {
-            let mut field = vec![Complex::ZERO; n2];
+            let mut field = sim.field_pool().take(n2);
             set.apply(k, &spectrum, &mut field);
             sim.plan()
-                .inverse(&mut field)
+                .inverse_serial(&mut field)
                 .expect("plan matches grid by construction");
             field
         });
@@ -140,25 +142,31 @@ pub fn loss_and_gradient(
         // Adjoint: per kernel, B = G ⊙ conj(A); contribute
         // 2·μ·dose·H ⊙ IFFT(B) on the (sparse) pupil support.
         let contributions: Vec<Vec<(u32, Complex)>> = par_map(k_count, |k| {
-            let mut b: Vec<Complex> = fields[k]
-                .iter()
-                .zip(&g_i)
-                .map(|(a, &g)| a.conj() * g)
-                .collect();
+            let mut b = sim.field_pool().take(n2);
+            for (slot, (a, &g)) in b.iter_mut().zip(fields[k].iter().zip(&g_i)) {
+                *slot = a.conj() * g;
+            }
             sim.plan()
-                .inverse(&mut b)
+                .inverse_serial(&mut b)
                 .expect("plan matches grid by construction");
             let scale = 2.0 * set.kernels()[k].weight * dose;
-            set.kernels()[k]
+            let contribution = set.kernels()[k]
                 .spectrum
                 .iter()
                 .map(|&(idx, h)| (idx, h * b[idx as usize] * scale))
-                .collect()
+                .collect();
+            sim.field_pool().put(b);
+            contribution
         });
+        // Serial, kernel-ordered accumulation keeps the gradient
+        // bit-identical across thread counts.
         for contribution in contributions {
             for (idx, v) in contribution {
                 acc[idx as usize] += v;
             }
+        }
+        for field in fields {
+            sim.field_pool().put(field);
         }
     }
 
@@ -188,8 +196,8 @@ pub fn loss_only(
     let n = sim.size();
     if target.width() != n || target.height() != n {
         return Err(LithoError::ShapeMismatch {
-            expected: n,
-            actual: target.len(),
+            expected: (n, n),
+            actual: (target.width(), target.height()),
         });
     }
     let images = sim.aerial_corners(mask)?;
@@ -235,7 +243,8 @@ mod tests {
                 let fx = x as f64 / n as f64;
                 let fy = y as f64 / n as f64;
                 g[(x, y)] = 0.5
-                    + 0.35 * (2.0 * std::f64::consts::PI * fx).sin()
+                    + 0.35
+                        * (2.0 * std::f64::consts::PI * fx).sin()
                         * (2.0 * std::f64::consts::PI * fy).cos();
             }
         }
@@ -334,8 +343,7 @@ mod tests {
         let mask = smooth_mask(n);
         let target = target_square(n);
         let (v, grad) =
-            loss_and_gradient(&sim, &mask, &target, LossWeights { l2: 0.0, pvb: 0.0 })
-                .unwrap();
+            loss_and_gradient(&sim, &mask, &target, LossWeights { l2: 0.0, pvb: 0.0 }).unwrap();
         assert_eq!(v.total, 0.0);
         assert!(grad.as_slice().iter().all(|&g| g == 0.0));
     }

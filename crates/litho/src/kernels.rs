@@ -85,10 +85,7 @@ impl KernelSet {
             let o2 = config.sigma_outer * config.sigma_outer;
             let sigma = (s2 + t * (o2 - s2)).sqrt();
             let theta = k as f64 * golden;
-            let src = (
-                sigma * cutoff * theta.cos(),
-                sigma * cutoff * theta.sin(),
-            );
+            let src = (sigma * cutoff * theta.cos(), sigma * cutoff * theta.sin());
 
             // Enumerate frequency bins inside the shifted pupil. The pupil
             // spans at most (1+sigma_outer)*cutoff from DC.
@@ -109,10 +106,7 @@ impl KernelSet {
                     let nu2 = nu_x * nu_x + nu_y * nu_y;
                     if nu2.sqrt() <= cutoff {
                         // Paraxial defocus phase: exp(-iπλδ|ν|²).
-                        let phase = -std::f64::consts::PI
-                            * config.wavelength_nm
-                            * defocus
-                            * nu2;
+                        let phase = -std::f64::consts::PI * config.wavelength_nm * defocus * nu2;
                         spectrum.push(((ky * n + kx) as u32, Complex::cis(phase)));
                     }
                 }

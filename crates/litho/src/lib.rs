@@ -42,7 +42,7 @@ pub use config::{LithoConfig, LithoError, ProcessCorner};
 pub use gradient::{loss_and_gradient, loss_only, LossValues, LossWeights};
 pub use kernels::{Kernel, KernelSet};
 pub use process_window::{
-    bossung_surface, cd_through_focus, measure_cd, standard_sweep, BossungPoint,
-    BossungSurface, CdAxis, CdProbe,
+    bossung_surface, cd_through_focus, measure_cd, standard_sweep, BossungPoint, BossungSurface,
+    CdAxis, CdProbe,
 };
 pub use simulator::{sigmoid, CornerImages, LithoSimulator};

@@ -11,7 +11,6 @@
 use crate::config::LithoError;
 use crate::kernels::KernelSet;
 use crate::simulator::LithoSimulator;
-use cfaopc_fft::parallel::par_map;
 use cfaopc_fft::Complex;
 use cfaopc_grid::{BitGrid, Grid2D, Point};
 
@@ -139,11 +138,7 @@ pub fn bossung_surface(
         let base = intensity_from(&set, &spectrum, n, sim);
         for &dose in doses {
             let printed = BitGrid::from_threshold(
-                &Grid2D::from_vec(
-                    n,
-                    n,
-                    base.as_slice().iter().map(|&v| v * dose).collect(),
-                ),
+                &Grid2D::from_vec(n, n, base.as_slice().iter().map(|&v| v * dose).collect()),
                 cfg.threshold,
             );
             points.push(BossungPoint {
@@ -166,24 +161,7 @@ fn intensity_from(
     n: usize,
     sim: &LithoSimulator,
 ) -> Grid2D<f64> {
-    let n2 = n * n;
-    let k_count = set.kernels().len();
-    let partials: Vec<Vec<f64>> = par_map(k_count, |k| {
-        let mut field = vec![Complex::ZERO; n2];
-        set.apply(k, spectrum, &mut field);
-        sim.plan()
-            .inverse(&mut field)
-            .expect("plan matches grid by construction");
-        let w = set.kernels()[k].weight;
-        field.iter().map(|z| w * z.norm_sqr()).collect()
-    });
-    let mut intensity = vec![0.0f64; n2];
-    for partial in partials {
-        for (acc, v) in intensity.iter_mut().zip(partial) {
-            *acc += v;
-        }
-    }
-    Grid2D::from_vec(n, n, intensity)
+    Grid2D::from_vec(n, n, sim.accumulate_intensity(set, spectrum, 1.0))
 }
 
 /// Convenience: the symmetric sweep the examples use
@@ -198,9 +176,7 @@ pub fn standard_sweep(
         .map(|i| max_defocus_nm * i as f64 / focus_steps.max(1) as f64)
         .collect();
     let doses: Vec<f64> = (0..=dose_steps)
-        .map(|i| {
-            1.0 - dose_span + 2.0 * dose_span * i as f64 / dose_steps.max(1) as f64
-        })
+        .map(|i| 1.0 - dose_span + 2.0 * dose_span * i as f64 / dose_steps.max(1) as f64)
         .collect();
     (focus, doses)
 }
@@ -269,9 +245,12 @@ mod tests {
     fn dose_increases_cd() {
         let s = sim();
         let (m, probe) = bar_mask(s.size());
-        let surface =
-            bossung_surface(&s, &m, &probe, &[0.0], &[0.9, 1.0, 1.1]).unwrap();
-        let cds: Vec<f64> = surface.points.iter().map(|p| p.cd_nm.unwrap_or(0.0)).collect();
+        let surface = bossung_surface(&s, &m, &probe, &[0.0], &[0.9, 1.0, 1.1]).unwrap();
+        let cds: Vec<f64> = surface
+            .points
+            .iter()
+            .map(|p| p.cd_nm.unwrap_or(0.0))
+            .collect();
         assert!(
             cds[0] <= cds[1] && cds[1] <= cds[2],
             "CD must grow with dose: {cds:?}"
@@ -296,10 +275,26 @@ mod tests {
     fn window_fraction_counts_in_tolerance_points() {
         let surface = BossungSurface {
             points: vec![
-                BossungPoint { defocus_nm: 0.0, dose: 1.0, cd_nm: Some(100.0) },
-                BossungPoint { defocus_nm: 0.0, dose: 1.1, cd_nm: Some(125.0) },
-                BossungPoint { defocus_nm: 50.0, dose: 1.0, cd_nm: None },
-                BossungPoint { defocus_nm: 50.0, dose: 1.1, cd_nm: Some(95.0) },
+                BossungPoint {
+                    defocus_nm: 0.0,
+                    dose: 1.0,
+                    cd_nm: Some(100.0),
+                },
+                BossungPoint {
+                    defocus_nm: 0.0,
+                    dose: 1.1,
+                    cd_nm: Some(125.0),
+                },
+                BossungPoint {
+                    defocus_nm: 50.0,
+                    dose: 1.0,
+                    cd_nm: None,
+                },
+                BossungPoint {
+                    defocus_nm: 50.0,
+                    dose: 1.1,
+                    cd_nm: Some(95.0),
+                },
             ],
             defocus_nm: vec![0.0, 50.0],
             doses: vec![1.0, 1.1],

@@ -3,9 +3,11 @@
 
 use crate::config::{LithoConfig, LithoError, ProcessCorner};
 use crate::kernels::KernelSet;
-use cfaopc_fft::parallel::par_map;
-use cfaopc_fft::{Complex, Fft2d};
+use cfaopc_fft::parallel::par_for;
+use cfaopc_fft::{BufferPool, Complex, Fft2d};
 use cfaopc_grid::{BitGrid, Grid2D};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
 
 /// Aerial images at the three process corners.
 #[derive(Debug, Clone)]
@@ -57,6 +59,10 @@ pub struct LithoSimulator {
     nominal: KernelSet,
     max: KernelSet,
     min: KernelSet,
+    /// Recycled full-grid complex field buffers for the per-kernel
+    /// convolutions (shared with the adjoint pass), so the steady-state
+    /// forward model performs no per-call field allocations.
+    field_pool: BufferPool<Complex>,
 }
 
 impl LithoSimulator {
@@ -68,14 +74,14 @@ impl LithoSimulator {
     /// Returns [`LithoError`] for invalid configurations.
     pub fn new(config: LithoConfig) -> Result<Self, LithoError> {
         config.validate()?;
-        let plan = Fft2d::square(config.size)
-            .map_err(|_| LithoError::BadGridSize(config.size))?;
+        let plan = Fft2d::square(config.size).map_err(|_| LithoError::BadGridSize(config.size))?;
         Ok(LithoSimulator {
             nominal: KernelSet::generate(&config, ProcessCorner::Nominal)?,
             max: KernelSet::generate(&config, ProcessCorner::Max)?,
             min: KernelSet::generate(&config, ProcessCorner::Min)?,
             plan,
             config,
+            field_pool: BufferPool::new(),
         })
     }
 
@@ -106,11 +112,18 @@ impl LithoSimulator {
         &self.plan
     }
 
+    /// The simulator's shared scratch pool for full-grid complex fields
+    /// (used by the gradient's adjoint pass as well).
+    #[inline]
+    pub(crate) fn field_pool(&self) -> &BufferPool<Complex> {
+        &self.field_pool
+    }
+
     fn check_mask(&self, mask: &Grid2D<f64>) -> Result<(), LithoError> {
         if mask.width() != self.config.size || mask.height() != self.config.size {
             return Err(LithoError::ShapeMismatch {
-                expected: self.config.size,
-                actual: mask.len(),
+                expected: (self.config.size, self.config.size),
+                actual: (mask.width(), mask.height()),
             });
         }
         Ok(())
@@ -124,8 +137,11 @@ impl LithoSimulator {
     /// from the simulator grid.
     pub fn mask_spectrum(&self, mask: &Grid2D<f64>) -> Result<Vec<Complex>, LithoError> {
         self.check_mask(mask)?;
-        let mut spectrum: Vec<Complex> =
-            mask.as_slice().iter().map(|&v| Complex::from_re(v)).collect();
+        let mut spectrum: Vec<Complex> = mask
+            .as_slice()
+            .iter()
+            .map(|&v| Complex::from_re(v))
+            .collect();
         self.plan
             .forward(&mut spectrum)
             .expect("plan matches grid by construction");
@@ -135,34 +151,70 @@ impl LithoSimulator {
     /// Aerial image from a precomputed mask spectrum.
     ///
     /// `I(x) = dose(corner) · Σ_k μ_k |IFFT(H_k ⊙ F)(x)|²` — paper Eq. 1
-    /// with the corner's dose folded in. Kernels are evaluated in parallel.
-    pub fn aerial_from_spectrum(
-        &self,
-        spectrum: &[Complex],
-        corner: ProcessCorner,
-    ) -> Grid2D<f64> {
+    /// with the corner's dose folded in. Kernels are evaluated in a single
+    /// flat parallel region on the persistent pool.
+    pub fn aerial_from_spectrum(&self, spectrum: &[Complex], corner: ProcessCorner) -> Grid2D<f64> {
         let n = self.config.size;
-        let n2 = n * n;
-        assert_eq!(spectrum.len(), n2, "spectrum length");
         let set = self.kernel_set(corner);
         let dose = self.config.dose(corner);
-        let k_count = set.kernels().len();
-        let partials: Vec<Vec<f64>> = par_map(k_count, |k| {
-            let mut field = vec![Complex::ZERO; n2];
-            set.apply(k, spectrum, &mut field);
-            self.plan
-                .inverse(&mut field)
-                .expect("plan matches grid by construction");
-            let w = set.kernels()[k].weight * dose;
-            field.iter().map(|z| w * z.norm_sqr()).collect()
-        });
-        let mut intensity = vec![0.0f64; n2];
-        for partial in partials {
-            for (acc, v) in intensity.iter_mut().zip(partial) {
-                *acc += v;
-            }
-        }
+        let intensity = self.accumulate_intensity(set, spectrum, dose);
         Grid2D::from_vec(n, n, intensity)
+    }
+
+    /// Shared SOCS intensity accumulation:
+    /// `scale · Σ_k μ_k |IFFT(H_k ⊙ spectrum)|²`.
+    ///
+    /// One **flat** parallel region spans the kernels — each task runs its
+    /// IFFT serially on its claimed thread (no nested regions to thrash the
+    /// pool) in a pooled field buffer (no per-kernel allocations). Kernel
+    /// partials merge into the single accumulator through an ordered
+    /// turnstile, strictly in kernel order, so the floating-point sum is
+    /// **bit-identical** between serial (`CFAOPC_THREADS=1`) and parallel
+    /// runs. Claims are handed out in increasing `k`, so turnstile waits
+    /// are short in practice.
+    pub(crate) fn accumulate_intensity(
+        &self,
+        set: &KernelSet,
+        spectrum: &[Complex],
+        scale: f64,
+    ) -> Vec<f64> {
+        let n2 = self.config.size * self.config.size;
+        assert_eq!(spectrum.len(), n2, "spectrum length");
+        let k_count = set.kernels().len();
+        // (next kernel allowed to merge, accumulator) under one lock.
+        let merge = Mutex::new((0usize, vec![0.0f64; n2]));
+        let turnstile = Condvar::new();
+        par_for(k_count, |k| {
+            // Catching here keeps a panicking kernel from wedging the
+            // turnstile: the turn advances no matter how compute ends.
+            let computed = catch_unwind(AssertUnwindSafe(|| {
+                let mut field = self.field_pool.take(n2);
+                set.apply(k, spectrum, &mut field);
+                self.plan
+                    .inverse_serial(&mut field)
+                    .expect("plan matches grid by construction");
+                field
+            }));
+            let w = set.kernels()[k].weight * scale;
+            let mut guard = merge.lock().unwrap_or_else(|e| e.into_inner());
+            while guard.0 != k {
+                guard = turnstile.wait(guard).unwrap_or_else(|e| e.into_inner());
+            }
+            if let Ok(field) = &computed {
+                for (acc, z) in guard.1.iter_mut().zip(field.iter()) {
+                    *acc += w * z.norm_sqr();
+                }
+            }
+            guard.0 += 1;
+            turnstile.notify_all();
+            drop(guard);
+            match computed {
+                Ok(field) => self.field_pool.put(field),
+                Err(payload) => resume_unwind(payload),
+            }
+        });
+        let (_, intensity) = merge.into_inner().unwrap_or_else(|e| e.into_inner());
+        intensity
     }
 
     /// Aerial image of a continuous mask at one corner.
@@ -262,7 +314,9 @@ mod tests {
     fn empty_mask_prints_nothing() {
         let s = sim();
         let n = s.size();
-        let printed = s.print(&BitGrid::new(n, n), ProcessCorner::Nominal).unwrap();
+        let printed = s
+            .print(&BitGrid::new(n, n), ProcessCorner::Nominal)
+            .unwrap();
         assert!(printed.is_clear());
     }
 
@@ -272,7 +326,9 @@ mod tests {
         let n = s.size();
         let mut open = BitGrid::new(n, n);
         fill_rect(&mut open, Rect::new(0, 0, n as i32, n as i32));
-        let aerial = s.aerial_image(&open.to_real(), ProcessCorner::Nominal).unwrap();
+        let aerial = s
+            .aerial_image(&open.to_real(), ProcessCorner::Nominal)
+            .unwrap();
         for &v in aerial.as_slice() {
             assert!((v - 1.0).abs() < 1e-9, "open frame intensity {v}");
         }
@@ -289,7 +345,9 @@ mod tests {
         assert!(printed.count_ones() > 0, "large feature must print");
         // The aerial image is band-limited: intensity at center is high,
         // far corner is dark.
-        let aerial = s.aerial_image(&mask.to_real(), ProcessCorner::Nominal).unwrap();
+        let aerial = s
+            .aerial_image(&mask.to_real(), ProcessCorner::Nominal)
+            .unwrap();
         assert!(aerial[(n / 2, n / 2)] > 0.5);
         assert!(aerial[(2, 2)] < 0.1);
     }
@@ -357,7 +415,9 @@ mod tests {
     fn sigmoid_resist_brackets_binary() {
         let s = sim();
         let mask = square_mask(s.size(), 10);
-        let aerial = s.aerial_image(&mask.to_real(), ProcessCorner::Nominal).unwrap();
+        let aerial = s
+            .aerial_image(&mask.to_real(), ProcessCorner::Nominal)
+            .unwrap();
         let soft = s.resist_sigmoid(&aerial);
         let hard = s.resist_binary(&aerial);
         for (p, &z) in soft.iter() {

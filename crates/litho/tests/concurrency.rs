@@ -1,0 +1,66 @@
+//! Thread-count invariance of the litho forward model.
+//!
+//! The kernel loop in `aerial_from_spectrum` merges per-kernel partial
+//! intensities through an ordered turnstile, so the floating-point
+//! summation order — and therefore every output bit — must not depend
+//! on how many workers execute it. A single umbrella test pins
+//! `CFAOPC_THREADS=4` before the pool exists, then compares the pooled
+//! run against a forced fully-serial run of the same process.
+
+use cfaopc_fft::parallel::{with_worker_limit, worker_count};
+use cfaopc_grid::Grid2D;
+use cfaopc_litho::{LithoConfig, LithoSimulator, ProcessCorner};
+
+fn test_mask(n: usize) -> Grid2D<f64> {
+    let values = (0..n * n)
+        .map(|i| {
+            let (x, y) = (i % n, i / n);
+            // A few rectangles plus a smooth ramp: nontrivial spectrum.
+            let solid = (x > n / 4 && x < n / 2 && y > n / 8 && y < n - n / 4) as u8 as f64;
+            solid.max(0.3 * ((x * y) as f64 / (n * n) as f64))
+        })
+        .collect();
+    Grid2D::from_vec(n, n, values)
+}
+
+#[test]
+fn aerial_images_are_bit_identical_serial_vs_parallel() {
+    std::env::set_var("CFAOPC_THREADS", "4");
+    assert_eq!(worker_count(), 4, "CFAOPC_THREADS must win at pool setup");
+
+    let sim = LithoSimulator::new(LithoConfig::fast_test()).unwrap();
+    let mask = test_mask(sim.size());
+
+    for corner in ProcessCorner::ALL {
+        let parallel = sim.aerial_image(&mask, corner).unwrap();
+        let serial = with_worker_limit(1, || sim.aerial_image(&mask, corner).unwrap());
+        let pbits: Vec<u64> = parallel.as_slice().iter().map(|v| v.to_bits()).collect();
+        let sbits: Vec<u64> = serial.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            pbits, sbits,
+            "aerial image at {corner:?} depends on thread count"
+        );
+    }
+
+    // The corner bundle goes through the same accumulator; check it too.
+    let parallel = sim.aerial_corners(&mask).unwrap();
+    let serial = with_worker_limit(1, || sim.aerial_corners(&mask).unwrap());
+    for corner in ProcessCorner::ALL {
+        let pbits: Vec<u64> = parallel
+            .get(corner)
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let sbits: Vec<u64> = serial
+            .get(corner)
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(
+            pbits, sbits,
+            "corner bundle at {corner:?} depends on thread count"
+        );
+    }
+}

@@ -16,8 +16,7 @@ fn sim() -> LithoSimulator {
 }
 
 fn arb_mask() -> impl Strategy<Value = Grid2D<f64>> {
-    proptest::collection::vec(0.0f64..1.0, 32 * 32)
-        .prop_map(|v| Grid2D::from_vec(32, 32, v))
+    proptest::collection::vec(0.0f64..1.0, 32 * 32).prop_map(|v| Grid2D::from_vec(32, 32, v))
 }
 
 fn arb_rects() -> impl Strategy<Value = BitGrid> {

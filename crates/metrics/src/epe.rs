@@ -131,7 +131,11 @@ fn emit_run(
     sampling: RunSampling,
     normal: (i32, i32),
 ) {
-    let RunSampling { spacing_px, min_len_px, inset_px } = sampling;
+    let RunSampling {
+        spacing_px,
+        min_len_px,
+        inset_px,
+    } = sampling;
     let len = (end - start) as usize;
     if len < min_len_px {
         return;

@@ -118,7 +118,10 @@ mod tests {
         // target.
         fill_rect(&mut target, Rect::new(31, 20, 32, 44));
         let m = evaluate_mask(&sim, &target, &target, &EpeConfig::default()).unwrap();
-        assert!(m.l2 > 0.0, "a 32nm bar printed from the raw target must deviate");
+        assert!(
+            m.l2 > 0.0,
+            "a 32nm bar printed from the raw target must deviate"
+        );
         assert!(m.pvb >= 0.0);
         assert_eq!(m.shots, 0);
     }

@@ -7,9 +7,7 @@
 //! biasing the mask ±1 pixel and differencing the printed CDs.
 
 use cfaopc_grid::{dilate, erode, BitGrid, Structuring};
-use cfaopc_litho::{
-    measure_cd, CdProbe, LithoError, LithoSimulator, ProcessCorner,
-};
+use cfaopc_litho::{measure_cd, CdProbe, LithoError, LithoSimulator, ProcessCorner};
 
 /// MEEF measurement outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,7 +94,11 @@ mod tests {
         );
         assert!(report.cd_minus_nm <= report.cd_nominal_nm);
         assert!(report.meef > 0.0, "MEEF must be positive: {}", report.meef);
-        assert!(report.meef < 20.0, "MEEF implausibly large: {}", report.meef);
+        assert!(
+            report.meef < 20.0,
+            "MEEF implausibly large: {}",
+            report.meef
+        );
     }
 
     #[test]

@@ -29,12 +29,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let layout = benchmark_case(case)?;
     let glp_path = out_dir.join(format!("{}.glp", layout.name));
     std::fs::write(&glp_path, layout.to_glp())?;
-    println!("[1] {} ({} nm² over {} rects) -> {}", layout.name, layout.area_nm2(),
-        layout.rects.len(), glp_path.display());
+    println!(
+        "[1] {} ({} nm² over {} rects) -> {}",
+        layout.name,
+        layout.area_nm2(),
+        layout.rects.len(),
+        glp_path.display()
+    );
 
     // 2. Raster target.
     let target = Layout::from_glp(&std::fs::read_to_string(&glp_path)?)?.rasterize(n);
-    println!("[2] rasterized at {n}x{n} px ({pixel_nm} nm/px): {} px set", target.count_ones());
+    println!(
+        "[2] rasterized at {n}x{n} px ({pixel_nm} nm/px): {} px set",
+        target.count_ones()
+    );
 
     // 3. CircleOpt.
     let opt_cfg = CircleOptConfig {
@@ -89,6 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let aerial = sim.aerial_image(&result.mask_raster.to_real(), ProcessCorner::Nominal)?;
     let pgm_path = out_dir.join(format!("{}_aerial.pgm", layout.name));
     save_pgm(&aerial, &pgm_path)?;
-    println!("[6] wrote {} and {}", svg_path.display(), pgm_path.display());
+    println!(
+        "[6] wrote {} and {}",
+        svg_path.display(),
+        pgm_path.display()
+    );
     Ok(())
 }

@@ -9,8 +9,8 @@
 //! cargo run --release --example process_window
 //! ```
 
-use cfaopc::prelude::*;
 use cfaopc::litho::{bossung_surface, standard_sweep, CdAxis, CdProbe};
+use cfaopc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = LithoConfig {
@@ -66,14 +66,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .enumerate()
             .map(|(i, f)| {
                 let cd = surface.cd(i, doses.len() / 2);
-                format!("{f:>4.0}nm:{}", cd.map_or("  fail".into(), |c| format!("{c:>6.1}")))
+                format!(
+                    "{f:>4.0}nm:{}",
+                    cd.map_or("  fail".into(), |c| format!("{c:>6.1}"))
+                )
             })
             .collect();
-        println!("{:>12}  CD through focus @nominal dose: {}", "", through_focus.join("  "));
+        println!(
+            "{:>12}  CD through focus @nominal dose: {}",
+            "",
+            through_focus.join("  ")
+        );
     }
     let path = out_dir.join("process_window.csv");
     std::fs::write(&path, csv)?;
     println!("\n-> {}", path.display());
-    println!("({} circular shots in the CircleOpt mask)", opt.shot_count());
+    println!(
+        "({} circular shots in the CircleOpt mask)",
+        opt.shot_count()
+    );
     Ok(())
 }

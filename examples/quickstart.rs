@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target = benchmark_case(4)?.rasterize(sim.size());
     let epe_cfg = EpeConfig::default();
 
-    println!("=== CFAOPC quickstart: case4 @ {0}x{0} px ===\n", sim.size());
+    println!(
+        "=== CFAOPC quickstart: case4 @ {0}x{0} px ===\n",
+        sim.size()
+    );
 
     // --- Method 1: CircleRule on a pixel-ILT mask (paper §3) -----------
     let pixel = run_engine(&sim, &target, IltEngine::MultiIltLike, 20)?;
@@ -63,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "CircleOpt MRC radius check: {}",
-        if report.is_clean() { "clean" } else { "VIOLATIONS" }
+        if report.is_clean() {
+            "clean"
+        } else {
+            "VIOLATIONS"
+        }
     );
     Ok(())
 }

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // SRAF-rich: MultiILT-like (full-domain, assists can nucleate).
     let sraf = run_engine(&sim, &target, IltEngine::MultiIltLike, 25)?;
 
-    for (name, result) in [("no-SRAF (DevelSet-like)", &plain), ("SRAF (MultiILT-like)", &sraf)] {
+    for (name, result) in [
+        ("no-SRAF (DevelSet-like)", &plain),
+        ("SRAF (MultiILT-like)", &sraf),
+    ] {
         let circles = circle_rule(&result.mask_binary, &CircleRuleConfig::default(), pixel_nm);
         let raster = circles.rasterize(n, n);
         let mut metrics = evaluate_mask(&sim, &raster, &target, &epe_cfg)?;
@@ -46,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .contour(&printed, "#228833");
         let file = out_dir.join(format!(
             "sraf_{}.svg",
-            name.split_whitespace().next().unwrap().trim_end_matches(',')
+            name.split_whitespace()
+                .next()
+                .unwrap()
+                .trim_end_matches(',')
         ));
         svg.save(&file)?;
         println!("{:>24}  wrote {}", "", file.display());

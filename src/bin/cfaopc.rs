@@ -7,9 +7,9 @@
 //! cfaopc evaluate --shots mask.cshot --case 3
 //! ```
 
+use cfaopc::fracture::ShotList;
 use cfaopc::litho::loss_only;
 use cfaopc::prelude::*;
-use cfaopc::fracture::ShotList;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -183,8 +183,7 @@ fn cmd_evaluate(flags: &Flags) -> CliResult {
     )?;
     println!(
         "{} vs {}: L2 {:.0} nm², PVB {:.0} nm², EPE {}, #Shot {} (relaxed total {:.0})",
-        shots_path, layout.name, metrics.l2, metrics.pvb, metrics.epe, metrics.shots,
-        relaxed.total
+        shots_path, layout.name, metrics.l2, metrics.pvb, metrics.epe, metrics.shots, relaxed.total
     );
     Ok(())
 }

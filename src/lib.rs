@@ -67,6 +67,9 @@ pub mod prelude {
         compose, compose_soft, run_circleopt, run_circleopt_from, ste, CircleOptConfig,
         CircleOptResult, CircleParams, ComposeConfig, Composition, SparseCircles,
     };
+    pub use cfaopc_ebeam::{
+        correct_proximity, intended_pattern, DosedShot, EbeamPsf, PecConfig, WriterModel,
+    };
     pub use cfaopc_fracture::{
         check_mrc, circle_rule, rect_fracture, rect_shot_count, CircleRuleConfig, CircleShot,
         CircularMask, MrcRules, ShotList,
@@ -81,15 +84,12 @@ pub mod prelude {
         TILE_NM,
     };
     pub use cfaopc_litho::{
-        bossung_surface, measure_cd, standard_sweep, CdAxis, CdProbe, LithoConfig,
-        LithoSimulator, LossWeights, ProcessCorner,
+        bossung_surface, measure_cd, standard_sweep, CdAxis, CdProbe, LithoConfig, LithoSimulator,
+        LossWeights, ProcessCorner,
     };
     pub use cfaopc_metrics::{
         epe_report, epe_violations, evaluate_mask, l2_error, measure_meef, pvb, EpeConfig,
         EpeReport, MaskMetrics, MeefReport, MetricRow, MetricTable,
-    };
-    pub use cfaopc_ebeam::{
-        correct_proximity, intended_pattern, DosedShot, EbeamPsf, PecConfig, WriterModel,
     };
     pub use cfaopc_viz::{save_pgm, SvgScene};
 }

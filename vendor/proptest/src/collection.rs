@@ -1,0 +1,54 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specifications accepted by [`vec`]: an exact `usize` or a
+/// (half-open / inclusive) `usize` range, mirroring `proptest`'s `SizeRange`
+/// conversions used in this workspace.
+pub trait IntoSizeRange {
+    /// Draws a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty vec size range");
+        self.start + rng.usize_below(self.end - self.start)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty vec size range");
+        lo + rng.usize_below(hi - lo + 1)
+    }
+}
+
+/// Strategy for `Vec`s whose elements come from `element` and whose length
+/// comes from `size`.
+pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

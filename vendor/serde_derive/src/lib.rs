@@ -1,0 +1,23 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` purely as forward-looking
+//! annotations — nothing in-tree serializes through serde (reports are written
+//! as hand-built JSON). This stub lets `#[derive(Serialize, Deserialize)]`
+//! and `#[serde(...)]` helper attributes compile in the offline container
+//! without pulling in `syn`/`quote`; it expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers) and emits no
+/// code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers) and emits
+/// no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
