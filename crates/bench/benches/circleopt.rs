@@ -1,0 +1,342 @@
+//! CircleOpt inner-loop benchmarks: the tiled parallel composition
+//! engine against its retained serial reference, plus a full CircleOpt
+//! iteration (compose → litho gradient → backward → Adam step) in both
+//! the pooled steady-state form and the allocating serial form. Run with
+//! `cargo bench -p cfaopc-bench --bench circleopt`.
+//!
+//! Grid/shot sizes follow the tentpole acceptance matrix: 512² and 1024²
+//! with 100 and 1000 circles. Results are written as a JSON snapshot
+//! (default `BENCH_circleopt.json`, override with
+//! `CFAOPC_BENCH_CIRCLEOPT_OUT`) including explicit serial-vs-tiled
+//! speedup ratios and the measured heap behaviour of a steady-state
+//! iteration (net bytes — expected 0 — and transient allocation count),
+//! via a counting global allocator local to this binary.
+//!
+//! The full-iteration cases need a lithography simulator; 512² runs by
+//! default, the 1024² variant is opt-in via `CFAOPC_BENCH_FULL=1` to
+//! keep CI smoke runs fast.
+
+use cfaopc_core::{compose_serial, CircleParams, ComposeConfig, ComposeWorkspace, SparseCircles};
+use cfaopc_fft::parallel::{pool_thread_count, worker_count};
+use cfaopc_grid::{fill_rect, BitGrid, Grid2D, Rect};
+use cfaopc_ilt::{Optimizer, OptimizerKind};
+use cfaopc_litho::{
+    loss_and_gradient, loss_and_gradient_into, LithoConfig, LithoSimulator, LossWeights,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::time::Instant;
+
+const WARMUP_ITERS: usize = 2;
+const TIMED_ITERS: usize = 5;
+
+// --- allocation accounting -------------------------------------------------
+
+struct CountingAlloc;
+
+static NET_BYTES: AtomicIsize = AtomicIsize::new(0);
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        NET_BYTES.fetch_add(layout.size() as isize, Ordering::SeqCst);
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        NET_BYTES.fetch_add(layout.size() as isize, Ordering::SeqCst);
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        NET_BYTES.fetch_sub(layout.size() as isize, Ordering::SeqCst);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        NET_BYTES.fetch_add(new_size as isize - layout.size() as isize, Ordering::SeqCst);
+        ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+// --- harness ---------------------------------------------------------------
+
+struct CaseResult {
+    name: String,
+    iters: usize,
+    min_ns: u128,
+    median_ns: u128,
+    mean_ns: u128,
+}
+
+fn run_case<F: FnMut()>(name: String, mut f: F) -> CaseResult {
+    for _ in 0..WARMUP_ITERS {
+        f();
+    }
+    let mut samples: Vec<u128> = Vec::with_capacity(TIMED_ITERS);
+    for _ in 0..TIMED_ITERS {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let min_ns = samples[0];
+    let median_ns = samples[samples.len() / 2];
+    let mean_ns = samples.iter().sum::<u128>() / samples.len() as u128;
+    println!(
+        "{:<40} min {:>12.3} ms   median {:>12.3} ms   mean {:>12.3} ms",
+        name,
+        min_ns as f64 / 1e6,
+        median_ns as f64 / 1e6,
+        mean_ns as f64 / 1e6,
+    );
+    CaseResult {
+        name,
+        iters: TIMED_ITERS,
+        min_ns,
+        median_ns,
+        mean_ns,
+    }
+}
+
+struct Speedup {
+    case: String,
+    serial_ns: u128,
+    tiled_ns: u128,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+// --- deterministic workloads ----------------------------------------------
+
+/// Low-discrepancy circle placement over the grid: fractional parts of
+/// multiples of irrational constants, radii cycling 4..16 px, with a few
+/// activations below the q-floor so pruning is part of the workload.
+fn make_circles(n: usize, count: usize) -> SparseCircles {
+    const PHI: f64 = 0.618_033_988_749_894_9;
+    const PSI: f64 = 0.754_877_666_246_692_7;
+    let span = n as f64 - 16.0;
+    SparseCircles {
+        circles: (0..count)
+            .map(|i| {
+                let x = 8.0 + ((i as f64 * PHI) % 1.0) * span;
+                let y = 8.0 + ((i as f64 * PSI) % 1.0) * span;
+                let r = 4.0 + ((i * 7) % 13) as f64;
+                let q = match i % 7 {
+                    0 => -0.3,
+                    1 => 0.4,
+                    _ => 1.0,
+                };
+                CircleParams { x, y, r, q }
+            })
+            .collect(),
+    }
+}
+
+fn compose_cfg(n: usize) -> ComposeConfig {
+    ComposeConfig::new(n, 2, 20)
+}
+
+fn main() {
+    let mut results: Vec<CaseResult> = Vec::new();
+    let mut speedups: Vec<Speedup> = Vec::new();
+    println!(
+        "cfaopc circleopt benchmarks: {} workers ({} pool threads)\n",
+        worker_count(),
+        pool_thread_count(),
+    );
+
+    // Compose + backward: serial reference vs tiled parallel engine.
+    for &(n, count) in &[(512usize, 100usize), (512, 1000), (1024, 100), (1024, 1000)] {
+        let sparse = make_circles(n, count);
+        let cfg = compose_cfg(n);
+        let grad = Grid2D::new(n, n, 0.01);
+
+        let serial_compose = run_case(format!("compose_serial_{n}_{count}c"), || {
+            black_box(compose_serial(&sparse, &cfg));
+        });
+        let mut ws = ComposeWorkspace::new();
+        let tiled_compose = run_case(format!("compose_tiled_{n}_{count}c"), || {
+            ws.compose(&sparse, &cfg);
+            black_box(ws.mask());
+        });
+        speedups.push(Speedup {
+            case: format!("compose_{n}_{count}c"),
+            serial_ns: serial_compose.median_ns,
+            tiled_ns: tiled_compose.median_ns,
+        });
+
+        let composite = compose_serial(&sparse, &cfg);
+        let serial_backward = run_case(format!("backward_serial_{n}_{count}c"), || {
+            black_box(composite.backward_serial(&grad));
+        });
+        let mut grads = Vec::new();
+        let tiled_backward = run_case(format!("backward_parallel_{n}_{count}c"), || {
+            ws.backward_into(&grad, &mut grads);
+            black_box(grads.len());
+        });
+        speedups.push(Speedup {
+            case: format!("backward_{n}_{count}c"),
+            serial_ns: serial_backward.median_ns,
+            tiled_ns: tiled_backward.median_ns,
+        });
+
+        // The acceptance metric: compose + backward together.
+        speedups.push(Speedup {
+            case: format!("compose+backward_{n}_{count}c"),
+            serial_ns: serial_compose.median_ns + serial_backward.median_ns,
+            tiled_ns: tiled_compose.median_ns + tiled_backward.median_ns,
+        });
+        results.extend([
+            serial_compose,
+            tiled_compose,
+            serial_backward,
+            tiled_backward,
+        ]);
+    }
+
+    // Full CircleOpt iterations: allocating serial form vs pooled
+    // steady-state form, plus the steady-state allocation profile.
+    let full_sizes: &[usize] = if std::env::var("CFAOPC_BENCH_FULL").is_ok_and(|v| v == "1") {
+        &[512, 1024]
+    } else {
+        &[512]
+    };
+    let mut steady_net_bytes: Option<isize> = None;
+    let mut steady_allocs: Option<usize> = None;
+    for &n in full_sizes {
+        let count = 400 * n / 512;
+        let sim = LithoSimulator::new(LithoConfig {
+            size: n,
+            kernel_count: 4,
+            ..LithoConfig::default()
+        })
+        .unwrap();
+        let mut target = BitGrid::new(n, n);
+        let c = n as i32 / 2;
+        fill_rect(&mut target, Rect::new(c - 40, c - 120, c + 40, c + 120));
+        let target_real = target.to_real();
+        let weights = LossWeights::default();
+        let cfg = compose_cfg(n);
+        let sparse = make_circles(n, count);
+        let gamma = 3.0;
+
+        // Serial/allocating: fresh compose, allocating gradient call,
+        // allocating backward.
+        let mut flat = sparse.to_flat();
+        let mut optimizer = Optimizer::new(OptimizerKind::adam(0.1), flat.len());
+        let mut circles = sparse.clone();
+        let serial = run_case(format!("iteration_serial_{n}_{count}c"), || {
+            circles.set_from_flat(&flat);
+            let composite = compose_serial(&circles, &cfg);
+            let (_loss, grad_mask) =
+                loss_and_gradient(&sim, &composite.mask, &target_real, weights).unwrap();
+            let mut grads = composite.backward_serial(&grad_mask);
+            for (i, p) in circles.circles.iter().enumerate() {
+                grads[4 * i + 3] += gamma * p.q.signum() * if p.q == 0.0 { 0.0 } else { 1.0 };
+            }
+            optimizer.step(&mut flat, &grads);
+            black_box(&flat);
+        });
+
+        // Pooled steady state: reused workspace and buffers throughout —
+        // the exact shape of `run_circleopt_impl`'s inner loop.
+        let mut flat = sparse.to_flat();
+        let mut optimizer = Optimizer::new(OptimizerKind::adam(0.1), flat.len());
+        let mut circles = sparse.clone();
+        let mut ws = ComposeWorkspace::new();
+        let mut grad_mask = Grid2D::new(n, n, 0.0);
+        let mut grads: Vec<f64> = Vec::new();
+        let mut pooled_iteration =
+            |flat: &mut Vec<f64>, circles: &mut SparseCircles, optimizer: &mut Optimizer| {
+                circles.set_from_flat(flat);
+                ws.compose(circles, &cfg);
+                let _loss =
+                    loss_and_gradient_into(&sim, ws.mask(), &target_real, weights, &mut grad_mask)
+                        .unwrap();
+                ws.backward_into(&grad_mask, &mut grads);
+                for (i, p) in circles.circles.iter().enumerate() {
+                    grads[4 * i + 3] += gamma * p.q.signum() * if p.q == 0.0 { 0.0 } else { 1.0 };
+                }
+                optimizer.step(flat, &grads);
+            };
+        let pooled = run_case(format!("iteration_pooled_{n}_{count}c"), || {
+            pooled_iteration(&mut flat, &mut circles, &mut optimizer);
+            black_box(&flat);
+        });
+
+        // Allocation profile of one steady-state iteration (the harness
+        // above already warmed everything up).
+        if n == 512 {
+            let bytes0 = NET_BYTES.load(Ordering::SeqCst);
+            let calls0 = ALLOC_CALLS.load(Ordering::SeqCst);
+            pooled_iteration(&mut flat, &mut circles, &mut optimizer);
+            steady_net_bytes = Some(NET_BYTES.load(Ordering::SeqCst) - bytes0);
+            steady_allocs = Some(ALLOC_CALLS.load(Ordering::SeqCst) - calls0);
+            println!(
+                "steady-state iteration allocations: net {} bytes, {} transient alloc calls",
+                steady_net_bytes.unwrap(),
+                steady_allocs.unwrap()
+            );
+        }
+
+        speedups.push(Speedup {
+            case: format!("iteration_{n}_{count}c"),
+            serial_ns: serial.median_ns,
+            tiled_ns: pooled.median_ns,
+        });
+        results.extend([serial, pooled]);
+    }
+
+    // Snapshot.
+    let path = std::env::var("CFAOPC_BENCH_CIRCLEOPT_OUT")
+        .unwrap_or_else(|_| "BENCH_circleopt.json".to_string());
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"worker_count\": {},\n", worker_count()));
+    out.push_str(&format!("  \"pool_threads\": {},\n", pool_thread_count()));
+    out.push_str(&format!(
+        "  \"steady_state_net_bytes_per_iteration\": {},\n",
+        steady_net_bytes.map_or("null".to_string(), |v| v.to_string())
+    ));
+    out.push_str(&format!(
+        "  \"steady_state_transient_allocs_per_iteration\": {},\n",
+        steady_allocs.map_or("null".to_string(), |v| v.to_string())
+    ));
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}{}\n",
+            json_escape(&r.name),
+            r.iters,
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": [\n");
+    for (i, s) in speedups.iter().enumerate() {
+        let ratio = s.serial_ns as f64 / s.tiled_ns.max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"case\": \"{}\", \"serial_median_ns\": {}, \"tiled_median_ns\": {}, \"speedup\": {ratio:.3}}}{}\n",
+            json_escape(&s.case),
+            s.serial_ns,
+            s.tiled_ns,
+            if i + 1 == speedups.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("\nperf snapshot written to {path}"),
+        Err(e) => eprintln!("\nfailed to write perf snapshot: {e}"),
+    }
+}

@@ -1,4 +1,5 @@
-//! The differentiable circle-to-pixel transformation (paper Eq. 10–14).
+//! The differentiable circle-to-pixel transformation (paper Eq. 10–14),
+//! implemented as a **tile-bucketed, parallel, allocation-free engine**.
 //!
 //! Forward: every circle contributes a *circular window*
 //! `f(x,y) = σ(α(r′ − ‖(x,y) − (x′,y′)‖))` (Eq. 10) and the dense mask is
@@ -16,11 +17,45 @@
 //! ∂M̄/∂rᵢ = α qᵢ h · 𝟙[Rmin,Rmax](rᵢ)
 //! ∂M̄/∂qᵢ = f
 //! ```
+//!
+//! # Engine
+//!
+//! Work scales with **active shot area**, not grid area:
+//!
+//! * Placed circles are binned into fixed [`TILE`]`×`[`TILE`] buckets by
+//!   their window `U`. Tiles no circle touches are skipped outright —
+//!   they are neither cleared nor rendered (a per-tile dirty flag clears
+//!   tiles that *were* covered on the previous use of a workspace).
+//! * Tile bands (rows of tiles, contiguous in the row-major grids) render
+//!   in parallel on the persistent worker pool; bands are disjoint, so
+//!   writes are race-free and the result is **bit-identical** to the
+//!   retained serial reference ([`compose_serial`]) for every worker
+//!   count. Within a bucket circles keep their index order, so per-pixel
+//!   max updates replay the serial sequence exactly.
+//! * Circles with activation `q ≤ q_floor` are skipped entirely. The
+//!   default floor of `0.0` is *exact*: a non-positive activation can
+//!   never win a pixel (the max starts at the 0 background) and therefore
+//!   never receives lithography gradient, so work shrinks for free as the
+//!   Lasso regularizer (Eq. 17) drives activations negative.
+//! * The backward pass runs one parallel task per circle: each task only
+//!   reads the shared argmax/gradient grids and writes its own four
+//!   gradient slots.
+//!
+//! [`ComposeWorkspace`] owns every buffer (mask, argmax, placed circles,
+//! tile buckets, parameter gradients) so the CircleOpt inner loop is
+//! allocation-free after the first iteration.
 
-use crate::repr::SparseCircles;
+use crate::repr::{CircleParams, SparseCircles};
 use crate::ste::ste;
+use cfaopc_fft::parallel::{par_chunks2_mut, par_chunks_mut};
 use cfaopc_grid::Grid2D;
 use cfaopc_litho::sigmoid;
+
+/// Edge length, in pixels, of the square tiles the composition engine
+/// buckets circles into. 32² pixels keeps a tile's mask and argmax rows
+/// within a few cache lines while giving the dynamic scheduler enough
+/// bands to balance (a 1024² grid has 32 bands).
+pub const TILE: usize = 32;
 
 /// Parameters of the circle-to-pixel transformation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +79,14 @@ pub struct ComposeConfig {
     /// the clip range). Disabling this is the `ablation_ste` study:
     /// parameters then drift past the writer's limits.
     pub clip_gates: bool,
+    /// Activation floor: circles with `q ≤ q_floor` are skipped by both
+    /// passes of the hard-max engine. `0.0` (the default) is exact —
+    /// non-positive activations never claim a pixel and never receive
+    /// lithography gradient; raising the floor trades exactness for
+    /// speed as Lasso pruning (Eq. 17) pushes activations negative. The
+    /// softmax composition ignores the floor (every circle contributes
+    /// to its normalizer).
+    pub q_floor: f64,
 }
 
 impl ComposeConfig {
@@ -57,20 +100,404 @@ impl ComposeConfig {
             r_max,
             quantize: true,
             clip_gates: true,
+            q_floor: 0.0,
         }
     }
 }
 
 /// One circle after (optional) STE quantization, with backward gates.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct PlacedCircle {
-    cx: f64,
-    cy: f64,
-    r: f64,
-    q: f64,
-    gate_x: f64,
-    gate_y: f64,
-    gate_r: f64,
+pub(crate) struct PlacedCircle {
+    pub(crate) cx: f64,
+    pub(crate) cy: f64,
+    pub(crate) r: f64,
+    pub(crate) q: f64,
+    pub(crate) gate_x: f64,
+    pub(crate) gate_y: f64,
+    pub(crate) gate_r: f64,
+}
+
+impl PlacedCircle {
+    fn place(c: &CircleParams, config: &ComposeConfig) -> Self {
+        if config.quantize {
+            let n = config.size;
+            let sx = ste(c.x, 0.0, (n - 1) as f64);
+            let sy = ste(c.y, 0.0, (n - 1) as f64);
+            let sr = ste(c.r, config.r_min as f64, config.r_max as f64);
+            let (gate_x, gate_y, gate_r) = if config.clip_gates {
+                (sx.gate, sy.gate, sr.gate)
+            } else {
+                (1.0, 1.0, 1.0)
+            };
+            PlacedCircle {
+                cx: sx.value as f64,
+                cy: sy.value as f64,
+                r: sr.value as f64,
+                q: c.q,
+                gate_x,
+                gate_y,
+                gate_r,
+            }
+        } else {
+            PlacedCircle {
+                cx: c.x,
+                cy: c.y,
+                r: c.r,
+                q: c.q,
+                gate_x: 1.0,
+                gate_y: 1.0,
+                gate_r: 1.0,
+            }
+        }
+    }
+
+    /// The circle's clipped window `U` as inclusive pixel bounds
+    /// `(x0, x1, y0, y1)`, or `None` when the window misses the grid
+    /// entirely. The explicit rejection matters for unquantized circles
+    /// pushed far off-grid (`cx.round() + half < 0`): the old code leaned
+    /// on `max`/`min` producing an inverted empty range, which tile
+    /// binning cannot tolerate.
+    pub(crate) fn window(&self, n: usize, margin: i32) -> Option<(i32, i32, i32, i32)> {
+        let half = self.r.ceil() as i32 + margin;
+        let cx = self.cx.round() as i32;
+        let cy = self.cy.round() as i32;
+        let (x0, x1) = (cx - half, cx + half);
+        let (y0, y1) = (cy - half, cy + half);
+        if half < 0 || x1 < 0 || y1 < 0 || x0 >= n as i32 || y0 >= n as i32 {
+            return None;
+        }
+        Some((
+            x0.max(0),
+            x1.min(n as i32 - 1),
+            y0.max(0),
+            y1.min(n as i32 - 1),
+        ))
+    }
+}
+
+/// Quantizes every circle (honouring `config.quantize`/`clip_gates`) into
+/// `out`, reusing its allocation.
+pub(crate) fn place_circles(
+    circles: &SparseCircles,
+    config: &ComposeConfig,
+    out: &mut Vec<PlacedCircle>,
+) {
+    out.clear();
+    out.extend(
+        circles
+            .circles
+            .iter()
+            .map(|c| PlacedCircle::place(c, config)),
+    );
+}
+
+/// Tile buckets: which circles touch which [`TILE`]`×`[`TILE`] tile, plus
+/// a dirty flag per tile so a reused workspace only clears tiles that
+/// held content on the previous render.
+#[derive(Debug, Default)]
+pub(crate) struct TileGrid {
+    size: usize,
+    tiles_x: usize,
+    buckets: Vec<Vec<u32>>,
+    dirty: Vec<bool>,
+}
+
+impl TileGrid {
+    pub(crate) fn new() -> Self {
+        TileGrid::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        if self.size != n {
+            let tx = n.div_ceil(TILE);
+            self.size = n;
+            self.tiles_x = tx;
+            self.buckets.clear();
+            self.buckets.resize_with(tx * tx, Vec::new);
+            self.dirty.clear();
+            self.dirty.resize(tx * tx, false);
+        }
+    }
+
+    /// Bins circles into tile buckets by their window `U`, preserving
+    /// circle index order within each bucket (which is what keeps tiled
+    /// rendering bit-identical to the serial reference). Circles with
+    /// `q ≤ q_floor` (when given) or an off-grid window are dropped.
+    pub(crate) fn bin(
+        &mut self,
+        placed: &[PlacedCircle],
+        n: usize,
+        margin: i32,
+        q_floor: Option<f64>,
+    ) {
+        self.reset(n);
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        for (i, pc) in placed.iter().enumerate() {
+            if let Some(floor) = q_floor {
+                if pc.q <= floor {
+                    continue;
+                }
+            }
+            let Some((x0, x1, y0, y1)) = pc.window(n, margin) else {
+                continue;
+            };
+            let (tx0, tx1) = (x0 as usize / TILE, x1 as usize / TILE);
+            let (ty0, ty1) = (y0 as usize / TILE, y1 as usize / TILE);
+            for ty in ty0..=ty1 {
+                for tx in tx0..=tx1 {
+                    self.buckets[ty * self.tiles_x + tx].push(i as u32);
+                }
+            }
+        }
+    }
+
+    /// The circle indices binned into tile `t` (row-major tile order).
+    pub(crate) fn bucket(&self, t: usize) -> &[u32] {
+        &self.buckets[t]
+    }
+
+    /// Records which tiles now hold content, for the next render's
+    /// skip-or-clear decision.
+    fn commit_dirty(&mut self) {
+        for (d, bucket) in self.dirty.iter_mut().zip(&self.buckets) {
+            *d = !bucket.is_empty();
+        }
+    }
+}
+
+/// Renders the hard-max composition tile-by-tile, bands in parallel.
+///
+/// Every tile is either skipped (no circle touches it now or on the
+/// previous render), or cleared and re-rendered from its bucket. Bands
+/// (tile rows) are contiguous, disjoint slices of the row-major grids, so
+/// parallel rendering is race-free by construction.
+fn render_max(
+    placed: &[PlacedCircle],
+    config: &ComposeConfig,
+    tiles: &TileGrid,
+    mask: &mut [f64],
+    argmax: &mut [i32],
+) {
+    let n = config.size;
+    let tiles_x = tiles.tiles_x;
+    par_chunks2_mut(mask, argmax, n * TILE, n * TILE, |band, m, a| {
+        let rows = m.len() / n;
+        let y_base = band * TILE;
+        for tx in 0..tiles_x {
+            let t = band * tiles_x + tx;
+            let bucket = &tiles.buckets[t];
+            if bucket.is_empty() && !tiles.dirty[t] {
+                continue; // untouched then, untouched now: still zero
+            }
+            let c0 = tx * TILE;
+            let c1 = ((tx + 1) * TILE).min(n);
+            for row in 0..rows {
+                m[row * n + c0..row * n + c1].fill(0.0);
+                a[row * n + c0..row * n + c1].fill(-1);
+            }
+            for &ci in bucket {
+                let pc = &placed[ci as usize];
+                let (wx0, wx1, wy0, wy1) = pc
+                    .window(n, config.window_margin)
+                    .expect("binned circles have on-grid windows");
+                let x0 = (wx0 as usize).max(c0);
+                let x1 = (wx1 as usize + 1).min(c1);
+                let y0 = (wy0 as usize).max(y_base);
+                let y1 = (wy1 as usize + 1).min(y_base + rows);
+                for y in y0..y1 {
+                    let row_off = (y - y_base) * n;
+                    for x in x0..x1 {
+                        let d =
+                            (((x as f64 - pc.cx).powi(2)) + ((y as f64 - pc.cy).powi(2))).sqrt();
+                        let f = sigmoid(config.alpha * (pc.r - d));
+                        let v = pc.q * f;
+                        let cell = &mut m[row_off + x];
+                        if v > *cell {
+                            *cell = v;
+                            a[row_off + x] = ci as i32;
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Backward pass shared by [`Composite::backward`] and
+/// [`ComposeWorkspace::backward_into`]: one parallel task per circle,
+/// each reading the shared argmax/gradient grids and writing only its own
+/// four slots of `grads`.
+fn backward_max_into(
+    placed: &[PlacedCircle],
+    config: &ComposeConfig,
+    argmax: &Grid2D<i32>,
+    grad_mask: &Grid2D<f64>,
+    grads: &mut [f64],
+) {
+    let n = config.size;
+    assert!(
+        grad_mask.width() == n && grad_mask.height() == n,
+        "gradient shape mismatch"
+    );
+    debug_assert_eq!(grads.len(), placed.len() * 4);
+    let alpha = config.alpha;
+    par_chunks_mut(grads, 4, |i, out| {
+        out.fill(0.0);
+        let pc = &placed[i];
+        if pc.q <= config.q_floor {
+            // Exact for the default floor of 0: the circle cannot have
+            // won any pixel, so every windowed sum below would be zero.
+            return;
+        }
+        let Some((x0, x1, y0, y1)) = pc.window(n, config.window_margin) else {
+            return;
+        };
+        let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                if argmax[(x as usize, y as usize)] != i as i32 {
+                    continue;
+                }
+                let dx = x as f64 - pc.cx;
+                let dy = y as f64 - pc.cy;
+                let d = (dx * dx + dy * dy).sqrt();
+                let f = sigmoid(alpha * (pc.r - d));
+                let h = f * (1.0 - f);
+                let g = grad_mask[(x as usize, y as usize)];
+                if d > 1e-9 {
+                    gx += g * alpha * pc.q * h * (dx / d);
+                    gy += g * alpha * pc.q * h * (dy / d);
+                }
+                gr += g * alpha * pc.q * h;
+                gq += g * f;
+            }
+        }
+        out[0] = gx * pc.gate_x;
+        out[1] = gy * pc.gate_y;
+        out[2] = gr * pc.gate_r;
+        out[3] = gq;
+    });
+}
+
+/// Reusable state for the tiled composition engine: mask, argmax, placed
+/// circles, tile buckets and the parameter-gradient buffer all live here,
+/// so the CircleOpt inner loop performs **zero steady-state heap
+/// allocations** in the circle→pixel direction.
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_core::{CircleParams, ComposeConfig, ComposeWorkspace, SparseCircles};
+/// use cfaopc_grid::Grid2D;
+///
+/// let circles = SparseCircles {
+///     circles: vec![CircleParams { x: 16.0, y: 16.0, r: 6.0, q: 1.0 }],
+/// };
+/// let config = ComposeConfig::new(32, 3, 19);
+/// let mut ws = ComposeWorkspace::new();
+/// ws.compose(&circles, &config);
+/// assert!(ws.mask()[(16, 16)] > 0.99);
+/// let grad = Grid2D::new(32, 32, 1.0);
+/// let mut grads = Vec::new();
+/// ws.backward_into(&grad, &mut grads);
+/// assert_eq!(grads.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ComposeWorkspace {
+    mask: Grid2D<f64>,
+    argmax: Grid2D<i32>,
+    placed: Vec<PlacedCircle>,
+    tiles: TileGrid,
+    config: Option<ComposeConfig>,
+}
+
+impl Default for ComposeWorkspace {
+    fn default() -> Self {
+        ComposeWorkspace::new()
+    }
+}
+
+impl ComposeWorkspace {
+    /// Creates an empty workspace; buffers are sized by the first
+    /// [`ComposeWorkspace::compose`] call and reused afterwards.
+    pub fn new() -> Self {
+        ComposeWorkspace {
+            mask: Grid2D::new(0, 0, 0.0),
+            argmax: Grid2D::new(0, 0, -1),
+            placed: Vec::new(),
+            tiles: TileGrid::new(),
+            config: None,
+        }
+    }
+
+    /// Renders the dense mask and argmax map for `circles` into the
+    /// workspace buffers (tile-parallel, skipping untouched tiles and
+    /// circles at or below `config.q_floor`). Bit-identical to
+    /// [`compose_serial`] at any worker count.
+    pub fn compose(&mut self, circles: &SparseCircles, config: &ComposeConfig) {
+        let n = config.size;
+        if self.mask.width() != n || self.mask.height() != n {
+            self.mask = Grid2D::new(n, n, 0.0);
+            self.argmax = Grid2D::new(n, n, -1);
+        }
+        self.config = Some(*config);
+        place_circles(circles, config, &mut self.placed);
+        self.tiles
+            .bin(&self.placed, n, config.window_margin, Some(config.q_floor));
+        render_max(
+            &self.placed,
+            config,
+            &self.tiles,
+            self.mask.as_mut_slice(),
+            self.argmax.as_mut_slice(),
+        );
+        self.tiles.commit_dirty();
+    }
+
+    /// The dense mask `M̄` from the last [`ComposeWorkspace::compose`].
+    pub fn mask(&self) -> &Grid2D<f64> {
+        &self.mask
+    }
+
+    /// The argmax routing map from the last compose (`-1` = background).
+    pub fn argmax(&self) -> &Grid2D<i32> {
+        &self.argmax
+    }
+
+    /// Backward pass into a caller-owned buffer, resized to `4n` and
+    /// fully overwritten (so a buffer reused across iterations never
+    /// accumulates stale gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ComposeWorkspace::compose`] has not been called, or on
+    /// a gradient shape mismatch.
+    pub fn backward_into(&self, grad_mask: &Grid2D<f64>, grads: &mut Vec<f64>) {
+        let config = self
+            .config
+            .as_ref()
+            .expect("backward_into requires a prior compose");
+        grads.resize(self.placed.len() * 4, 0.0);
+        backward_max_into(&self.placed, config, &self.argmax, grad_mask, grads);
+    }
+
+    /// Consumes the workspace into an owned [`Composite`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ComposeWorkspace::compose`] has not been called.
+    pub fn into_composite(self) -> Composite {
+        Composite {
+            config: self
+                .config
+                .expect("into_composite requires a prior compose"),
+            mask: self.mask,
+            argmax: self.argmax,
+            placed: self.placed,
+        }
+    }
 }
 
 /// The dense mask, its argmax routing map, and everything needed to run
@@ -85,7 +512,12 @@ pub struct Composite {
     config: ComposeConfig,
 }
 
-/// Builds the dense mask from the sparse circular representation.
+/// Builds the dense mask from the sparse circular representation using
+/// the tiled parallel engine (bit-identical to [`compose_serial`]).
+///
+/// Callers composing every iteration should prefer a reused
+/// [`ComposeWorkspace`], which skips this function's per-call buffer
+/// allocations.
 ///
 /// # Examples
 ///
@@ -100,51 +532,30 @@ pub struct Composite {
 /// assert!(composite.mask[(0, 0)] < 1e-6);   // background
 /// ```
 pub fn compose(circles: &SparseCircles, config: &ComposeConfig) -> Composite {
+    let mut ws = ComposeWorkspace::new();
+    ws.compose(circles, config);
+    ws.into_composite()
+}
+
+/// The retained serial reference implementation of [`compose`]: one flat
+/// pass over every circle's window, no tiling, no parallelism. Kept (and
+/// exercised by property tests) as the ground truth the tiled engine must
+/// match bit-for-bit; also the baseline the `circleopt` benchmark times
+/// the engine against.
+pub fn compose_serial(circles: &SparseCircles, config: &ComposeConfig) -> Composite {
     let n = config.size;
     let mut mask = Grid2D::new(n, n, 0.0f64);
     let mut argmax = Grid2D::new(n, n, -1i32);
-    let placed: Vec<PlacedCircle> = circles
-        .circles
-        .iter()
-        .map(|c| {
-            if config.quantize {
-                let sx = ste(c.x, 0.0, (n - 1) as f64);
-                let sy = ste(c.y, 0.0, (n - 1) as f64);
-                let sr = ste(c.r, config.r_min as f64, config.r_max as f64);
-                let (gate_x, gate_y, gate_r) = if config.clip_gates {
-                    (sx.gate, sy.gate, sr.gate)
-                } else {
-                    (1.0, 1.0, 1.0)
-                };
-                PlacedCircle {
-                    cx: sx.value as f64,
-                    cy: sy.value as f64,
-                    r: sr.value as f64,
-                    q: c.q,
-                    gate_x,
-                    gate_y,
-                    gate_r,
-                }
-            } else {
-                PlacedCircle {
-                    cx: c.x,
-                    cy: c.y,
-                    r: c.r,
-                    q: c.q,
-                    gate_x: 1.0,
-                    gate_y: 1.0,
-                    gate_r: 1.0,
-                }
-            }
-        })
-        .collect();
+    let mut placed = Vec::new();
+    place_circles(circles, config, &mut placed);
 
     for (i, pc) in placed.iter().enumerate() {
-        let half = pc.r.ceil() as i32 + config.window_margin;
-        let x0 = (pc.cx.round() as i32 - half).max(0);
-        let x1 = (pc.cx.round() as i32 + half).min(n as i32 - 1);
-        let y0 = (pc.cy.round() as i32 - half).max(0);
-        let y1 = (pc.cy.round() as i32 + half).min(n as i32 - 1);
+        if pc.q <= config.q_floor {
+            continue;
+        }
+        let Some((x0, x1, y0, y1)) = pc.window(n, config.window_margin) else {
+            continue;
+        };
         for y in y0..=y1 {
             for x in x0..=x1 {
                 let d = (((x as f64 - pc.cx).powi(2)) + ((y as f64 - pc.cy).powi(2))).sqrt();
@@ -178,11 +589,32 @@ impl Composite {
     ///
     /// Gradients aggregate only over each circle's window `U` **and**
     /// only at pixels the circle wins (the argmax routing of Eq. 12).
+    /// Circles run in parallel (each writes only its own four slots);
+    /// the result is bit-identical to
+    /// [`Composite::backward_serial`].
     ///
     /// # Panics
     ///
     /// Panics if `grad_mask` does not match the grid size.
     pub fn backward(&self, grad_mask: &Grid2D<f64>) -> Vec<f64> {
+        let mut grads = vec![0.0f64; self.placed.len() * 4];
+        backward_max_into(
+            &self.placed,
+            &self.config,
+            &self.argmax,
+            grad_mask,
+            &mut grads,
+        );
+        grads
+    }
+
+    /// The retained serial reference for [`Composite::backward`] —
+    /// ground truth for the property tests and the benchmark baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_mask` does not match the grid size.
+    pub fn backward_serial(&self, grad_mask: &Grid2D<f64>) -> Vec<f64> {
         let n = self.config.size;
         assert!(
             grad_mask.width() == n && grad_mask.height() == n,
@@ -191,11 +623,12 @@ impl Composite {
         let alpha = self.config.alpha;
         let mut grads = vec![0.0f64; self.placed.len() * 4];
         for (i, pc) in self.placed.iter().enumerate() {
-            let half = pc.r.ceil() as i32 + self.config.window_margin;
-            let x0 = (pc.cx.round() as i32 - half).max(0);
-            let x1 = (pc.cx.round() as i32 + half).min(n as i32 - 1);
-            let y0 = (pc.cy.round() as i32 - half).max(0);
-            let y1 = (pc.cy.round() as i32 + half).min(n as i32 - 1);
+            if pc.q <= self.config.q_floor {
+                continue;
+            }
+            let Some((x0, x1, y0, y1)) = pc.window(n, self.config.window_margin) else {
+                continue;
+            };
             let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
             for y in y0..=y1 {
                 for x in x0..=x1 {
@@ -296,6 +729,115 @@ mod tests {
         let a = compose(&single(16.4, 16.0, 6.3, 1.0), &cfg(32));
         let b = compose(&single(16.0, 16.0, 6.0, 1.0), &cfg(32));
         assert_eq!(a.mask, b.mask);
+    }
+
+    #[test]
+    fn far_off_grid_circle_is_skipped_cleanly() {
+        // Regression: with `quantize: false` a center far off-grid
+        // (cx.round() + half < 0) used to produce an inverted clamped
+        // range that only worked by accident; the window must be
+        // rejected explicitly. Both passes stay empty/zero.
+        let mut config = cfg(32);
+        config.quantize = false;
+        for &(x, y) in &[
+            (-500.0, 16.0),
+            (16.0, -500.0),
+            (900.0, 16.0),
+            (-40.0, -40.0),
+        ] {
+            let circles = single(x, y, 5.0, 1.0);
+            let c = compose(&circles, &config);
+            assert!(c.mask.as_slice().iter().all(|&v| v == 0.0), "({x},{y})");
+            assert!(c.argmax.as_slice().iter().all(|&v| v == -1));
+            let grads = c.backward(&Grid2D::new(32, 32, 1.0));
+            assert!(grads.iter().all(|&g| g == 0.0));
+            // And the serial reference agrees bit-for-bit.
+            let s = compose_serial(&circles, &config);
+            assert_eq!(s.mask, c.mask);
+            assert_eq!(s.argmax, c.argmax);
+        }
+    }
+
+    #[test]
+    fn q_floor_prunes_low_activation_circles() {
+        let circles = SparseCircles {
+            circles: vec![
+                CircleParams {
+                    x: 10.0,
+                    y: 10.0,
+                    r: 5.0,
+                    q: 0.05,
+                },
+                CircleParams {
+                    x: 22.0,
+                    y: 22.0,
+                    r: 5.0,
+                    q: 1.0,
+                },
+            ],
+        };
+        let mut config = cfg(32);
+        config.q_floor = 0.1;
+        let c = compose(&circles, &config);
+        assert!(c.mask[(10, 10)] == 0.0, "pruned circle must not render");
+        assert!(c.mask[(22, 22)] > 0.9);
+        // Serial reference implements the same floor semantics.
+        let s = compose_serial(&circles, &config);
+        assert_eq!(s.mask, c.mask);
+        let grads = c.backward(&Grid2D::new(32, 32, 1.0));
+        assert_eq!(&grads[..4], &[0.0; 4], "pruned circle gets no gradient");
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_compose_after_shrink() {
+        // A workspace that rendered a big mask must fully clear stale
+        // tiles when the next circle set covers less area.
+        let big = SparseCircles {
+            circles: (0..6)
+                .map(|i| CircleParams {
+                    x: 5.0 + 4.0 * i as f64,
+                    y: 5.0 + 4.0 * i as f64,
+                    r: 6.0,
+                    q: 1.0,
+                })
+                .collect(),
+        };
+        let small = single(8.0, 8.0, 4.0, 0.7);
+        let config = cfg(32);
+        let mut ws = ComposeWorkspace::new();
+        ws.compose(&big, &config);
+        ws.compose(&small, &config);
+        let fresh = compose(&small, &config);
+        assert_eq!(ws.mask(), &fresh.mask);
+        assert_eq!(ws.argmax(), &fresh.argmax);
+    }
+
+    #[test]
+    fn workspace_backward_matches_composite_backward() {
+        let circles = SparseCircles {
+            circles: vec![
+                CircleParams {
+                    x: 12.0,
+                    y: 15.0,
+                    r: 5.0,
+                    q: 0.9,
+                },
+                CircleParams {
+                    x: 20.0,
+                    y: 18.0,
+                    r: 4.0,
+                    q: -0.2,
+                },
+            ],
+        };
+        let config = cfg(32);
+        let grad = Grid2D::new(32, 32, 0.3);
+        let mut ws = ComposeWorkspace::new();
+        ws.compose(&circles, &config);
+        let mut grads = vec![99.0; 2]; // wrong size and stale values
+        ws.backward_into(&grad, &mut grads);
+        let reference = compose(&circles, &config).backward(&grad);
+        assert_eq!(grads, reference);
     }
 
     #[test]

@@ -52,11 +52,11 @@ mod repr;
 mod soft;
 mod ste;
 
-pub use compose::{compose, ComposeConfig, Composite};
+pub use compose::{compose, compose_serial, ComposeConfig, ComposeWorkspace, Composite, TILE};
 pub use optimize::Composition;
 pub use optimize::{
     run_circleopt, run_circleopt_from, CircleOptConfig, CircleOptResult, CircleOptTrace,
 };
 pub use repr::{CircleParams, SparseCircles};
-pub use soft::{compose_soft, SoftComposite};
+pub use soft::{compose_soft, compose_soft_serial, SoftComposite};
 pub use ste::{ste, SteValue};

@@ -21,12 +21,14 @@
 //! The final mask is the union of circles with `q > 0.5` — a mask that
 //! satisfies the circular fracturing constraint *by construction*.
 
-use crate::compose::{compose, ComposeConfig};
+use crate::compose::{ComposeConfig, ComposeWorkspace};
 use crate::repr::SparseCircles;
 use cfaopc_fracture::{circle_rule, CircleRuleConfig, CircularMask};
-use cfaopc_grid::{disk_area, open, remove_small_regions, BitGrid, Connectivity, Structuring};
+use cfaopc_grid::{
+    disk_area, open, remove_small_regions, BitGrid, Connectivity, Grid2D, Structuring,
+};
 use cfaopc_ilt::{run_pixel_ilt, IltEngine, Optimizer, OptimizerKind};
-use cfaopc_litho::{loss_and_gradient, LithoError, LithoSimulator, LossValues, LossWeights};
+use cfaopc_litho::{loss_and_gradient_into, LithoError, LithoSimulator, LossValues, LossWeights};
 use serde::{Deserialize, Serialize};
 
 /// CircleOpt hyper-parameters. Defaults are the paper's §5 constants:
@@ -66,6 +68,13 @@ pub struct CircleOptConfig {
     /// Apply the STE indicator gates (Eq. 9). Disabling lets parameters
     /// drift outside the writer's limits (ablation).
     pub ste_gates: bool,
+    /// Activation floor passed to the composition engine: circles with
+    /// `q ≤ q_floor` are skipped by the hard-max forward/backward passes.
+    /// The default `0.0` is exact (such circles can never claim a pixel),
+    /// so compose work shrinks as the Lasso regularizer prunes shots;
+    /// raising it trades exactness for speed. Ignored by the softmax
+    /// composition.
+    pub q_floor: f64,
 }
 
 /// Dense-mask composition strategy (see [`CircleOptConfig::composition`]).
@@ -96,6 +105,7 @@ impl Default for CircleOptConfig {
             cleanup_init: true,
             composition: Composition::Max,
             ste_gates: true,
+            q_floor: 0.0,
         }
     }
 }
@@ -118,8 +128,10 @@ pub struct CircleOptResult {
     pub circles: SparseCircles,
     /// The final fractured mask: active circles, quantized.
     pub mask: CircularMask,
-    /// The final mask rasterized — identical to `mask.rasterize(...)`,
-    /// provided for convenience.
+    /// The final mask rasterized: a **derived, cached** field, computed
+    /// exactly once at the end of the run and always equal to
+    /// `mask.rasterize(width, height)` at the simulator grid size. Use
+    /// this instead of re-rasterizing `mask`.
     pub mask_raster: BitGrid,
     /// The stage-1 pixel mask that seeded the reparameterization.
     pub init_mask: BitGrid,
@@ -232,29 +244,49 @@ fn run_circleopt_impl(
         r_max,
         quantize: true,
         clip_gates: config.ste_gates,
+        q_floor: config.q_floor,
     };
     let target_real = target.to_real();
     let mut flat = circles.to_flat();
     let mut optimizer = Optimizer::new(OptimizerKind::adam(config.step), flat.len());
     let mut history = Vec::with_capacity(config.circle_iterations);
 
-    type BackwardFn<'b> = Box<dyn Fn(&cfaopc_grid::Grid2D<f64>) -> Vec<f64> + 'b>;
+    // Every buffer the iteration touches lives outside the loop (the
+    // compose workspace, the mask gradient, the parameter gradient), so
+    // the steady-state hard-max iteration performs zero heap allocations
+    // — asserted by `tests/alloc.rs`.
+    let mut ws = ComposeWorkspace::new();
+    let mut grad_mask = Grid2D::new(n, n, 0.0);
+    let mut grads: Vec<f64> = Vec::new();
     for _ in 0..config.circle_iterations {
         circles.set_from_flat(&flat);
-        let (mask, backward): (_, BackwardFn<'_>) = match config.composition {
+        let loss = match config.composition {
             Composition::Max => {
-                let composite = compose(&circles, &compose_cfg);
-                let mask = composite.mask.clone();
-                (mask, Box::new(move |g| composite.backward(g)))
+                ws.compose(&circles, &compose_cfg);
+                let loss = loss_and_gradient_into(
+                    sim,
+                    ws.mask(),
+                    &target_real,
+                    config.weights,
+                    &mut grad_mask,
+                )?;
+                ws.backward_into(&grad_mask, &mut grads);
+                loss
             }
             Composition::Softmax { beta } => {
                 let composite = crate::soft::compose_soft(&circles, &compose_cfg, beta);
-                let mask = composite.mask.clone();
-                (mask, Box::new(move |g| composite.backward(g)))
+                let loss = loss_and_gradient_into(
+                    sim,
+                    &composite.mask,
+                    &target_real,
+                    config.weights,
+                    &mut grad_mask,
+                )?;
+                grads.clear();
+                grads.extend(composite.backward(&grad_mask));
+                loss
             }
         };
-        let (loss, grad_mask) = loss_and_gradient(sim, &mask, &target_real, config.weights)?;
-        let mut grads = backward(&grad_mask);
         // Lasso sparsity on the activations (Eq. 17): subgradient
         // γ·sign(q), 0 at q = 0.
         let mut sparsity = 0.0;

@@ -13,10 +13,21 @@
 //! the weights are well normalized. As `β → ∞` this approaches the hard
 //! max. The backward pass is exact:
 //! `∂M̄/∂vₖ = wₖ (1 + β vₖ − β M̄)`.
+//!
+//! The forward pass shares the tile-bucketed parallel engine of
+//! [`crate::compose`]: circles are binned by window into [`TILE`]-sized
+//! tiles and the numerator/normalizer grids render band-parallel.
+//! Unlike the hard max, the softmax **ignores `q_floor`** — a circle
+//! with `q = 0` still contributes `e^{β·0} = 1` to every covered pixel's
+//! normalizer, so dropping it would change the output. Accumulation
+//! order within a pixel follows circle index order in every bucket, so
+//! the result stays bit-identical to [`compose_soft_serial`].
+//!
+//! [`TILE`]: crate::compose::TILE
 
-use crate::compose::ComposeConfig;
+use crate::compose::{place_circles, ComposeConfig, PlacedCircle, TileGrid, TILE};
 use crate::repr::SparseCircles;
-use crate::ste::ste;
+use cfaopc_fft::parallel::{par_chunks2_mut, par_chunks_mut};
 use cfaopc_grid::Grid2D;
 use cfaopc_litho::sigmoid;
 
@@ -28,12 +39,13 @@ pub struct SoftComposite {
     pub mask: Grid2D<f64>,
     /// Normalizer `1 + Σ e^{βv}` per pixel.
     norm: Grid2D<f64>,
-    placed: Vec<(f64, f64, f64, f64, f64, f64, f64)>, // cx, cy, r, q, gates
+    placed: Vec<PlacedCircle>,
     config: ComposeConfig,
     beta: f64,
 }
 
-/// Builds the softmax-composed dense mask.
+/// Builds the softmax-composed dense mask on the tiled parallel engine
+/// (bit-identical to [`compose_soft_serial`]).
 ///
 /// `beta` controls the sharpness (`beta → ∞` recovers the max
 /// composition of [`crate::compose`]).
@@ -41,56 +53,100 @@ pub fn compose_soft(circles: &SparseCircles, config: &ComposeConfig, beta: f64) 
     let n = config.size;
     let mut num = Grid2D::new(n, n, 0.0f64);
     let mut norm = Grid2D::new(n, n, 1.0f64); // background e^{β·0}
-    let placed: Vec<(f64, f64, f64, f64, f64, f64, f64)> = circles
-        .circles
-        .iter()
-        .map(|c| {
-            if config.quantize {
-                let sx = ste(c.x, 0.0, (n - 1) as f64);
-                let sy = ste(c.y, 0.0, (n - 1) as f64);
-                let sr = ste(c.r, config.r_min as f64, config.r_max as f64);
-                let (gate_x, gate_y, gate_r) = if config.clip_gates {
-                    (sx.gate, sy.gate, sr.gate)
-                } else {
-                    (1.0, 1.0, 1.0)
-                };
-                (
-                    sx.value as f64,
-                    sy.value as f64,
-                    sr.value as f64,
-                    c.q,
-                    gate_x,
-                    gate_y,
-                    gate_r,
-                )
-            } else {
-                (c.x, c.y, c.r, c.q, 1.0, 1.0, 1.0)
-            }
-        })
-        .collect();
+    let mut placed = Vec::new();
+    place_circles(circles, config, &mut placed);
+    let mut tiles = TileGrid::new();
+    // No q-floor here: every circle, even at q ≤ 0, feeds the softmax
+    // normalizer, so pruning would change the output.
+    tiles.bin(&placed, n, config.window_margin, None);
 
-    for &(cx, cy, r, q, ..) in &placed {
-        let half = r.ceil() as i32 + config.window_margin;
-        let x0 = (cx.round() as i32 - half).max(0);
-        let x1 = (cx.round() as i32 + half).min(n as i32 - 1);
-        let y0 = (cy.round() as i32 - half).max(0);
-        let y1 = (cy.round() as i32 + half).min(n as i32 - 1);
+    let tiles_x = n.div_ceil(TILE);
+    par_chunks2_mut(
+        num.as_mut_slice(),
+        norm.as_mut_slice(),
+        n * TILE,
+        n * TILE,
+        |band, num_band, norm_band| {
+            let rows = num_band.len() / n;
+            let y_base = band * TILE;
+            for tx in 0..tiles_x {
+                let bucket = tiles.bucket(band * tiles_x + tx);
+                if bucket.is_empty() {
+                    continue; // fresh grids: already 0 / 1
+                }
+                let c0 = tx * TILE;
+                let c1 = ((tx + 1) * TILE).min(n);
+                for &ci in bucket {
+                    let pc = &placed[ci as usize];
+                    let (wx0, wx1, wy0, wy1) = pc
+                        .window(n, config.window_margin)
+                        .expect("binned circles have on-grid windows");
+                    let x0 = (wx0 as usize).max(c0);
+                    let x1 = (wx1 as usize + 1).min(c1);
+                    let y0 = (wy0 as usize).max(y_base);
+                    let y1 = (wy1 as usize + 1).min(y_base + rows);
+                    for y in y0..y1 {
+                        let row_off = (y - y_base) * n;
+                        for x in x0..x1 {
+                            let d =
+                                ((x as f64 - pc.cx).powi(2) + (y as f64 - pc.cy).powi(2)).sqrt();
+                            let v = pc.q * sigmoid(config.alpha * (pc.r - d));
+                            let e = (beta * v).exp();
+                            num_band[row_off + x] += v * e;
+                            norm_band[row_off + x] += e;
+                        }
+                    }
+                }
+            }
+        },
+    );
+
+    // In-place divide: the numerator grid becomes the mask.
+    for (m, &z) in num.as_mut_slice().iter_mut().zip(norm.as_slice()) {
+        *m /= z;
+    }
+    SoftComposite {
+        mask: num,
+        norm,
+        placed,
+        config: *config,
+        beta,
+    }
+}
+
+/// The retained serial reference implementation of [`compose_soft`]: one
+/// flat pass per circle, no tiling, no parallelism. Ground truth for the
+/// bit-identity property tests.
+pub fn compose_soft_serial(
+    circles: &SparseCircles,
+    config: &ComposeConfig,
+    beta: f64,
+) -> SoftComposite {
+    let n = config.size;
+    let mut num = Grid2D::new(n, n, 0.0f64);
+    let mut norm = Grid2D::new(n, n, 1.0f64);
+    let mut placed = Vec::new();
+    place_circles(circles, config, &mut placed);
+
+    for pc in &placed {
+        let Some((x0, x1, y0, y1)) = pc.window(n, config.window_margin) else {
+            continue;
+        };
         for y in y0..=y1 {
             for x in x0..=x1 {
-                let d = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
-                let v = q * sigmoid(config.alpha * (r - d));
+                let d = ((x as f64 - pc.cx).powi(2) + (y as f64 - pc.cy).powi(2)).sqrt();
+                let v = pc.q * sigmoid(config.alpha * (pc.r - d));
                 let e = (beta * v).exp();
                 num[(x as usize, y as usize)] += v * e;
                 norm[(x as usize, y as usize)] += e;
             }
         }
     }
-    let mut mask = Grid2D::new(n, n, 0.0f64);
-    for i in 0..n * n {
-        mask.as_mut_slice()[i] = num.as_slice()[i] / norm.as_slice()[i];
+    for (m, &z) in num.as_mut_slice().iter_mut().zip(norm.as_slice()) {
+        *m /= z;
     }
     SoftComposite {
-        mask,
+        mask: num,
         norm,
         placed,
         config: *config,
@@ -102,6 +158,11 @@ impl SoftComposite {
     /// Backward pass: chain `∂L/∂M̄` into the flat `4n` parameter
     /// gradient, spreading each pixel's gradient across *all* circles
     /// covering it (softmax weights), unlike the paper's argmax routing.
+    ///
+    /// Circles run in parallel — each task reads the shared mask,
+    /// normalizer and gradient grids and writes only its own four
+    /// gradient slots; bit-identical to
+    /// [`SoftComposite::backward_serial`].
     ///
     /// # Panics
     ///
@@ -115,36 +176,83 @@ impl SoftComposite {
         let alpha = self.config.alpha;
         let beta = self.beta;
         let mut grads = vec![0.0f64; self.placed.len() * 4];
-        for (i, &(cx, cy, r, q, gate_x, gate_y, gate_r)) in self.placed.iter().enumerate() {
-            let half = r.ceil() as i32 + self.config.window_margin;
-            let x0 = (cx.round() as i32 - half).max(0);
-            let x1 = (cx.round() as i32 + half).min(n as i32 - 1);
-            let y0 = (cy.round() as i32 - half).max(0);
-            let y1 = (cy.round() as i32 + half).min(n as i32 - 1);
+        par_chunks_mut(&mut grads, 4, |i, out| {
+            out.fill(0.0);
+            let pc = &self.placed[i];
+            let Some((x0, x1, y0, y1)) = pc.window(n, self.config.window_margin) else {
+                return;
+            };
             let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
             for y in y0..=y1 {
                 for x in x0..=x1 {
                     let p = (x as usize, y as usize);
-                    let dx = x as f64 - cx;
-                    let dy = y as f64 - cy;
+                    let dx = x as f64 - pc.cx;
+                    let dy = y as f64 - pc.cy;
                     let d = (dx * dx + dy * dy).sqrt();
-                    let f = sigmoid(alpha * (r - d));
-                    let v = q * f;
+                    let f = sigmoid(alpha * (pc.r - d));
+                    let v = pc.q * f;
                     let w = (beta * v).exp() / self.norm[p];
                     let dm_dv = w * (1.0 + beta * v - beta * self.mask[p]);
                     let g = grad_mask[p] * dm_dv;
                     let h = f * (1.0 - f);
                     if d > 1e-9 {
-                        gx += g * alpha * q * h * (dx / d);
-                        gy += g * alpha * q * h * (dy / d);
+                        gx += g * alpha * pc.q * h * (dx / d);
+                        gy += g * alpha * pc.q * h * (dy / d);
                     }
-                    gr += g * alpha * q * h;
+                    gr += g * alpha * pc.q * h;
                     gq += g * f;
                 }
             }
-            grads[4 * i] = gx * gate_x;
-            grads[4 * i + 1] = gy * gate_y;
-            grads[4 * i + 2] = gr * gate_r;
+            out[0] = gx * pc.gate_x;
+            out[1] = gy * pc.gate_y;
+            out[2] = gr * pc.gate_r;
+            out[3] = gq;
+        });
+        grads
+    }
+
+    /// The retained serial reference for [`SoftComposite::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a gradient shape mismatch.
+    pub fn backward_serial(&self, grad_mask: &Grid2D<f64>) -> Vec<f64> {
+        let n = self.config.size;
+        assert!(
+            grad_mask.width() == n && grad_mask.height() == n,
+            "gradient shape mismatch"
+        );
+        let alpha = self.config.alpha;
+        let beta = self.beta;
+        let mut grads = vec![0.0f64; self.placed.len() * 4];
+        for (i, pc) in self.placed.iter().enumerate() {
+            let Some((x0, x1, y0, y1)) = pc.window(n, self.config.window_margin) else {
+                continue;
+            };
+            let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    let p = (x as usize, y as usize);
+                    let dx = x as f64 - pc.cx;
+                    let dy = y as f64 - pc.cy;
+                    let d = (dx * dx + dy * dy).sqrt();
+                    let f = sigmoid(alpha * (pc.r - d));
+                    let v = pc.q * f;
+                    let w = (beta * v).exp() / self.norm[p];
+                    let dm_dv = w * (1.0 + beta * v - beta * self.mask[p]);
+                    let g = grad_mask[p] * dm_dv;
+                    let h = f * (1.0 - f);
+                    if d > 1e-9 {
+                        gx += g * alpha * pc.q * h * (dx / d);
+                        gy += g * alpha * pc.q * h * (dy / d);
+                    }
+                    gr += g * alpha * pc.q * h;
+                    gq += g * f;
+                }
+            }
+            grads[4 * i] = gx * pc.gate_x;
+            grads[4 * i + 1] = gy * pc.gate_y;
+            grads[4 * i + 2] = gr * pc.gate_r;
             grads[4 * i + 3] = gq;
         }
         grads
@@ -208,6 +316,40 @@ mod tests {
         for &v in soft.mask.as_slice() {
             assert!((-1e-12..=0.9 + 1e-9).contains(&v));
         }
+    }
+
+    #[test]
+    fn tiled_matches_serial_reference() {
+        let circles = two_circles();
+        let config = cfg(32);
+        let soft = compose_soft(&circles, &config, 20.0);
+        let serial = compose_soft_serial(&circles, &config, 20.0);
+        assert_eq!(soft.mask, serial.mask);
+        assert_eq!(soft.norm, serial.norm);
+        let grad = Grid2D::new(32, 32, 0.7);
+        assert_eq!(soft.backward(&grad), serial.backward_serial(&grad));
+    }
+
+    #[test]
+    fn zero_activation_circles_still_feed_the_normalizer() {
+        // q = 0 circles must not be pruned: e^{β·0} = 1 still joins the
+        // softmax normalizer on every covered pixel.
+        let mut circles = two_circles();
+        circles.circles.push(CircleParams {
+            x: 12.3,
+            y: 15.1,
+            r: 5.2,
+            q: 0.0,
+        });
+        let config = cfg(32);
+        let with_zero = compose_soft(&circles, &config, 20.0);
+        let without = compose_soft(&two_circles(), &config, 20.0);
+        assert!(
+            with_zero.mask[(12, 15)] < without.mask[(12, 15)],
+            "the q=0 circle must dilute the softmax"
+        );
+        let serial = compose_soft_serial(&circles, &config, 20.0);
+        assert_eq!(with_zero.mask, serial.mask);
     }
 
     #[test]

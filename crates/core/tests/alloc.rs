@@ -1,0 +1,115 @@
+//! Guard: the steady-state CircleOpt iteration (hard-max path) performs
+//! **zero net heap growth** after warm-up.
+//!
+//! The iteration body below is the same sequence `run_circleopt_impl`
+//! executes per step — compose into a reused [`ComposeWorkspace`],
+//! pooled `loss_and_gradient_into`, `backward_into` a reused gradient
+//! buffer, Lasso subgradient, Adam step — driven through the public API
+//! so a counting global allocator can watch it. Transient allocations
+//! that free within the iteration (parallel-region bookkeeping, the
+//! adjoint's per-kernel contribution lists) net to zero; what this test
+//! forbids is *growth*: any buffer allocated per iteration and kept, or
+//! reallocated bigger each step, shows up as a positive byte delta.
+//!
+//! The lib crates themselves stay `#![forbid(unsafe_code)]`; the
+//! allocator shim is unsafe and lives only in this test binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+use cfaopc_core::{CircleParams, ComposeConfig, ComposeWorkspace, SparseCircles};
+use cfaopc_grid::{fill_rect, BitGrid, Grid2D, Rect};
+use cfaopc_ilt::{Optimizer, OptimizerKind};
+use cfaopc_litho::{loss_and_gradient_into, LithoConfig, LithoSimulator, LossWeights};
+
+/// Wraps the system allocator, tracking net live bytes.
+struct CountingAlloc;
+
+static NET_BYTES: AtomicIsize = AtomicIsize::new(0);
+
+fn net_bytes() -> isize {
+    NET_BYTES.load(Ordering::SeqCst)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        NET_BYTES.fetch_add(layout.size() as isize, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        NET_BYTES.fetch_add(layout.size() as isize, Ordering::SeqCst);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        NET_BYTES.fetch_sub(layout.size() as isize, Ordering::SeqCst);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        NET_BYTES.fetch_add(new_size as isize - layout.size() as isize, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_circleopt_iteration_is_allocation_free() {
+    let sim = LithoSimulator::new(LithoConfig {
+        size: 64,
+        kernel_count: 4,
+        ..LithoConfig::default()
+    })
+    .unwrap();
+    let n = sim.size();
+    let mut target = BitGrid::new(n, n);
+    fill_rect(&mut target, Rect::new(24, 16, 40, 48));
+    let target_real = target.to_real();
+    let weights = LossWeights::default();
+    let gamma = 3.0;
+
+    // A spread of circles covering several tiles, some destined to go
+    // negative under Lasso pressure (exercising the q-floor skip).
+    let mut circles = SparseCircles {
+        circles: (0..12)
+            .map(|i| CircleParams {
+                x: 12.0 + 4.0 * (i % 4) as f64,
+                y: 14.0 + 11.0 * (i / 4) as f64,
+                r: 4.0 + (i % 3) as f64,
+                q: if i % 5 == 0 { 0.05 } else { 1.0 },
+            })
+            .collect(),
+    };
+    let compose_cfg = ComposeConfig::new(n, 2, 8);
+    let mut flat = circles.to_flat();
+    let mut optimizer = Optimizer::new(OptimizerKind::adam(0.1), flat.len());
+    let mut ws = ComposeWorkspace::new();
+    let mut grad_mask = Grid2D::new(n, n, 0.0);
+    let mut grads: Vec<f64> = Vec::new();
+
+    const WARMUP: usize = 3;
+    const MEASURED: usize = 6;
+    let mut baseline = 0isize;
+    for it in 0..WARMUP + MEASURED {
+        circles.set_from_flat(&flat);
+        ws.compose(&circles, &compose_cfg);
+        let _loss =
+            loss_and_gradient_into(&sim, ws.mask(), &target_real, weights, &mut grad_mask).unwrap();
+        ws.backward_into(&grad_mask, &mut grads);
+        for (i, c) in circles.circles.iter().enumerate() {
+            grads[4 * i + 3] += gamma * c.q.signum() * if c.q == 0.0 { 0.0 } else { 1.0 };
+        }
+        optimizer.step(&mut flat, &grads);
+        if it + 1 == WARMUP {
+            baseline = net_bytes();
+        }
+    }
+    let growth = net_bytes() - baseline;
+    assert_eq!(
+        growth, 0,
+        "steady-state CircleOpt iterations grew the heap by {growth} bytes over {MEASURED} iterations"
+    );
+}

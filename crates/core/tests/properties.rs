@@ -1,6 +1,9 @@
 //! Property-based tests for the CircleOpt machinery.
 
-use cfaopc_core::{compose, compose_soft, CircleParams, ComposeConfig, SparseCircles};
+use cfaopc_core::{
+    compose, compose_serial, compose_soft, compose_soft_serial, CircleParams, ComposeConfig,
+    ComposeWorkspace, SparseCircles, TILE,
+};
 use cfaopc_grid::Grid2D;
 use proptest::prelude::*;
 
@@ -19,8 +22,42 @@ fn arb_circles(max_n: usize) -> impl Strategy<Value = SparseCircles> {
     })
 }
 
+/// Overlapping circles crowded around the N=48 grid's tile boundary
+/// (x = y = [`TILE`]), so every case exercises windows straddling
+/// multiple tiles; `q` spans negatives to cover pruned circles.
+fn arb_straddling_circles(max_n: usize) -> impl Strategy<Value = SparseCircles> {
+    let b = TILE as f64;
+    proptest::collection::vec(
+        (
+            b - 8.0..b + 8.0,
+            b - 8.0..b + 8.0,
+            2.0f64..10.0,
+            -0.5f64..1.5,
+        ),
+        2..max_n,
+    )
+    .prop_map(|v| SparseCircles {
+        circles: v
+            .into_iter()
+            .map(|(x, y, r, q)| CircleParams { x, y, r, q })
+            .collect(),
+    })
+}
+
 fn cfg() -> ComposeConfig {
     ComposeConfig::new(N, 2, 10)
+}
+
+/// A deterministic non-uniform mask gradient, so backward bit-identity
+/// checks see varied per-pixel weights.
+fn wavy_grad() -> Grid2D<f64> {
+    Grid2D::from_vec(
+        N,
+        N,
+        (0..N * N)
+            .map(|i| ((i as f64 * 0.7310).sin() - 0.3) * 0.2)
+            .collect(),
+    )
 }
 
 proptest! {
@@ -91,6 +128,56 @@ proptest! {
         let flat = circles.to_flat();
         copy.set_from_flat(&flat);
         prop_assert_eq!(copy, circles);
+    }
+
+    #[test]
+    fn tiled_compose_bit_identical_to_serial(circles in arb_circles(16)) {
+        let tiled = compose(&circles, &cfg());
+        let serial = compose_serial(&circles, &cfg());
+        prop_assert_eq!(&tiled.mask, &serial.mask);
+        prop_assert_eq!(&tiled.argmax, &serial.argmax);
+        let grad = wavy_grad();
+        prop_assert_eq!(tiled.backward(&grad), serial.backward_serial(&grad));
+    }
+
+    #[test]
+    fn tile_straddling_overlaps_bit_identical_to_serial(circles in arb_straddling_circles(12)) {
+        let tiled = compose(&circles, &cfg());
+        let serial = compose_serial(&circles, &cfg());
+        prop_assert_eq!(&tiled.mask, &serial.mask);
+        prop_assert_eq!(&tiled.argmax, &serial.argmax);
+        let grad = wavy_grad();
+        prop_assert_eq!(tiled.backward(&grad), serial.backward_serial(&grad));
+    }
+
+    #[test]
+    fn reused_workspace_bit_identical_to_serial(
+        first in arb_circles(12),
+        second in arb_straddling_circles(8),
+    ) {
+        // Dirty-tile tracking across renders must leave no stale pixels:
+        // a workspace that rendered `first` then `second` matches a
+        // from-scratch serial compose of `second` exactly.
+        let mut ws = ComposeWorkspace::new();
+        ws.compose(&first, &cfg());
+        ws.compose(&second, &cfg());
+        let serial = compose_serial(&second, &cfg());
+        prop_assert_eq!(ws.mask(), &serial.mask);
+        prop_assert_eq!(ws.argmax(), &serial.argmax);
+        let grad = wavy_grad();
+        let mut grads = Vec::new();
+        ws.backward_into(&grad, &mut grads);
+        prop_assert_eq!(grads, serial.backward_serial(&grad));
+    }
+
+    #[test]
+    fn tiled_soft_compose_bit_identical_to_serial(circles in arb_straddling_circles(8)) {
+        let beta = 20.0;
+        let tiled = compose_soft(&circles, &cfg(), beta);
+        let serial = compose_soft_serial(&circles, &cfg(), beta);
+        prop_assert_eq!(&tiled.mask, &serial.mask);
+        let grad = wavy_grad();
+        prop_assert_eq!(tiled.backward(&grad), serial.backward_serial(&grad));
     }
 
     #[test]

@@ -80,6 +80,31 @@ pub fn loss_and_gradient(
     target: &Grid2D<f64>,
     weights: LossWeights,
 ) -> Result<(LossValues, Grid2D<f64>), LithoError> {
+    let mut grad = Grid2D::new(sim.size(), sim.size(), 0.0);
+    let values = loss_and_gradient_into(sim, mask, target, weights, &mut grad)?;
+    Ok((values, grad))
+}
+
+/// [`loss_and_gradient`] into a caller-owned gradient grid.
+///
+/// All full-grid scratch (mask spectrum, spectral accumulator, per-corner
+/// intensity and dL/dI) comes from the simulator's buffer pools, and
+/// `grad` is fully overwritten (reallocated only on a grid-size change) —
+/// so a caller looping over iterations with a persistent `grad` performs
+/// **zero steady-state heap allocations** here. [`loss_and_gradient`] is
+/// the convenience wrapper that allocates a fresh grid per call.
+///
+/// # Errors
+///
+/// Returns [`LithoError::ShapeMismatch`] when `mask` or `target` do not
+/// match the simulator grid.
+pub fn loss_and_gradient_into(
+    sim: &LithoSimulator,
+    mask: &Grid2D<f64>,
+    target: &Grid2D<f64>,
+    weights: LossWeights,
+    grad: &mut Grid2D<f64>,
+) -> Result<LossValues, LithoError> {
     let n = sim.size();
     let n2 = n * n;
     if target.width() != n || target.height() != n {
@@ -88,14 +113,14 @@ pub fn loss_and_gradient(
             actual: (target.width(), target.height()),
         });
     }
-    let spectrum = sim.mask_spectrum(mask)?;
+    let spectrum = sim.mask_spectrum_pooled(mask)?;
     let cfg = sim.config();
     let theta = cfg.resist_steepness;
     let th = cfg.threshold;
 
     let mut values = LossValues::default();
     // Spectral gradient accumulator (pupil support only is ever nonzero).
-    let mut acc = vec![Complex::ZERO; n2];
+    let mut acc = sim.field_pool().take_zeroed(n2);
 
     for (corner, w_c) in corner_plan(weights) {
         let set = sim.kernel_set(corner);
@@ -114,7 +139,7 @@ pub fn loss_and_gradient(
             field
         });
 
-        let mut intensity = vec![0.0f64; n2];
+        let mut intensity = sim.real_pool().take_zeroed(n2);
         for (k, field) in fields.iter().enumerate() {
             let w = set.kernels()[k].weight * dose;
             for (acc_i, z) in intensity.iter_mut().zip(field) {
@@ -122,20 +147,26 @@ pub fn loss_and_gradient(
             }
         }
 
-        // Relaxed resist, loss value, and dL/dI.
+        // Relaxed resist, loss value, and dL/dI (g_i is fully
+        // overwritten, so unspecified pool contents are fine).
         let mut corner_loss = 0.0;
-        let mut g_i = vec![0.0f64; n2];
+        let mut g_i = sim.real_pool().take(n2);
         for i in 0..n2 {
             let z = sigmoid(theta * (intensity[i] - th));
             let diff = z - target.as_slice()[i];
             corner_loss += diff * diff;
             g_i[i] = w_c * 2.0 * diff * theta * z * (1.0 - z);
         }
+        sim.real_pool().put(intensity);
         match corner {
             ProcessCorner::Nominal => values.l2 = corner_loss,
             _ => values.pvb += corner_loss,
         }
         if w_c == 0.0 {
+            for field in fields {
+                sim.field_pool().put(field);
+            }
+            sim.real_pool().put(g_i);
             continue;
         }
 
@@ -158,6 +189,7 @@ pub fn loss_and_gradient(
             sim.field_pool().put(b);
             contribution
         });
+        sim.real_pool().put(g_i);
         // Serial, kernel-ordered accumulation keeps the gradient
         // bit-identical across thread counts.
         for contribution in contributions {
@@ -177,8 +209,15 @@ pub fn loss_and_gradient(
     sim.plan()
         .forward(&mut acc)
         .expect("plan matches grid by construction");
-    let grad = Grid2D::from_vec(n, n, acc.into_iter().map(|z| z.re).collect());
-    Ok((values, grad))
+    if grad.width() != n || grad.height() != n {
+        *grad = Grid2D::new(n, n, 0.0);
+    }
+    for (g, z) in grad.as_mut_slice().iter_mut().zip(&acc) {
+        *g = z.re;
+    }
+    sim.field_pool().put(acc);
+    sim.field_pool().put(spectrum);
+    Ok(values)
 }
 
 /// Evaluates the relaxed loss only (no gradient) — cheaper when a line

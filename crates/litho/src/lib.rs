@@ -39,7 +39,7 @@ mod process_window;
 mod simulator;
 
 pub use config::{LithoConfig, LithoError, ProcessCorner};
-pub use gradient::{loss_and_gradient, loss_only, LossValues, LossWeights};
+pub use gradient::{loss_and_gradient, loss_and_gradient_into, loss_only, LossValues, LossWeights};
 pub use kernels::{Kernel, KernelSet};
 pub use process_window::{
     bossung_surface, cd_through_focus, measure_cd, standard_sweep, BossungPoint, BossungSurface,

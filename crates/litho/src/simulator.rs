@@ -63,6 +63,9 @@ pub struct LithoSimulator {
     /// convolutions (shared with the adjoint pass), so the steady-state
     /// forward model performs no per-call field allocations.
     field_pool: BufferPool<Complex>,
+    /// Recycled full-grid real scratch (intensity, dL/dI) for the loss
+    /// and gradient path.
+    real_pool: BufferPool<f64>,
 }
 
 impl LithoSimulator {
@@ -82,6 +85,7 @@ impl LithoSimulator {
             plan,
             config,
             field_pool: BufferPool::new(),
+            real_pool: BufferPool::new(),
         })
     }
 
@@ -119,6 +123,13 @@ impl LithoSimulator {
         &self.field_pool
     }
 
+    /// The simulator's shared scratch pool for full-grid real buffers
+    /// (per-corner intensity and dL/dI in the loss path).
+    #[inline]
+    pub(crate) fn real_pool(&self) -> &BufferPool<f64> {
+        &self.real_pool
+    }
+
     fn check_mask(&self, mask: &Grid2D<f64>) -> Result<(), LithoError> {
         if mask.width() != self.config.size || mask.height() != self.config.size {
             return Err(LithoError::ShapeMismatch {
@@ -142,6 +153,23 @@ impl LithoSimulator {
             .iter()
             .map(|&v| Complex::from_re(v))
             .collect();
+        self.plan
+            .forward(&mut spectrum)
+            .expect("plan matches grid by construction");
+        Ok(spectrum)
+    }
+
+    /// [`LithoSimulator::mask_spectrum`] into a pooled buffer; return it
+    /// with `field_pool().put(...)` when done.
+    pub(crate) fn mask_spectrum_pooled(
+        &self,
+        mask: &Grid2D<f64>,
+    ) -> Result<Vec<Complex>, LithoError> {
+        self.check_mask(mask)?;
+        let mut spectrum = self.field_pool.take(mask.as_slice().len());
+        for (slot, &v) in spectrum.iter_mut().zip(mask.as_slice()) {
+            *slot = Complex::from_re(v);
+        }
         self.plan
             .forward(&mut spectrum)
             .expect("plan matches grid by construction");

@@ -108,13 +108,12 @@ fn cmd_fracture(flags: &Flags) -> CliResult {
         .unwrap_or(30);
     let method = flags.get("method").map(String::as_str).unwrap_or("opt");
 
-    let (mask, label) = match method {
+    let (mask, raster, label) = match method {
         "rule" => {
             let pixel = run_engine(&sim, &target, IltEngine::MultiIltLike, iters)?;
-            (
-                circle_rule(&pixel.mask_binary, &CircleRuleConfig::default(), pixel_nm),
-                "MultiILT+CircleRule",
-            )
+            let mask = circle_rule(&pixel.mask_binary, &CircleRuleConfig::default(), pixel_nm);
+            let raster = mask.rasterize(n, n);
+            (mask, raster, "MultiILT+CircleRule")
         }
         "opt" => {
             let gamma = 3.0 * (n as f64 / 2048.0).powi(2);
@@ -128,12 +127,12 @@ fn cmd_fracture(flags: &Flags) -> CliResult {
                     ..CircleOptConfig::default()
                 },
             )?;
-            (result.mask, "CircleOpt")
+            // `mask_raster` is the run's cached rasterization — no need
+            // to re-rasterize here.
+            (result.mask, result.mask_raster, "CircleOpt")
         }
         other => return Err(format!("unknown method {other:?} (use opt|rule)").into()),
     };
-
-    let raster = mask.rasterize(n, n);
     let mut metrics = evaluate_mask(&sim, &raster, &target, &EpeConfig::default())?;
     metrics.shots = mask.shot_count();
     println!(
