@@ -15,8 +15,17 @@
 //! The full-iteration cases need a lithography simulator; 512² runs by
 //! default, the 1024² variant is opt-in via `CFAOPC_BENCH_FULL=1` to
 //! keep CI smoke runs fast.
+//!
+//! After timing, a short tracing-enabled CircleOpt run emits a JSONL
+//! telemetry artifact (per-iteration records, counters, span tree) next
+//! to the perf snapshot: default `BENCH_circleopt_telemetry.jsonl`,
+//! override with `CFAOPC_BENCH_CIRCLEOPT_TRACE_OUT`. The timed cases run
+//! with tracing disabled, so the medians measure the untraced hot path.
 
-use cfaopc_core::{compose_serial, CircleParams, ComposeConfig, ComposeWorkspace, SparseCircles};
+use cfaopc_core::{
+    compose_serial, run_circleopt_traced, CircleOptConfig, CircleParams, ComposeConfig,
+    ComposeWorkspace, SparseCircles,
+};
 use cfaopc_fft::parallel::{pool_thread_count, worker_count};
 use cfaopc_grid::{fill_rect, BitGrid, Grid2D, Rect};
 use cfaopc_ilt::{Optimizer, OptimizerKind};
@@ -338,5 +347,52 @@ fn main() {
     match std::fs::write(&path, out) {
         Ok(()) => println!("\nperf snapshot written to {path}"),
         Err(e) => eprintln!("\nfailed to write perf snapshot: {e}"),
+    }
+
+    write_telemetry_artifact();
+}
+
+/// A short tracing-enabled CircleOpt run, recorded as a JSONL telemetry
+/// artifact alongside the perf snapshot. Runs *after* every timed case so
+/// enabling the trace layer cannot perturb the medians.
+fn write_telemetry_artifact() {
+    let path = std::env::var("CFAOPC_BENCH_CIRCLEOPT_TRACE_OUT")
+        .unwrap_or_else(|_| "BENCH_circleopt_telemetry.jsonl".to_string());
+    let n = 256;
+    let sim = LithoSimulator::new(LithoConfig {
+        size: n,
+        kernel_count: 4,
+        ..LithoConfig::default()
+    })
+    .unwrap();
+    let mut target = BitGrid::new(n, n);
+    let c = n as i32 / 2;
+    fill_rect(&mut target, Rect::new(c - 20, c - 60, c + 20, c + 60));
+    let config = CircleOptConfig {
+        init_iterations: 6,
+        circle_iterations: 12,
+        ..CircleOptConfig::default()
+    };
+
+    cfaopc_trace::reset();
+    cfaopc_trace::set_enabled(true);
+    let file = match std::fs::File::create(&path) {
+        Ok(f) => std::io::BufWriter::new(f),
+        Err(e) => {
+            eprintln!("failed to create telemetry artifact {path}: {e}");
+            return;
+        }
+    };
+    let mut sink = cfaopc_trace::JsonlSink::new(file);
+    let run = run_circleopt_traced(&sim, &target, &config, &mut sink);
+    let summary = sink.write_summary().and_then(|()| sink.flush());
+    cfaopc_trace::set_enabled(false);
+    match (run, summary) {
+        (Ok(result), Ok(())) => println!(
+            "telemetry artifact written to {path} ({} shots traced)",
+            result.shot_count()
+        ),
+        (Err(e), _) => eprintln!("telemetry run failed: {e}"),
+        (_, Err(e)) => eprintln!("failed to write telemetry artifact {path}: {e}"),
     }
 }

@@ -186,7 +186,7 @@ fn main() {
 
     // E-beam write.
     let circles = circle_rule(&target, &CircleRuleConfig::default(), 8.0);
-    let writer = WriterModel::new(N, 8.0, EbeamPsf::default());
+    let writer = WriterModel::new(N, 8.0, EbeamPsf::default()).unwrap();
     let shots = WriterModel::dose_circles(&circles);
     results.push(run_case("ebeam_write_case3_256", || {
         black_box(writer.write(&shots));

@@ -22,7 +22,8 @@ fn main() {
     let px = exp.pixel_nm();
     // Photomasks are written at 4x magnification: the writer sees
     // mask-scale geometry, 4x the wafer-scale pitch of the simulation.
-    let writer = WriterModel::new(n, px * 4.0, EbeamPsf::forward_only(30.0));
+    let writer = WriterModel::new(n, px * 4.0, EbeamPsf::forward_only(30.0))
+        .expect("experiment grid sizes are powers of two");
     let noise_sigma = 0.08;
 
     let mut csv =

@@ -234,9 +234,11 @@ impl TileGrid {
         for bucket in &mut self.buckets {
             bucket.clear();
         }
+        let mut pruned = 0u64;
         for (i, pc) in placed.iter().enumerate() {
             if let Some(floor) = q_floor {
                 if pc.q <= floor {
+                    pruned += 1;
                     continue;
                 }
             }
@@ -251,6 +253,7 @@ impl TileGrid {
                 }
             }
         }
+        cfaopc_trace::counters::CIRCLES_PRUNED.add(pruned);
     }
 
     /// The circle indices binned into tile `t` (row-major tile order).
@@ -258,9 +261,20 @@ impl TileGrid {
         &self.buckets[t]
     }
 
+    /// Number of tiles along one grid edge after the last bin.
+    pub(crate) fn tiles_x(&self) -> usize {
+        self.tiles_x
+    }
+
+    /// Whether tile `t` held content on the previous render (and so must
+    /// be cleared even if its bucket is now empty).
+    pub(crate) fn is_dirty(&self, t: usize) -> bool {
+        self.dirty[t]
+    }
+
     /// Records which tiles now hold content, for the next render's
     /// skip-or-clear decision.
-    fn commit_dirty(&mut self) {
+    pub(crate) fn commit_dirty(&mut self) {
         for (d, bucket) in self.dirty.iter_mut().zip(&self.buckets) {
             *d = !bucket.is_empty();
         }
@@ -285,12 +299,17 @@ fn render_max(
     par_chunks2_mut(mask, argmax, n * TILE, n * TILE, |band, m, a| {
         let rows = m.len() / n;
         let y_base = band * TILE;
+        // Tile counters accumulate locally and publish once per band, so
+        // the per-tile hot loop carries no atomic traffic.
+        let (mut rendered, mut skipped) = (0u64, 0u64);
         for tx in 0..tiles_x {
             let t = band * tiles_x + tx;
             let bucket = &tiles.buckets[t];
             if bucket.is_empty() && !tiles.dirty[t] {
+                skipped += 1;
                 continue; // untouched then, untouched now: still zero
             }
+            rendered += 1;
             let c0 = tx * TILE;
             let c1 = ((tx + 1) * TILE).min(n);
             for row in 0..rows {
@@ -322,6 +341,8 @@ fn render_max(
                 }
             }
         }
+        cfaopc_trace::counters::TILES_RENDERED.add(rendered);
+        cfaopc_trace::counters::TILES_SKIPPED.add(skipped);
     });
 }
 

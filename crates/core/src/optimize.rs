@@ -23,12 +23,16 @@
 
 use crate::compose::{ComposeConfig, ComposeWorkspace};
 use crate::repr::SparseCircles;
+use crate::soft::SoftWorkspace;
 use cfaopc_fracture::{circle_rule, CircleRuleConfig, CircularMask};
 use cfaopc_grid::{
     disk_area, open, remove_small_regions, BitGrid, Connectivity, Grid2D, Structuring,
 };
-use cfaopc_ilt::{run_pixel_ilt, IltEngine, Optimizer, OptimizerKind};
-use cfaopc_litho::{loss_and_gradient_into, LithoError, LithoSimulator, LossValues, LossWeights};
+use cfaopc_ilt::{run_pixel_ilt_with_init_traced, IltEngine, Optimizer, OptimizerKind};
+use cfaopc_litho::{
+    loss_and_gradient_into, LithoError, LithoSimulator, LossValues, LossWeights, NonFiniteTerm,
+};
+use cfaopc_trace::{grad_norms, IterationRecord, Stage, TelemetrySink};
 use serde::{Deserialize, Serialize};
 
 /// CircleOpt hyper-parameters. Defaults are the paper's §5 constants:
@@ -174,7 +178,30 @@ pub fn run_circleopt(
     target: &BitGrid,
     config: &CircleOptConfig,
 ) -> Result<CircleOptResult, LithoError> {
-    run_circleopt_impl(sim, target, config, None)
+    run_circleopt_impl(sim, target, config, None, None)
+}
+
+/// [`run_circleopt`] with a [`TelemetrySink`] receiving one
+/// [`IterationRecord`] per optimizer step: stage-1 pixel iterations
+/// ([`Stage::PixelIlt`]) followed by stage-2 circle iterations
+/// ([`Stage::CircleOpt`], where `sparsity` is the Lasso penalty
+/// `γ Σ|qᵢ|` and `active` counts circles above `q_threshold`).
+///
+/// Attaching a sink never changes the optimization — results are
+/// bit-identical to the untraced run, and per-record work is
+/// allocation-free when the sink is (see `cfaopc_trace::MemorySink`).
+///
+/// # Errors
+///
+/// Returns [`LithoError::ShapeMismatch`] on a grid mismatch, or
+/// [`LithoError::NonFinite`] when the numerical-health guard trips.
+pub fn run_circleopt_traced(
+    sim: &LithoSimulator,
+    target: &BitGrid,
+    config: &CircleOptConfig,
+    sink: &mut dyn TelemetrySink,
+) -> Result<CircleOptResult, LithoError> {
+    run_circleopt_impl(sim, target, config, None, Some(sink))
 }
 
 /// Runs only the circle-level stage from an existing sparse circular
@@ -192,7 +219,24 @@ pub fn run_circleopt_from(
     config: &CircleOptConfig,
     circles: SparseCircles,
 ) -> Result<CircleOptResult, LithoError> {
-    run_circleopt_impl(sim, target, config, Some(circles))
+    run_circleopt_impl(sim, target, config, Some(circles), None)
+}
+
+/// [`run_circleopt_from`] with a [`TelemetrySink`] — a traced warm
+/// restart (see [`run_circleopt_traced`] for the record semantics).
+///
+/// # Errors
+///
+/// Returns [`LithoError::ShapeMismatch`] on a grid mismatch, or
+/// [`LithoError::NonFinite`] when the numerical-health guard trips.
+pub fn run_circleopt_from_traced(
+    sim: &LithoSimulator,
+    target: &BitGrid,
+    config: &CircleOptConfig,
+    circles: SparseCircles,
+    sink: &mut dyn TelemetrySink,
+) -> Result<CircleOptResult, LithoError> {
+    run_circleopt_impl(sim, target, config, Some(circles), Some(sink))
 }
 
 fn run_circleopt_impl(
@@ -200,7 +244,9 @@ fn run_circleopt_impl(
     target: &BitGrid,
     config: &CircleOptConfig,
     warm_start: Option<SparseCircles>,
+    mut sink: Option<&mut (dyn TelemetrySink + '_)>,
 ) -> Result<CircleOptResult, LithoError> {
+    let _span = cfaopc_trace::span("core.circleopt");
     let n = sim.size();
     let pixel_nm = sim.config().pixel_nm();
     let (r_min, r_max) = config.rule.radius_range_px(pixel_nm);
@@ -211,7 +257,8 @@ fn run_circleopt_impl(
             // Stage 1: pixel-level initialization (MOSAIC, a few steps).
             let mut init_cfg = IltEngine::Mosaic.config(config.init_iterations);
             init_cfg.weights = config.weights;
-            let init = run_pixel_ilt(sim, target, &init_cfg)?;
+            let init =
+                run_pixel_ilt_with_init_traced(sim, target, &init_cfg, None, sink.as_deref_mut())?;
             let init_mask = if config.cleanup_init {
                 // Writability hygiene: 1-px opening, then drop regions
                 // smaller than the minimum writable shot — they cannot
@@ -252,13 +299,14 @@ fn run_circleopt_impl(
     let mut history = Vec::with_capacity(config.circle_iterations);
 
     // Every buffer the iteration touches lives outside the loop (the
-    // compose workspace, the mask gradient, the parameter gradient), so
-    // the steady-state hard-max iteration performs zero heap allocations
-    // — asserted by `tests/alloc.rs`.
+    // compose workspaces, the mask gradient, the parameter gradient), so
+    // the steady-state iteration — hard-max or softmax — performs zero
+    // heap allocations, asserted by `tests/alloc.rs`.
     let mut ws = ComposeWorkspace::new();
+    let mut soft_ws = SoftWorkspace::new();
     let mut grad_mask = Grid2D::new(n, n, 0.0);
     let mut grads: Vec<f64> = Vec::new();
-    for _ in 0..config.circle_iterations {
+    for it in 0..config.circle_iterations {
         circles.set_from_flat(&flat);
         let loss = match config.composition {
             Composition::Max => {
@@ -274,16 +322,15 @@ fn run_circleopt_impl(
                 loss
             }
             Composition::Softmax { beta } => {
-                let composite = crate::soft::compose_soft(&circles, &compose_cfg, beta);
+                soft_ws.compose(&circles, &compose_cfg, beta);
                 let loss = loss_and_gradient_into(
                     sim,
-                    &composite.mask,
+                    soft_ws.mask(),
                     &target_real,
                     config.weights,
                     &mut grad_mask,
                 )?;
-                grads.clear();
-                grads.extend(composite.backward(&grad_mask));
+                soft_ws.backward_into(&grad_mask, &mut grads);
                 loss
             }
         };
@@ -294,11 +341,47 @@ fn run_circleopt_impl(
             sparsity += c.q.abs();
             grads[4 * i + 3] += config.gamma * c.q.signum() * if c.q == 0.0 { 0.0 } else { 1.0 };
         }
+        let sparsity = config.gamma * sparsity;
+        let active = circles.active_count(config.q_threshold);
         history.push(CircleOptTrace {
             loss,
-            sparsity: config.gamma * sparsity,
-            active: circles.active_count(config.q_threshold),
+            sparsity,
+            active,
         });
+        // Numerical-health guard: a NaN/Inf loss, sparsity, or gradient
+        // terminates the run now instead of burning the remaining
+        // iterations on garbage. The gradient scan doubles as the
+        // telemetry norms.
+        let (grad_l2, grad_linf) = grad_norms(&grads);
+        let term = loss.non_finite_term().or_else(|| {
+            if !sparsity.is_finite() {
+                Some(NonFiniteTerm::Sparsity)
+            } else if !grad_l2.is_finite() || !grad_linf.is_finite() {
+                Some(NonFiniteTerm::Gradient)
+            } else {
+                None
+            }
+        });
+        if let Some(s) = sink.as_deref_mut() {
+            s.record(&IterationRecord {
+                stage: Stage::CircleOpt,
+                iteration: it,
+                loss_l2: loss.l2,
+                loss_pvb: loss.pvb,
+                loss_total: loss.total,
+                sparsity,
+                active,
+                grad_l2,
+                grad_linf,
+            });
+        }
+        if let Some(term) = term {
+            cfaopc_trace::counters::NONFINITE_ABORTS.incr();
+            return Err(LithoError::NonFinite {
+                iteration: it,
+                term,
+            });
+        }
         optimizer.step(&mut flat, &grads);
     }
     circles.set_from_flat(&flat);
@@ -456,5 +539,78 @@ mod tests {
         let s = sim();
         let target = BitGrid::new(16, 16);
         assert!(run_circleopt(&s, &target, &fast_cfg()).is_err());
+    }
+
+    #[test]
+    fn softmax_composition_descends_and_produces_shots() {
+        let s = sim();
+        let target = bar_target(s.size());
+        let cfg = CircleOptConfig {
+            circle_iterations: 14,
+            gamma: 0.0,
+            composition: Composition::Softmax { beta: 20.0 },
+            ..fast_cfg()
+        };
+        let result = run_circleopt(&s, &target, &cfg).unwrap();
+        assert!(result.shot_count() > 0);
+        let first = result.history.first().unwrap().loss.total;
+        let last = result.history.last().unwrap().loss.total;
+        assert!(
+            last < first,
+            "softmax ILT failed to descend: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_covers_both_stages() {
+        let s = sim();
+        let target = bar_target(s.size());
+        let cfg = fast_cfg();
+        let plain = run_circleopt(&s, &target, &cfg).unwrap();
+        let mut sink = cfaopc_trace::MemorySink::new();
+        let traced = run_circleopt_traced(&s, &target, &cfg, &mut sink).unwrap();
+        assert_eq!(plain.mask, traced.mask);
+        assert_eq!(plain.mask_raster, traced.mask_raster);
+        for (a, b) in plain.history.iter().zip(&traced.history) {
+            assert_eq!(a.loss.total.to_bits(), b.loss.total.to_bits());
+            assert_eq!(a.sparsity.to_bits(), b.sparsity.to_bits());
+        }
+        let recs = sink.records();
+        assert_eq!(recs.len(), cfg.init_iterations + cfg.circle_iterations);
+        assert!(recs[..cfg.init_iterations]
+            .iter()
+            .all(|r| r.stage == Stage::PixelIlt));
+        let circle = &recs[cfg.init_iterations..];
+        for (it, (r, h)) in circle.iter().zip(&plain.history).enumerate() {
+            assert_eq!(r.stage, Stage::CircleOpt);
+            assert_eq!(r.iteration, it);
+            assert_eq!(r.loss_total.to_bits(), h.loss.total.to_bits());
+            assert_eq!(r.sparsity.to_bits(), h.sparsity.to_bits());
+            assert_eq!(r.active, h.active);
+            assert!(r.grad_l2.is_finite() && r.grad_linf <= r.grad_l2);
+        }
+    }
+
+    #[test]
+    fn poisoned_weights_abort_the_circle_stage_with_typed_diagnostic() {
+        let s = sim();
+        let target = bar_target(s.size());
+        // A finite stage-1 seeds the circles; the circle stage then runs
+        // under poisoned weights and must trip the guard at iteration 0.
+        let seeded = run_circleopt(&s, &target, &fast_cfg()).unwrap();
+        let cfg = CircleOptConfig {
+            weights: cfaopc_litho::LossWeights {
+                l2: f64::NAN,
+                pvb: 1.0,
+            },
+            ..fast_cfg()
+        };
+        match run_circleopt_from(&s, &target, &cfg, seeded.circles) {
+            Err(LithoError::NonFinite { iteration, term }) => {
+                assert_eq!(iteration, 0);
+                assert_eq!(term, NonFiniteTerm::LossTotal);
+            }
+            other => panic!("expected NonFinite abort, got {other:?}"),
+        }
     }
 }

@@ -49,69 +49,241 @@ pub struct SoftComposite {
 ///
 /// `beta` controls the sharpness (`beta → ∞` recovers the max
 /// composition of [`crate::compose`]).
+///
+/// Callers composing every iteration should prefer a reused
+/// [`SoftWorkspace`], which skips this function's per-call buffer
+/// allocations.
 pub fn compose_soft(circles: &SparseCircles, config: &ComposeConfig, beta: f64) -> SoftComposite {
-    let n = config.size;
-    let mut num = Grid2D::new(n, n, 0.0f64);
-    let mut norm = Grid2D::new(n, n, 1.0f64); // background e^{β·0}
-    let mut placed = Vec::new();
-    place_circles(circles, config, &mut placed);
-    let mut tiles = TileGrid::new();
-    // No q-floor here: every circle, even at q ≤ 0, feeds the softmax
-    // normalizer, so pruning would change the output.
-    tiles.bin(&placed, n, config.window_margin, None);
+    let mut ws = SoftWorkspace::new();
+    ws.compose(circles, config, beta);
+    ws.into_composite()
+}
 
-    let tiles_x = n.div_ceil(TILE);
-    par_chunks2_mut(
-        num.as_mut_slice(),
-        norm.as_mut_slice(),
-        n * TILE,
-        n * TILE,
-        |band, num_band, norm_band| {
-            let rows = num_band.len() / n;
-            let y_base = band * TILE;
-            for tx in 0..tiles_x {
-                let bucket = tiles.bucket(band * tiles_x + tx);
-                if bucket.is_empty() {
-                    continue; // fresh grids: already 0 / 1
-                }
-                let c0 = tx * TILE;
-                let c1 = ((tx + 1) * TILE).min(n);
-                for &ci in bucket {
-                    let pc = &placed[ci as usize];
-                    let (wx0, wx1, wy0, wy1) = pc
-                        .window(n, config.window_margin)
-                        .expect("binned circles have on-grid windows");
-                    let x0 = (wx0 as usize).max(c0);
-                    let x1 = (wx1 as usize + 1).min(c1);
-                    let y0 = (wy0 as usize).max(y_base);
-                    let y1 = (wy1 as usize + 1).min(y_base + rows);
-                    for y in y0..y1 {
-                        let row_off = (y - y_base) * n;
-                        for x in x0..x1 {
-                            let d =
-                                ((x as f64 - pc.cx).powi(2) + (y as f64 - pc.cy).powi(2)).sqrt();
-                            let v = pc.q * sigmoid(config.alpha * (pc.r - d));
-                            let e = (beta * v).exp();
-                            num_band[row_off + x] += v * e;
-                            norm_band[row_off + x] += e;
+/// Reusable state for the softmax composition: numerator/normalizer
+/// grids, placed circles, tile buckets. Mirrors
+/// [`crate::compose::ComposeWorkspace`] so the CircleOpt softmax branch
+/// performs **zero steady-state heap allocations** — asserted by
+/// `tests/alloc.rs`.
+///
+/// Reuse is handled with the tile dirty flags: a tile rendered on the
+/// previous compose is reset to its background state (numerator 0,
+/// normalizer `e^{β·0} = 1`) before accumulation, and a tile untouched
+/// both then and now is skipped outright (the in-place `0 / 1` divide is
+/// idempotent there), keeping reused results bit-identical to a fresh
+/// [`compose_soft`].
+#[derive(Debug)]
+pub struct SoftWorkspace {
+    /// Numerator during render; becomes the mask after the divide.
+    mask: Grid2D<f64>,
+    norm: Grid2D<f64>,
+    placed: Vec<PlacedCircle>,
+    tiles: TileGrid,
+    config: Option<ComposeConfig>,
+    beta: f64,
+}
+
+impl Default for SoftWorkspace {
+    fn default() -> Self {
+        SoftWorkspace::new()
+    }
+}
+
+impl SoftWorkspace {
+    /// Creates an empty workspace; buffers are sized by the first
+    /// [`SoftWorkspace::compose`] call and reused afterwards.
+    pub fn new() -> Self {
+        SoftWorkspace {
+            mask: Grid2D::new(0, 0, 0.0),
+            norm: Grid2D::new(0, 0, 1.0),
+            placed: Vec::new(),
+            tiles: TileGrid::new(),
+            config: None,
+            beta: 0.0,
+        }
+    }
+
+    /// Renders the softmax-composed dense mask into the workspace
+    /// buffers. Bit-identical to [`compose_soft`] /
+    /// [`compose_soft_serial`] whether the workspace is fresh or reused.
+    pub fn compose(&mut self, circles: &SparseCircles, config: &ComposeConfig, beta: f64) {
+        let n = config.size;
+        if self.mask.width() != n || self.mask.height() != n {
+            self.mask = Grid2D::new(n, n, 0.0);
+            self.norm = Grid2D::new(n, n, 1.0);
+        }
+        self.config = Some(*config);
+        self.beta = beta;
+        place_circles(circles, config, &mut self.placed);
+        // No q-floor here: every circle, even at q ≤ 0, feeds the softmax
+        // normalizer, so pruning would change the output.
+        self.tiles.bin(&self.placed, n, config.window_margin, None);
+
+        let placed = &self.placed;
+        let tiles = &self.tiles;
+        let tiles_x = tiles.tiles_x();
+        par_chunks2_mut(
+            self.mask.as_mut_slice(),
+            self.norm.as_mut_slice(),
+            n * TILE,
+            n * TILE,
+            |band, num_band, norm_band| {
+                let rows = num_band.len() / n;
+                let y_base = band * TILE;
+                let (mut rendered, mut skipped) = (0u64, 0u64);
+                for tx in 0..tiles_x {
+                    let t = band * tiles_x + tx;
+                    let bucket = tiles.bucket(t);
+                    if bucket.is_empty() && !tiles.is_dirty(t) {
+                        skipped += 1;
+                        continue; // untouched then and now: still 0 / 1
+                    }
+                    rendered += 1;
+                    let c0 = tx * TILE;
+                    let c1 = ((tx + 1) * TILE).min(n);
+                    for row in 0..rows {
+                        num_band[row * n + c0..row * n + c1].fill(0.0);
+                        norm_band[row * n + c0..row * n + c1].fill(1.0);
+                    }
+                    for &ci in bucket {
+                        let pc = &placed[ci as usize];
+                        let (wx0, wx1, wy0, wy1) = pc
+                            .window(n, config.window_margin)
+                            .expect("binned circles have on-grid windows");
+                        let x0 = (wx0 as usize).max(c0);
+                        let x1 = (wx1 as usize + 1).min(c1);
+                        let y0 = (wy0 as usize).max(y_base);
+                        let y1 = (wy1 as usize + 1).min(y_base + rows);
+                        for y in y0..y1 {
+                            let row_off = (y - y_base) * n;
+                            for x in x0..x1 {
+                                let d = ((x as f64 - pc.cx).powi(2) + (y as f64 - pc.cy).powi(2))
+                                    .sqrt();
+                                let v = pc.q * sigmoid(config.alpha * (pc.r - d));
+                                let e = (beta * v).exp();
+                                num_band[row_off + x] += v * e;
+                                norm_band[row_off + x] += e;
+                            }
                         }
                     }
                 }
-            }
-        },
-    );
+                cfaopc_trace::counters::TILES_RENDERED.add(rendered);
+                cfaopc_trace::counters::TILES_SKIPPED.add(skipped);
+            },
+        );
+        self.tiles.commit_dirty();
 
-    // In-place divide: the numerator grid becomes the mask.
-    for (m, &z) in num.as_mut_slice().iter_mut().zip(norm.as_slice()) {
-        *m /= z;
+        // In-place divide: the numerator grid becomes the mask. Clean
+        // skipped tiles hold (0, 1), so re-dividing them is idempotent.
+        for (m, &z) in self
+            .mask
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.norm.as_slice())
+        {
+            *m /= z;
+        }
     }
-    SoftComposite {
-        mask: num,
-        norm,
-        placed,
-        config: *config,
-        beta,
+
+    /// The dense mask `M̄` from the last [`SoftWorkspace::compose`].
+    pub fn mask(&self) -> &Grid2D<f64> {
+        &self.mask
     }
+
+    /// Backward pass into a caller-owned buffer, resized to `4n` and
+    /// fully overwritten — the allocation-free counterpart of
+    /// [`SoftComposite::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SoftWorkspace::compose`] has not been called, or on a
+    /// gradient shape mismatch.
+    pub fn backward_into(&self, grad_mask: &Grid2D<f64>, grads: &mut Vec<f64>) {
+        let config = self
+            .config
+            .as_ref()
+            .expect("backward_into requires a prior compose");
+        grads.resize(self.placed.len() * 4, 0.0);
+        backward_soft_into(
+            &self.placed,
+            config,
+            self.beta,
+            &self.mask,
+            &self.norm,
+            grad_mask,
+            grads,
+        );
+    }
+
+    /// Consumes the workspace into an owned [`SoftComposite`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SoftWorkspace::compose`] has not been called.
+    pub fn into_composite(self) -> SoftComposite {
+        SoftComposite {
+            config: self
+                .config
+                .expect("into_composite requires a prior compose"),
+            mask: self.mask,
+            norm: self.norm,
+            placed: self.placed,
+            beta: self.beta,
+        }
+    }
+}
+
+/// Backward pass shared by [`SoftComposite::backward`] and
+/// [`SoftWorkspace::backward_into`]: one parallel task per circle, each
+/// reading the shared mask/normalizer/gradient grids and writing only its
+/// own four slots of `grads`.
+fn backward_soft_into(
+    placed: &[PlacedCircle],
+    config: &ComposeConfig,
+    beta: f64,
+    mask: &Grid2D<f64>,
+    norm: &Grid2D<f64>,
+    grad_mask: &Grid2D<f64>,
+    grads: &mut [f64],
+) {
+    let n = config.size;
+    assert!(
+        grad_mask.width() == n && grad_mask.height() == n,
+        "gradient shape mismatch"
+    );
+    debug_assert_eq!(grads.len(), placed.len() * 4);
+    let alpha = config.alpha;
+    par_chunks_mut(grads, 4, |i, out| {
+        out.fill(0.0);
+        let pc = &placed[i];
+        let Some((x0, x1, y0, y1)) = pc.window(n, config.window_margin) else {
+            return;
+        };
+        let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let p = (x as usize, y as usize);
+                let dx = x as f64 - pc.cx;
+                let dy = y as f64 - pc.cy;
+                let d = (dx * dx + dy * dy).sqrt();
+                let f = sigmoid(alpha * (pc.r - d));
+                let v = pc.q * f;
+                let w = (beta * v).exp() / norm[p];
+                let dm_dv = w * (1.0 + beta * v - beta * mask[p]);
+                let g = grad_mask[p] * dm_dv;
+                let h = f * (1.0 - f);
+                if d > 1e-9 {
+                    gx += g * alpha * pc.q * h * (dx / d);
+                    gy += g * alpha * pc.q * h * (dy / d);
+                }
+                gr += g * alpha * pc.q * h;
+                gq += g * f;
+            }
+        }
+        out[0] = gx * pc.gate_x;
+        out[1] = gy * pc.gate_y;
+        out[2] = gr * pc.gate_r;
+        out[3] = gq;
+    });
 }
 
 /// The retained serial reference implementation of [`compose_soft`]: one
@@ -168,46 +340,16 @@ impl SoftComposite {
     ///
     /// Panics on a gradient shape mismatch.
     pub fn backward(&self, grad_mask: &Grid2D<f64>) -> Vec<f64> {
-        let n = self.config.size;
-        assert!(
-            grad_mask.width() == n && grad_mask.height() == n,
-            "gradient shape mismatch"
-        );
-        let alpha = self.config.alpha;
-        let beta = self.beta;
         let mut grads = vec![0.0f64; self.placed.len() * 4];
-        par_chunks_mut(&mut grads, 4, |i, out| {
-            out.fill(0.0);
-            let pc = &self.placed[i];
-            let Some((x0, x1, y0, y1)) = pc.window(n, self.config.window_margin) else {
-                return;
-            };
-            let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
-            for y in y0..=y1 {
-                for x in x0..=x1 {
-                    let p = (x as usize, y as usize);
-                    let dx = x as f64 - pc.cx;
-                    let dy = y as f64 - pc.cy;
-                    let d = (dx * dx + dy * dy).sqrt();
-                    let f = sigmoid(alpha * (pc.r - d));
-                    let v = pc.q * f;
-                    let w = (beta * v).exp() / self.norm[p];
-                    let dm_dv = w * (1.0 + beta * v - beta * self.mask[p]);
-                    let g = grad_mask[p] * dm_dv;
-                    let h = f * (1.0 - f);
-                    if d > 1e-9 {
-                        gx += g * alpha * pc.q * h * (dx / d);
-                        gy += g * alpha * pc.q * h * (dy / d);
-                    }
-                    gr += g * alpha * pc.q * h;
-                    gq += g * f;
-                }
-            }
-            out[0] = gx * pc.gate_x;
-            out[1] = gy * pc.gate_y;
-            out[2] = gr * pc.gate_r;
-            out[3] = gq;
-        });
+        backward_soft_into(
+            &self.placed,
+            &self.config,
+            self.beta,
+            &self.mask,
+            &self.norm,
+            grad_mask,
+            &mut grads,
+        );
         grads
     }
 
@@ -388,6 +530,54 @@ mod tests {
                 analytic[p]
             );
         }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_compose_after_shrink() {
+        // A workspace that rendered a big mask must fully reset stale
+        // tiles (numerator 0, normalizer 1) when the next circle set
+        // covers less area.
+        let big = SparseCircles {
+            circles: (0..6)
+                .map(|i| CircleParams {
+                    x: 5.0 + 4.0 * i as f64,
+                    y: 5.0 + 4.0 * i as f64,
+                    r: 6.0,
+                    q: 1.0,
+                })
+                .collect(),
+        };
+        let small = SparseCircles {
+            circles: vec![CircleParams {
+                x: 8.0,
+                y: 8.0,
+                r: 4.0,
+                q: 0.7,
+            }],
+        };
+        let config = cfg(32);
+        let mut ws = SoftWorkspace::new();
+        ws.compose(&big, &config, 20.0);
+        ws.compose(&small, &config, 20.0);
+        let fresh = compose_soft(&small, &config, 20.0);
+        assert_eq!(ws.mask(), &fresh.mask);
+        let grad = Grid2D::new(32, 32, 0.4);
+        let mut grads = vec![99.0; 2]; // wrong size and stale values
+        ws.backward_into(&grad, &mut grads);
+        assert_eq!(grads, fresh.backward(&grad));
+    }
+
+    #[test]
+    fn workspace_backward_matches_composite_backward() {
+        let circles = two_circles();
+        let config = cfg(32);
+        let mut ws = SoftWorkspace::new();
+        ws.compose(&circles, &config, 20.0);
+        let grad = Grid2D::new(32, 32, 0.3);
+        let mut grads = Vec::new();
+        ws.backward_into(&grad, &mut grads);
+        let reference = compose_soft(&circles, &config, 20.0).backward(&grad);
+        assert_eq!(grads, reference);
     }
 
     #[test]

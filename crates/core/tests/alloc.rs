@@ -17,10 +17,11 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicIsize, Ordering};
 
-use cfaopc_core::{CircleParams, ComposeConfig, ComposeWorkspace, SparseCircles};
+use cfaopc_core::{CircleParams, ComposeConfig, ComposeWorkspace, SoftWorkspace, SparseCircles};
 use cfaopc_grid::{fill_rect, BitGrid, Grid2D, Rect};
 use cfaopc_ilt::{Optimizer, OptimizerKind};
 use cfaopc_litho::{loss_and_gradient_into, LithoConfig, LithoSimulator, LossWeights};
+use cfaopc_trace::{grad_norms, IterationRecord, MemorySink, Stage, TelemetrySink};
 
 /// Wraps the system allocator, tracking net live bytes.
 struct CountingAlloc;
@@ -56,8 +57,17 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
-#[test]
-fn steady_state_circleopt_iteration_is_allocation_free() {
+const WARMUP: usize = 3;
+const MEASURED: usize = 6;
+
+struct Fixture {
+    sim: LithoSimulator,
+    target_real: Grid2D<f64>,
+    circles: SparseCircles,
+    compose_cfg: ComposeConfig,
+}
+
+fn fixture() -> Fixture {
     let sim = LithoSimulator::new(LithoConfig {
         size: 64,
         kernel_count: 4,
@@ -68,12 +78,10 @@ fn steady_state_circleopt_iteration_is_allocation_free() {
     let mut target = BitGrid::new(n, n);
     fill_rect(&mut target, Rect::new(24, 16, 40, 48));
     let target_real = target.to_real();
-    let weights = LossWeights::default();
-    let gamma = 3.0;
 
     // A spread of circles covering several tiles, some destined to go
     // negative under Lasso pressure (exercising the q-floor skip).
-    let mut circles = SparseCircles {
+    let circles = SparseCircles {
         circles: (0..12)
             .map(|i| CircleParams {
                 x: 12.0 + 4.0 * (i % 4) as f64,
@@ -84,24 +92,69 @@ fn steady_state_circleopt_iteration_is_allocation_free() {
             .collect(),
     };
     let compose_cfg = ComposeConfig::new(n, 2, 8);
+    Fixture {
+        sim,
+        target_real,
+        circles,
+        compose_cfg,
+    }
+}
+
+/// Records one telemetry iteration exactly as `run_circleopt_impl` does —
+/// gradient norms plus a sink record — so the measurement covers the
+/// tracing hot path, not just the numeric one.
+fn record_iteration(sink: &mut MemorySink, it: usize, sparsity: f64, grads: &[f64]) {
+    let (grad_l2, grad_linf) = grad_norms(grads);
+    sink.record(&IterationRecord {
+        stage: Stage::CircleOpt,
+        iteration: it,
+        loss_l2: 0.0,
+        loss_pvb: 0.0,
+        loss_total: 0.0,
+        sparsity,
+        active: 0,
+        grad_l2,
+        grad_linf,
+    });
+}
+
+#[test]
+fn steady_state_circleopt_iteration_is_allocation_free() {
+    // Tracing stays enabled for the whole binary: spans, counters, and
+    // the sink all run inside the measured window and must not allocate
+    // once their nodes/buffers exist (warm-up covers first-touch).
+    cfaopc_trace::set_enabled(true);
+    let Fixture {
+        sim,
+        target_real,
+        mut circles,
+        compose_cfg,
+    } = fixture();
+    let n = sim.size();
+    let weights = LossWeights::default();
+    let gamma = 3.0;
+
     let mut flat = circles.to_flat();
     let mut optimizer = Optimizer::new(OptimizerKind::adam(0.1), flat.len());
     let mut ws = ComposeWorkspace::new();
     let mut grad_mask = Grid2D::new(n, n, 0.0);
     let mut grads: Vec<f64> = Vec::new();
+    let mut sink = MemorySink::with_capacity(WARMUP + MEASURED);
 
-    const WARMUP: usize = 3;
-    const MEASURED: usize = 6;
     let mut baseline = 0isize;
     for it in 0..WARMUP + MEASURED {
+        let _span = cfaopc_trace::span("alloc_test.hard_max_iter");
         circles.set_from_flat(&flat);
         ws.compose(&circles, &compose_cfg);
         let _loss =
             loss_and_gradient_into(&sim, ws.mask(), &target_real, weights, &mut grad_mask).unwrap();
         ws.backward_into(&grad_mask, &mut grads);
+        let mut sparsity = 0.0;
         for (i, c) in circles.circles.iter().enumerate() {
+            sparsity += c.q.abs();
             grads[4 * i + 3] += gamma * c.q.signum() * if c.q == 0.0 { 0.0 } else { 1.0 };
         }
+        record_iteration(&mut sink, it, gamma * sparsity, &grads);
         optimizer.step(&mut flat, &grads);
         if it + 1 == WARMUP {
             baseline = net_bytes();
@@ -112,4 +165,58 @@ fn steady_state_circleopt_iteration_is_allocation_free() {
         growth, 0,
         "steady-state CircleOpt iterations grew the heap by {growth} bytes over {MEASURED} iterations"
     );
+    assert_eq!(sink.records().len(), WARMUP + MEASURED);
+}
+
+#[test]
+fn steady_state_softmax_iteration_is_allocation_free() {
+    // Same guard for the softmax composition branch: the reused
+    // `SoftWorkspace` (numerator/normalizer grids, tile buckets) plus
+    // `backward_into` must reach zero net growth after warm-up, with the
+    // telemetry path attached exactly as in the hard-max test.
+    cfaopc_trace::set_enabled(true);
+    let Fixture {
+        sim,
+        target_real,
+        mut circles,
+        compose_cfg,
+    } = fixture();
+    let n = sim.size();
+    let weights = LossWeights::default();
+    let gamma = 3.0;
+    let beta = 20.0;
+
+    let mut flat = circles.to_flat();
+    let mut optimizer = Optimizer::new(OptimizerKind::adam(0.1), flat.len());
+    let mut soft_ws = SoftWorkspace::new();
+    let mut grad_mask = Grid2D::new(n, n, 0.0);
+    let mut grads: Vec<f64> = Vec::new();
+    let mut sink = MemorySink::with_capacity(WARMUP + MEASURED);
+
+    let mut baseline = 0isize;
+    for it in 0..WARMUP + MEASURED {
+        let _span = cfaopc_trace::span("alloc_test.softmax_iter");
+        circles.set_from_flat(&flat);
+        soft_ws.compose(&circles, &compose_cfg, beta);
+        let _loss =
+            loss_and_gradient_into(&sim, soft_ws.mask(), &target_real, weights, &mut grad_mask)
+                .unwrap();
+        soft_ws.backward_into(&grad_mask, &mut grads);
+        let mut sparsity = 0.0;
+        for (i, c) in circles.circles.iter().enumerate() {
+            sparsity += c.q.abs();
+            grads[4 * i + 3] += gamma * c.q.signum() * if c.q == 0.0 { 0.0 } else { 1.0 };
+        }
+        record_iteration(&mut sink, it, gamma * sparsity, &grads);
+        optimizer.step(&mut flat, &grads);
+        if it + 1 == WARMUP {
+            baseline = net_bytes();
+        }
+    }
+    let growth = net_bytes() - baseline;
+    assert_eq!(
+        growth, 0,
+        "steady-state softmax iterations grew the heap by {growth} bytes over {MEASURED} iterations"
+    );
+    assert_eq!(sink.records().len(), WARMUP + MEASURED);
 }

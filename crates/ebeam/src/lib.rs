@@ -20,7 +20,8 @@
 //! use cfaopc_ebeam::{intended_pattern, DosedShot, EbeamPsf, WriterModel};
 //! use cfaopc_fracture::{CircleShot, CircularMask};
 //!
-//! let writer = WriterModel::new(128, 4.0, EbeamPsf::forward_only(25.0));
+//! # fn main() -> Result<(), cfaopc_fft::FftError> {
+//! let writer = WriterModel::new(128, 4.0, EbeamPsf::forward_only(25.0))?;
 //! let mask = CircularMask::from_shots(vec![
 //!     CircleShot::new(60, 64, 10),
 //!     CircleShot::new(72, 64, 10),
@@ -30,6 +31,8 @@
 //! let intended = intended_pattern(&shots, 128);
 //! assert!(written.count_ones() > 0);
 //! assert!(writer.writing_error(&shots, &intended) < intended.count_ones());
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]

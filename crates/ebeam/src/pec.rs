@@ -128,6 +128,7 @@ mod tests {
                 eta: 0.6,
             },
         )
+        .unwrap()
     }
 
     fn dense_and_isolated() -> Vec<DosedShot> {

@@ -10,7 +10,7 @@
 //! better mask yield".
 
 use crate::psf::EbeamPsf;
-use cfaopc_fft::{Complex, Fft2d};
+use cfaopc_fft::{Complex, Fft2d, FftError};
 use cfaopc_fracture::{CircleShot, CircularMask};
 use cfaopc_grid::{disk_points, BitGrid, Grid2D, Point, Rect};
 use rand::rngs::StdRng;
@@ -66,21 +66,27 @@ pub struct WriterModel {
 impl WriterModel {
     /// Builds a writer for an `size × size` grid with `pixel_nm` pitch.
     ///
+    /// # Errors
+    ///
+    /// Returns [`FftError`] when `size` is not a supported FFT size (a
+    /// non-zero power of two) — mirroring `LithoSimulator::new`, which
+    /// surfaces the same condition instead of panicking.
+    ///
     /// # Panics
     ///
-    /// Panics if `size` is not a power of two or the PSF is invalid.
-    pub fn new(size: usize, pixel_nm: f64, psf: EbeamPsf) -> Self {
+    /// Panics if the PSF is physically invalid (see [`EbeamPsf::validate`]).
+    pub fn new(size: usize, pixel_nm: f64, psf: EbeamPsf) -> Result<Self, FftError> {
         psf.validate();
-        let plan = Fft2d::square(size).expect("size must be a power of two");
+        let plan = Fft2d::square(size)?;
         let transfer = psf.transfer_function(size, pixel_nm);
-        WriterModel {
+        Ok(WriterModel {
             size,
             pixel_nm,
             psf,
             threshold: 0.5,
             plan,
             transfer,
-        }
+        })
     }
 
     /// Grid edge in pixels.
@@ -228,7 +234,17 @@ mod tests {
     use cfaopc_grid::fill_rect;
 
     fn writer() -> WriterModel {
-        WriterModel::new(128, 4.0, EbeamPsf::forward_only(25.0))
+        WriterModel::new(128, 4.0, EbeamPsf::forward_only(25.0)).unwrap()
+    }
+
+    #[test]
+    fn non_power_of_two_grid_is_an_error_not_a_panic() {
+        // Regression: this used to `.expect(...)` and bring the process
+        // down; now it surfaces the FFT-size error like LithoSimulator.
+        for bad in [0usize, 3, 96, 129] {
+            assert!(WriterModel::new(bad, 4.0, EbeamPsf::forward_only(25.0)).is_err());
+        }
+        assert!(WriterModel::new(64, 4.0, EbeamPsf::forward_only(25.0)).is_ok());
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn arb_shots() -> impl Strategy<Value = Vec<DosedShot>> {
 }
 
 fn writer() -> WriterModel {
-    WriterModel::new(N, 16.0, EbeamPsf::forward_only(30.0))
+    WriterModel::new(N, 16.0, EbeamPsf::forward_only(30.0)).unwrap()
 }
 
 proptest! {

@@ -162,6 +162,7 @@ impl Fft2d {
         parallel: bool,
     ) -> Result<(), FftError> {
         self.check(data)?;
+        cfaopc_trace::counters::FFT_2D.incr();
         // Pass 1: FFT all rows.
         let row_fft = &self.row_fft;
         let row_pass = |row: &mut [Complex]| {

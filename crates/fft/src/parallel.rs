@@ -289,6 +289,7 @@ fn worker_loop(shared: &PoolShared) {
 /// closure.
 fn run_region(n: usize, workers: usize, f: &(dyn Fn(usize) + Sync)) {
     debug_assert!(n > 1 && workers > 1);
+    cfaopc_trace::counters::POOL_REGIONS.incr();
     // SAFETY: see "Safety-by-protocol" above — the borrow outlives every
     // dereference because this function blocks until the region drains.
     #[allow(unsafe_code)]

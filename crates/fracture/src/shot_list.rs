@@ -113,7 +113,12 @@ impl ShotList {
             .next()
             .and_then(|t| t.parse().ok())
             .ok_or(ShotListError::BadGrid)?;
-        if width == 0 || height == 0 || pixel_nm.is_nan() || pixel_nm <= 0.0 {
+        // Exactly three fields; a finite, positive pitch (`+inf` parses
+        // as a valid f64 and used to slip through a NaN-only check).
+        if it.next().is_some() {
+            return Err(ShotListError::BadGrid);
+        }
+        if width == 0 || height == 0 || !pixel_nm.is_finite() || pixel_nm <= 0.0 {
             return Err(ShotListError::BadGrid);
         }
 
@@ -135,11 +140,17 @@ impl ShotList {
             if it.next() != Some("SHOT") {
                 return Err(ShotListError::BadLine(i + 1, line.to_string()));
             }
-            let vals: Vec<i64> = it.filter_map(|t| t.parse().ok()).collect();
-            if vals.len() != 3 {
-                return Err(ShotListError::BadLine(i + 1, line.to_string()));
+            // Exactly three integer fields, parsed strictly: an earlier
+            // `filter_map(.. parse().ok())` dropped unparsable tokens, so
+            // `SHOT 1 2 3 junk` was accepted and `SHOT 1 zz 2 3` silently
+            // misparsed as (1, 2, 3).
+            let bad = || ShotListError::BadLine(i + 1, line.to_string());
+            let x: i64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+            let y: i64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+            let r: i64 = it.next().and_then(|t| t.parse().ok()).ok_or_else(bad)?;
+            if it.next().is_some() {
+                return Err(bad());
             }
-            let (x, y, r) = (vals[0], vals[1], vals[2]);
             if r <= 0 || x < 0 || y < 0 || x >= width as i64 || y >= height as i64 {
                 return Err(ShotListError::BadShot(i + 1));
             }
@@ -242,6 +253,55 @@ mod tests {
             ShotList::from_text("CSHOT 1\nGRID 8 8 4\nBLOB 1 2 3\n"),
             Err(ShotListError::BadLine(3, _))
         ));
+    }
+
+    #[test]
+    fn shot_with_trailing_junk_rejected() {
+        // Regression: `filter_map` used to drop the unparsable tail and
+        // accept this line.
+        assert!(matches!(
+            ShotList::from_text("CSHOT 1\nGRID 8 8 4\nSHOT 1 2 3 junk\n"),
+            Err(ShotListError::BadLine(3, _))
+        ));
+        // A fourth *numeric* field is junk too.
+        assert!(matches!(
+            ShotList::from_text("CSHOT 1\nGRID 8 8 4\nSHOT 1 2 3 4\n"),
+            Err(ShotListError::BadLine(3, _))
+        ));
+    }
+
+    #[test]
+    fn shot_with_unparsable_field_rejected_not_misparsed() {
+        // Regression: `SHOT 1 zz 2 3` used to misparse as (1, 2, 3).
+        assert!(matches!(
+            ShotList::from_text("CSHOT 1\nGRID 8 8 4\nSHOT 1 zz 2 3\n"),
+            Err(ShotListError::BadLine(3, _))
+        ));
+        assert!(matches!(
+            ShotList::from_text("CSHOT 1\nGRID 8 8 4\nSHOT 1 2\n"),
+            Err(ShotListError::BadLine(3, _))
+        ));
+    }
+
+    #[test]
+    fn non_finite_grid_pitch_rejected() {
+        // Regression: `+inf` parses as a valid f64 and slipped past the
+        // old `is_nan() || <= 0.0` check.
+        for pitch in ["+inf", "inf", "-inf", "NaN"] {
+            assert_eq!(
+                ShotList::from_text(&format!("CSHOT 1\nGRID 8 8 {pitch}\n")),
+                Err(ShotListError::BadGrid),
+                "pitch {pitch:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_with_trailing_junk_rejected() {
+        assert_eq!(
+            ShotList::from_text("CSHOT 1\nGRID 8 8 4 junk\n"),
+            Err(ShotListError::BadGrid)
+        );
     }
 
     #[test]

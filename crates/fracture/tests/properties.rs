@@ -1,6 +1,9 @@
 //! Property-based tests for fracturing.
 
-use cfaopc_fracture::{check_mrc, circle_rule, rect_fracture, CircleRuleConfig, MrcRules};
+use cfaopc_fracture::{
+    check_mrc, circle_rule, rect_fracture, CircleRuleConfig, CircleShot, CircularMask, MrcRules,
+    ShotList,
+};
 use cfaopc_grid::{fill_circle, fill_rect, BitGrid, Point, Rect};
 use proptest::prelude::*;
 
@@ -96,4 +99,49 @@ proptest! {
         let cfg = CircleRuleConfig::default();
         prop_assert_eq!(circle_rule(&mask, &cfg, 4.0), circle_rule(&mask, &cfg, 4.0));
     }
+
+    // --- CSHOT parser fuzzing -------------------------------------------
+
+    #[test]
+    fn shot_list_parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..256)
+    ) {
+        // Any input — valid UTF-8 or not — must produce Ok or a typed
+        // error, never a panic.
+        let _ = ShotList::from_text(&String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn shot_list_parser_never_panics_past_a_valid_header(
+        bytes in proptest::collection::vec(0u8..=255, 0..192)
+    ) {
+        // Prepend valid CSHOT/GRID records so the fuzz reaches the
+        // per-line SHOT parser instead of dying at the header checks.
+        let text = format!("CSHOT 1\nGRID 64 64 4\n{}", String::from_utf8_lossy(&bytes));
+        let _ = ShotList::from_text(&text);
+    }
+
+    #[test]
+    fn shot_list_roundtrip_preserves_every_valid_list(list in arb_shot_list()) {
+        prop_assert_eq!(ShotList::from_text(&list.to_text()), Ok(list));
+    }
+}
+
+fn arb_shot_list() -> impl Strategy<Value = ShotList> {
+    (
+        1usize..=256,
+        1usize..=256,
+        0.5f64..64.0,
+        proptest::collection::vec((0i32..256, 0i32..256, 1i32..48), 0..12),
+    )
+        .prop_map(|(w, h, pitch, shots)| {
+            // Keep only shots inside the sampled grid so the list is valid
+            // by construction.
+            let shots = shots
+                .into_iter()
+                .filter(|&(x, y, _)| (x as usize) < w && (y as usize) < h)
+                .map(|(x, y, r)| CircleShot::new(x, y, r))
+                .collect();
+            ShotList::new(CircularMask::from_shots(shots), w, h, pitch)
+        })
 }

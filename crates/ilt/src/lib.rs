@@ -41,4 +41,7 @@ mod pixel;
 pub use engines::{downsample_majority, run_engine, upsample_nearest, IltEngine};
 pub use levelset::{run_levelset_ilt, signed_distance, LevelSetConfig};
 pub use optimizer::{Optimizer, OptimizerKind};
-pub use pixel::{run_pixel_ilt, run_pixel_ilt_with_init, IltResult, PixelIltConfig, UpdateDomain};
+pub use pixel::{
+    run_pixel_ilt, run_pixel_ilt_traced, run_pixel_ilt_with_init, run_pixel_ilt_with_init_traced,
+    IltResult, PixelIltConfig, UpdateDomain,
+};

@@ -8,8 +8,9 @@
 use crate::optimizer::{Optimizer, OptimizerKind};
 use cfaopc_grid::{dilate, BitGrid, Grid2D, Structuring};
 use cfaopc_litho::{
-    loss_and_gradient, sigmoid, LithoError, LithoSimulator, LossValues, LossWeights,
+    loss_and_gradient, sigmoid, LithoError, LithoSimulator, LossValues, LossWeights, NonFiniteTerm,
 };
+use cfaopc_trace::{grad_norms, IterationRecord, Stage, TelemetrySink};
 
 /// Where latent pixels are allowed to move.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,7 +90,27 @@ pub fn run_pixel_ilt(
     target: &BitGrid,
     config: &PixelIltConfig,
 ) -> Result<IltResult, LithoError> {
-    run_pixel_ilt_with_init(sim, target, config, None)
+    run_pixel_ilt_with_init_traced(sim, target, config, None, None)
+}
+
+/// [`run_pixel_ilt`] with a [`TelemetrySink`] receiving one
+/// [`IterationRecord`] per gradient step (stage [`Stage::PixelIlt`];
+/// `active` counts mask pixels above 0.5).
+///
+/// Attaching a sink never changes the optimization — the result is
+/// bit-identical to the untraced run.
+///
+/// # Errors
+///
+/// Returns [`LithoError::ShapeMismatch`] on a grid mismatch, or
+/// [`LithoError::NonFinite`] when the health guard trips.
+pub fn run_pixel_ilt_traced(
+    sim: &LithoSimulator,
+    target: &BitGrid,
+    config: &PixelIltConfig,
+    sink: &mut dyn TelemetrySink,
+) -> Result<IltResult, LithoError> {
+    run_pixel_ilt_with_init_traced(sim, target, config, None, Some(sink))
 }
 
 /// Runs pixel-level ILT from an explicit latent initialization (used by
@@ -105,6 +126,31 @@ pub fn run_pixel_ilt_with_init(
     config: &PixelIltConfig,
     init_latent: Option<&Grid2D<f64>>,
 ) -> Result<IltResult, LithoError> {
+    run_pixel_ilt_with_init_traced(sim, target, config, init_latent, None)
+}
+
+/// The most general pixel-ILT entry point: optional warm-start latent
+/// **and** optional telemetry sink. The other `run_pixel_ilt*` functions
+/// are thin wrappers over this.
+///
+/// Every iteration the numerical-health guard checks the loss terms and
+/// the latent gradient's L2/L∞ norms; a NaN or Inf aborts the run with
+/// [`LithoError::NonFinite`] naming the iteration and offending term
+/// (the poisoned record is still delivered to the sink first, for
+/// post-mortems).
+///
+/// # Errors
+///
+/// Returns [`LithoError::ShapeMismatch`] on a grid mismatch, or
+/// [`LithoError::NonFinite`] when the health guard trips.
+pub fn run_pixel_ilt_with_init_traced(
+    sim: &LithoSimulator,
+    target: &BitGrid,
+    config: &PixelIltConfig,
+    init_latent: Option<&Grid2D<f64>>,
+    mut sink: Option<&mut (dyn TelemetrySink + '_)>,
+) -> Result<IltResult, LithoError> {
+    let _span = cfaopc_trace::span("ilt.pixel");
     let n = sim.size();
     if target.width() != n || target.height() != n {
         return Err(LithoError::ShapeMismatch {
@@ -157,7 +203,7 @@ pub fn run_pixel_ilt_with_init(
     let mut history = Vec::with_capacity(config.iterations);
     let mut grad_p = vec![0.0f64; latent.len()];
 
-    for _ in 0..config.iterations {
+    for it in 0..config.iterations {
         let mask = mask_from_latent(&latent, n, theta);
         let (values, mut grad_m) = loss_and_gradient(sim, &mask, &target_real, config.weights)?;
         history.push(values);
@@ -165,8 +211,12 @@ pub fn run_pixel_ilt_with_init(
             grad_m = box_blur3(&grad_m);
         }
         // Chain rule through the sigmoid: dL/dP = dL/dM · θ m (1 − m).
+        let mut active = 0usize;
         for i in 0..latent.len() {
             let m = mask.as_slice()[i];
+            if m > 0.5 {
+                active += 1;
+            }
             let mut g = grad_m.as_slice()[i] * theta * m * (1.0 - m);
             if let Some(dom) = &domain {
                 if !dom[i] {
@@ -174,6 +224,30 @@ pub fn run_pixel_ilt_with_init(
                 }
             }
             grad_p[i] = g;
+        }
+        let (grad_l2, grad_linf) = grad_norms(&grad_p);
+        let term = values.non_finite_term().or_else(|| {
+            (!grad_l2.is_finite() || !grad_linf.is_finite()).then_some(NonFiniteTerm::Gradient)
+        });
+        if let Some(s) = sink.as_deref_mut() {
+            s.record(&IterationRecord {
+                stage: Stage::PixelIlt,
+                iteration: it,
+                loss_l2: values.l2,
+                loss_pvb: values.pvb,
+                loss_total: values.total,
+                sparsity: 0.0,
+                active,
+                grad_l2,
+                grad_linf,
+            });
+        }
+        if let Some(term) = term {
+            cfaopc_trace::counters::NONFINITE_ABORTS.incr();
+            return Err(LithoError::NonFinite {
+                iteration: it,
+                term,
+            });
         }
         optimizer.step(&mut latent, &grad_p);
     }
@@ -337,5 +411,74 @@ mod tests {
         let s = sim();
         let target = BitGrid::new(8, 8);
         assert!(run_pixel_ilt(&s, &target, &PixelIltConfig::default()).is_err());
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_records_every_iteration() {
+        let s = sim();
+        let target = bar_target(s.size());
+        let cfg = PixelIltConfig {
+            iterations: 6,
+            ..PixelIltConfig::default()
+        };
+        let plain = run_pixel_ilt(&s, &target, &cfg).unwrap();
+        let mut sink = cfaopc_trace::MemorySink::new();
+        let traced = run_pixel_ilt_traced(&s, &target, &cfg, &mut sink).unwrap();
+        assert_eq!(plain.mask_binary, traced.mask_binary);
+        for (a, b) in plain.latent.as_slice().iter().zip(traced.latent.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "sink perturbed the latent");
+        }
+        let recs = sink.records();
+        assert_eq!(recs.len(), cfg.iterations);
+        for (it, (r, h)) in recs.iter().zip(&plain.loss_history).enumerate() {
+            assert_eq!(r.stage, Stage::PixelIlt);
+            assert_eq!(r.iteration, it);
+            assert_eq!(r.loss_total.to_bits(), h.total.to_bits());
+            assert!(r.active > 0);
+            assert!(r.grad_l2.is_finite() && r.grad_linf <= r.grad_l2);
+        }
+    }
+
+    #[test]
+    fn poisoned_weights_abort_with_typed_diagnostic() {
+        let s = sim();
+        let target = bar_target(s.size());
+        let cfg = PixelIltConfig {
+            iterations: 8,
+            weights: LossWeights {
+                l2: f64::NAN,
+                pvb: 1.0,
+            },
+            ..PixelIltConfig::default()
+        };
+        // The raw l2/pvb terms stay finite; the weighted total is the
+        // first poisoned quantity the guard sees.
+        match run_pixel_ilt(&s, &target, &cfg) {
+            Err(LithoError::NonFinite { iteration, term }) => {
+                assert_eq!(iteration, 0);
+                assert_eq!(term, NonFiniteTerm::LossTotal);
+            }
+            other => panic!("expected NonFinite abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_record_reaches_the_sink_before_the_abort() {
+        let s = sim();
+        let target = bar_target(s.size());
+        let cfg = PixelIltConfig {
+            iterations: 8,
+            weights: LossWeights {
+                l2: 1.0,
+                pvb: f64::INFINITY,
+            },
+            ..PixelIltConfig::default()
+        };
+        let mut sink = cfaopc_trace::MemorySink::new();
+        let err = run_pixel_ilt_traced(&s, &target, &cfg, &mut sink).unwrap_err();
+        assert!(matches!(err, LithoError::NonFinite { iteration: 0, .. }));
+        let recs = sink.records();
+        assert_eq!(recs.len(), 1, "the poisoned iteration must still record");
+        assert!(!recs[0].loss_total.is_finite());
     }
 }

@@ -18,6 +18,46 @@ pub enum LithoError {
         /// Shape of the buffer provided, as `(width, height)` pixels.
         actual: (usize, usize),
     },
+    /// The numerical-health guard caught a NaN/Inf during optimization.
+    ///
+    /// Raised by `run_pixel_ilt` and `run_circleopt` instead of silently
+    /// burning the remaining iterations on garbage. Carries enough context
+    /// to localize the blow-up: which iteration, and which term went
+    /// non-finite first.
+    NonFinite {
+        /// Zero-based iteration at which the guard tripped.
+        iteration: usize,
+        /// The first loss/gradient term observed to be non-finite.
+        term: NonFiniteTerm,
+    },
+}
+
+/// Which quantity tripped the [`LithoError::NonFinite`] health guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NonFiniteTerm {
+    /// The fidelity (L2) loss term.
+    LossL2,
+    /// The process-variation-band loss term.
+    LossPvb,
+    /// The weighted total loss.
+    LossTotal,
+    /// The Lasso sparsity penalty.
+    Sparsity,
+    /// The parameter gradient (any entry NaN/Inf, detected via its norms).
+    Gradient,
+}
+
+impl fmt::Display for NonFiniteTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NonFiniteTerm::LossL2 => "L2 loss",
+            NonFiniteTerm::LossPvb => "PVB loss",
+            NonFiniteTerm::LossTotal => "total loss",
+            NonFiniteTerm::Sparsity => "sparsity penalty",
+            NonFiniteTerm::Gradient => "gradient",
+        };
+        f.write_str(s)
+    }
 }
 
 impl fmt::Display for LithoError {
@@ -29,6 +69,10 @@ impl fmt::Display for LithoError {
                 f,
                 "mask is {}x{} pixels but the simulator expects {}x{}",
                 actual.0, actual.1, expected.0, expected.1
+            ),
+            LithoError::NonFinite { iteration, term } => write!(
+                f,
+                "non-finite {term} at iteration {iteration}; run aborted by the numerical-health guard"
             ),
         }
     }

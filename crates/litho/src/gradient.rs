@@ -21,7 +21,7 @@
 //! corners (the spectral contributions are accumulated sparsely on the
 //! pupil support first, then transformed once).
 
-use crate::config::{LithoError, ProcessCorner};
+use crate::config::{LithoError, NonFiniteTerm, ProcessCorner};
 use crate::simulator::{sigmoid, LithoSimulator};
 use cfaopc_fft::parallel::par_map;
 use cfaopc_fft::Complex;
@@ -52,6 +52,22 @@ pub struct LossValues {
     pub pvb: f64,
     /// Weighted total.
     pub total: f64,
+}
+
+impl LossValues {
+    /// The first non-finite loss term, if any — the loss half of the
+    /// numerical-health guard (`l2`, then `pvb`, then `total`).
+    pub fn non_finite_term(&self) -> Option<NonFiniteTerm> {
+        if !self.l2.is_finite() {
+            Some(NonFiniteTerm::LossL2)
+        } else if !self.pvb.is_finite() {
+            Some(NonFiniteTerm::LossPvb)
+        } else if !self.total.is_finite() {
+            Some(NonFiniteTerm::LossTotal)
+        } else {
+            None
+        }
+    }
 }
 
 fn corner_plan(weights: LossWeights) -> [(ProcessCorner, f64); 3] {
@@ -105,6 +121,7 @@ pub fn loss_and_gradient_into(
     weights: LossWeights,
     grad: &mut Grid2D<f64>,
 ) -> Result<LossValues, LithoError> {
+    let _span = cfaopc_trace::span("litho.loss_and_gradient");
     let n = sim.size();
     let n2 = n * n;
     if target.width() != n || target.height() != n {
@@ -232,6 +249,7 @@ pub fn loss_only(
     target: &Grid2D<f64>,
     weights: LossWeights,
 ) -> Result<LossValues, LithoError> {
+    let _span = cfaopc_trace::span("litho.loss_only");
     let n = sim.size();
     if target.width() != n || target.height() != n {
         return Err(LithoError::ShapeMismatch {

@@ -1,0 +1,263 @@
+//! Per-iteration telemetry records and the sinks that receive them.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::{counter_snapshot, span_snapshot};
+
+/// Which optimizer stage emitted a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Stage 1: pixel-domain ILT (`run_pixel_ilt`).
+    PixelIlt,
+    /// Stage 2: circle-level ILT (`run_circleopt`).
+    CircleOpt,
+}
+
+impl Stage {
+    /// Stable lowercase identifier used in JSONL output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::PixelIlt => "pixel_ilt",
+            Stage::CircleOpt => "circleopt",
+        }
+    }
+}
+
+/// One optimizer iteration's worth of telemetry.
+///
+/// `Copy`, fixed-size, and built on the stack each iteration — emitting
+/// a record never allocates on the producer side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// Optimizer stage that produced the record.
+    pub stage: Stage,
+    /// Zero-based iteration index within the stage.
+    pub iteration: usize,
+    /// Fidelity (L2) loss term.
+    pub loss_l2: f64,
+    /// Process-variation-band loss term.
+    pub loss_pvb: f64,
+    /// Weighted total loss.
+    pub loss_total: f64,
+    /// Lasso sparsity penalty (0 for the pixel stage).
+    pub sparsity: f64,
+    /// Active shots: circles with `q` above the activation floor
+    /// (pixel stage: pixels above the print threshold).
+    pub active: usize,
+    /// Gradient L2 norm.
+    pub grad_l2: f64,
+    /// Gradient L∞ norm.
+    pub grad_linf: f64,
+}
+
+/// Receiver for per-iteration optimizer telemetry.
+///
+/// Implementations must not assume records arrive for every iteration —
+/// a health-guard abort stops the stream early — and should avoid
+/// per-record allocation if attached to hot loops (see [`MemorySink`]).
+pub trait TelemetrySink {
+    /// Called once per optimizer iteration, after the step's bookkeeping.
+    fn record(&mut self, rec: &IterationRecord);
+}
+
+/// A no-op [`TelemetrySink`] usable where a sink is required.
+impl TelemetrySink for () {
+    fn record(&mut self, _rec: &IterationRecord) {}
+}
+
+/// Collects records into a pre-allocated `Vec`.
+///
+/// With [`MemorySink::with_capacity`] sized to the planned iteration
+/// count, recording is allocation-free — this is what lets the
+/// alloc-guard test run with a sink attached.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Vec<IterationRecord>,
+}
+
+impl MemorySink {
+    /// Empty sink (grows on demand).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sink pre-sized for `cap` records; recording stays allocation-free
+    /// until the capacity is exceeded.
+    pub fn with_capacity(cap: usize) -> Self {
+        MemorySink {
+            records: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The records received so far, in arrival order.
+    pub fn records(&self) -> &[IterationRecord] {
+        &self.records
+    }
+
+    /// Drops all collected records, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn record(&mut self, rec: &IterationRecord) {
+        self.records.push(*rec);
+    }
+}
+
+/// Streams records as JSON lines (one object per record) to a writer.
+///
+/// A reusable `String` buffer formats each line, so steady-state
+/// recording allocates nothing beyond what the underlying writer does.
+/// Non-finite floats serialize as `null` to stay valid JSON.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    buf: String,
+}
+
+fn push_f64(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(buf, "{v}");
+    } else {
+        buf.push_str("null");
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps `out`; each record becomes one JSON line.
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            buf: String::with_capacity(256),
+        }
+    }
+
+    /// Writes one `{"kind":"counters",...}` line with the current
+    /// counter values and one `{"kind":"span",...}` line per span node
+    /// (preorder). Call after a run to append the aggregate picture.
+    pub fn write_summary(&mut self) -> io::Result<()> {
+        self.buf.clear();
+        self.buf.push_str("{\"kind\":\"counters\"");
+        for (name, value) in counter_snapshot() {
+            let _ = write!(self.buf, ",\"{name}\":{value}");
+        }
+        self.buf.push_str("}\n");
+        for s in span_snapshot() {
+            let _ = writeln!(
+                self.buf,
+                "{{\"kind\":\"span\",\"name\":\"{}\",\"depth\":{},\"calls\":{},\"total_ns\":{}}}",
+                s.name, s.depth, s.calls, s.total_ns
+            );
+        }
+        self.out.write_all(self.buf.as_bytes())
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> TelemetrySink for JsonlSink<W> {
+    fn record(&mut self, rec: &IterationRecord) {
+        self.buf.clear();
+        let _ = write!(
+            self.buf,
+            "{{\"kind\":\"iter\",\"stage\":\"{}\",\"iteration\":{}",
+            rec.stage.as_str(),
+            rec.iteration
+        );
+        for (key, v) in [
+            ("loss_l2", rec.loss_l2),
+            ("loss_pvb", rec.loss_pvb),
+            ("loss_total", rec.loss_total),
+            ("sparsity", rec.sparsity),
+        ] {
+            let _ = write!(self.buf, ",\"{key}\":");
+            push_f64(&mut self.buf, v);
+        }
+        let _ = write!(self.buf, ",\"active\":{}", rec.active);
+        self.buf.push_str(",\"grad_l2\":");
+        push_f64(&mut self.buf, rec.grad_l2);
+        self.buf.push_str(",\"grad_linf\":");
+        push_f64(&mut self.buf, rec.grad_linf);
+        self.buf.push_str("}\n");
+        // Telemetry must never abort an optimization; I/O errors surface
+        // at `flush` time instead.
+        let _ = self.out.write_all(self.buf.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(iteration: usize) -> IterationRecord {
+        IterationRecord {
+            stage: Stage::CircleOpt,
+            iteration,
+            loss_l2: 1.5,
+            loss_pvb: 0.25,
+            loss_total: 1.75,
+            sparsity: 3.0,
+            active: 42,
+            grad_l2: 0.5,
+            grad_linf: 0.125,
+        }
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = MemorySink::with_capacity(4);
+        sink.record(&rec(0));
+        sink.record(&rec(1));
+        assert_eq!(sink.records().len(), 2);
+        assert_eq!(sink.records()[1].iteration, 1);
+        sink.clear();
+        assert!(sink.records().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_emits_one_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&rec(0));
+        sink.record(&rec(7));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"stage\":\"circleopt\""));
+        assert!(lines[0].contains("\"iteration\":0"));
+        assert!(lines[1].contains("\"iteration\":7"));
+        assert!(lines[0].contains("\"loss_total\":1.75"));
+        assert!(lines[0].contains("\"active\":42"));
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        let mut sink = JsonlSink::new(Vec::new());
+        let mut r = rec(0);
+        r.loss_total = f64::NAN;
+        r.grad_linf = f64::INFINITY;
+        sink.record(&r);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.contains("\"loss_total\":null"));
+        assert!(text.contains("\"grad_linf\":null"));
+    }
+
+    #[test]
+    fn summary_lines_are_emitted() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.write_summary().unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.starts_with("{\"kind\":\"counters\""));
+        assert!(text.contains("\"fft_2d\":"));
+    }
+}

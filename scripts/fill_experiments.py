@@ -72,5 +72,47 @@ if ab.exists():
     )
     md = md.replace("<!-- ABLATIONS_MEASURED -->", "```text\n" + body + "\n```")
 
+
+# Telemetry (JSONL artifact from the circleopt bench or a --trace run)
+def telemetry_summary(path: Path) -> str:
+    import json
+
+    iters, counters, spans = [], None, []
+    for line in path.read_text().splitlines():
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            continue
+        kind = rec.get("kind")
+        if kind == "iter":
+            iters.append(rec)
+        elif kind == "counters":
+            counters = rec
+        elif kind == "span":
+            spans.append(rec)
+    out = []
+    for stage in ("pixel_ilt", "circleopt"):
+        rows = [r for r in iters if r.get("stage") == stage]
+        if rows:
+            first, last = rows[0], rows[-1]
+            out.append(
+                f"{stage}: {len(rows)} iterations, loss "
+                f"{first['loss_total']:.1f} -> {last['loss_total']:.1f}"
+            )
+    if counters:
+        pairs = ", ".join(f"{k}={v}" for k, v in counters.items() if k != "kind")
+        out.append(f"counters: {pairs}")
+    for s in spans:
+        out.append(
+            f"span {'  ' * s['depth']}{s['name']}: {s['calls']} calls, "
+            f"{s['total_ns'] / 1e6:.1f} ms"
+        )
+    return "```text\n" + "\n".join(out) + "\n```"
+
+
+tel = ROOT / "BENCH_circleopt_telemetry.jsonl"
+if tel.exists():
+    md = md.replace("<!-- TELEMETRY_MEASURED -->", telemetry_summary(tel))
+
 MD.write_text(md)
 print("EXPERIMENTS.md filled")

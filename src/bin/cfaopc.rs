@@ -3,9 +3,14 @@
 //! ```text
 //! cfaopc cases
 //! cfaopc fracture --case 3 [--size 256] [--method opt|rule] [--iters 30]
-//!                 [--out mask.cshot] [--svg mask.svg]
+//!                 [--out mask.cshot] [--svg mask.svg] [--trace run.jsonl]
 //! cfaopc evaluate --shots mask.cshot --case 3
 //! ```
+//!
+//! `--trace FILE.jsonl` (with `--method opt`) enables the observability
+//! layer for the run and streams one JSON line per optimizer iteration
+//! (loss terms, sparsity, active shots, gradient norms), followed by a
+//! counter summary and the span tree.
 
 use cfaopc::fracture::ShotList;
 use cfaopc::litho::loss_only;
@@ -38,7 +43,8 @@ fn print_usage() {
     println!(
         "cfaopc — fracturing-aware curvilinear ILT\n\n\
          USAGE:\n  cfaopc cases\n  cfaopc fracture --case <1-10> [--glp FILE] [--size N] \
-         [--method opt|rule] [--iters N] [--out FILE.cshot] [--svg FILE.svg]\n  \
+         [--method opt|rule] [--iters N] [--out FILE.cshot] [--svg FILE.svg] \
+         [--trace FILE.jsonl]\n  \
          cfaopc evaluate --shots FILE.cshot (--case <1-10> | --glp FILE)\n"
     );
 }
@@ -117,16 +123,25 @@ fn cmd_fracture(flags: &Flags) -> CliResult {
         }
         "opt" => {
             let gamma = 3.0 * (n as f64 / 2048.0).powi(2);
-            let result = run_circleopt(
-                &sim,
-                &target,
-                &CircleOptConfig {
-                    init_iterations: iters.div_ceil(2),
-                    circle_iterations: iters + 10,
-                    gamma,
-                    ..CircleOptConfig::default()
-                },
-            )?;
+            let config = CircleOptConfig {
+                init_iterations: iters.div_ceil(2),
+                circle_iterations: iters + 10,
+                gamma,
+                ..CircleOptConfig::default()
+            };
+            let result = match flags.get("trace") {
+                Some(path) => {
+                    cfaopc::trace::set_enabled(true);
+                    let file = std::io::BufWriter::new(std::fs::File::create(path)?);
+                    let mut sink = JsonlSink::new(file);
+                    let result = run_circleopt_traced(&sim, &target, &config, &mut sink);
+                    sink.write_summary()?;
+                    sink.flush()?;
+                    println!("wrote {path}");
+                    result?
+                }
+                None => run_circleopt(&sim, &target, &config)?,
+            };
             // `mask_raster` is the run's cached rasterization — no need
             // to re-rasterize here.
             (result.mask, result.mask_raster, "CircleOpt")

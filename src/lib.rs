@@ -15,7 +15,9 @@
 //! * [`fracture`] — rectangular fracturing, **CircleRule**, circle MRC,
 //! * [`circleopt`] — **CircleOpt**, the paper's optimization-based method,
 //! * [`metrics`] — L2 / PVB / EPE / shot count, result tables,
-//! * [`viz`] — PGM/SVG rendering.
+//! * [`viz`] — PGM/SVG rendering,
+//! * [`trace`] — opt-in observability: hierarchical spans, atomic
+//!   counters, and per-iteration [`trace::TelemetrySink`] records.
 //!
 //! # Quickstart
 //!
@@ -59,13 +61,15 @@ pub use cfaopc_ilt as ilt;
 pub use cfaopc_layouts as layouts;
 pub use cfaopc_litho as litho;
 pub use cfaopc_metrics as metrics;
+pub use cfaopc_trace as trace;
 pub use cfaopc_viz as viz;
 
 /// One-stop imports for applications.
 pub mod prelude {
     pub use cfaopc_core::{
-        compose, compose_soft, run_circleopt, run_circleopt_from, ste, CircleOptConfig,
-        CircleOptResult, CircleParams, ComposeConfig, Composition, SparseCircles,
+        compose, compose_soft, run_circleopt, run_circleopt_from, run_circleopt_from_traced,
+        run_circleopt_traced, ste, CircleOptConfig, CircleOptResult, CircleParams, ComposeConfig,
+        Composition, SparseCircles,
     };
     pub use cfaopc_ebeam::{
         correct_proximity, intended_pattern, DosedShot, EbeamPsf, PecConfig, WriterModel,
@@ -91,5 +95,6 @@ pub mod prelude {
         epe_report, epe_violations, evaluate_mask, l2_error, measure_meef, pvb, EpeConfig,
         EpeReport, MaskMetrics, MeefReport, MetricRow, MetricTable,
     };
+    pub use cfaopc_trace::{IterationRecord, JsonlSink, MemorySink, Stage, TelemetrySink};
     pub use cfaopc_viz::{save_pgm, SvgScene};
 }

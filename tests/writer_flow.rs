@@ -34,7 +34,7 @@ fn circleopt_shots_survive_the_writer() {
     // Write the mask on the simulated e-beam machine with the paper's
     // short-range blur. Masks are written at 4x magnification, so the
     // writer grid pitch is 4x the wafer-scale pitch.
-    let writer = WriterModel::new(n, px * 4.0, EbeamPsf::forward_only(30.0));
+    let writer = WriterModel::new(n, px * 4.0, EbeamPsf::forward_only(30.0)).unwrap();
     let shots = WriterModel::dose_circles(&parsed.mask);
     let intended = intended_pattern(&shots, n);
     let corrected = correct_proximity(&writer, &shots, &PecConfig::default()).shots;
