@@ -1,0 +1,52 @@
+//! End-to-end determinism of the evaluation harness.
+//!
+//! The acceptance bar for `cfaopc eval` is byte-identical
+//! `RESULTS.json` across runs and across `CFAOPC_THREADS` values. One
+//! umbrella test pins `CFAOPC_THREADS=4` before the pool exists, runs
+//! the tiny suite sharded, re-runs it, and runs it fully serial, then
+//! compares the serialized bytes — plus the golden round trip on top.
+
+use cfaopc_eval::{compare_reports, run_suite, EvalReport, SuiteSpec, Tolerance};
+use cfaopc_fft::parallel::{with_worker_limit, worker_count};
+
+#[test]
+fn tiny_suite_results_are_byte_identical_and_golden_checkable() {
+    std::env::set_var("CFAOPC_THREADS", "4");
+    assert_eq!(worker_count(), 4, "CFAOPC_THREADS must win at pool setup");
+
+    let spec = SuiteSpec::named("tiny").unwrap();
+    let first = run_suite(&spec).unwrap();
+    let second = run_suite(&spec).unwrap();
+    let serial = with_worker_limit(1, || run_suite(&spec).unwrap());
+
+    let bytes = first.to_json_string();
+    assert_eq!(bytes, second.to_json_string(), "same-seed reruns drifted");
+    assert_eq!(
+        bytes,
+        serial.to_json_string(),
+        "RESULTS.json depends on thread count"
+    );
+
+    // Deterministic mode must not leak wall-clock time into the report.
+    assert!(first.cases.iter().all(|c| c.wall_ms.is_none()));
+
+    // The serialized report is its own golden file.
+    let golden = EvalReport::from_json_str(&bytes).unwrap();
+    assert_eq!(golden, first);
+    let tol = Tolerance::default();
+    assert!(compare_reports(&golden, &second, &tol).is_empty());
+
+    // A perturbed golden must be flagged, naming the drifted metric.
+    let mut bad = golden.clone();
+    bad.cases[0].opt.l2 += 10.0 * tol.allowed(bad.cases[0].opt.l2);
+    let drifts = compare_reports(&bad, &second, &tol);
+    assert_eq!(drifts.len(), 1);
+    assert_eq!(drifts[0].metric, "l2");
+    assert_eq!(drifts[0].method, "opt");
+    assert_eq!(drifts[0].case, bad.cases[0].name);
+
+    // Structural mismatch (missing case) is also a drift, not a panic.
+    let mut truncated = golden.clone();
+    truncated.cases.pop();
+    assert!(!compare_reports(&truncated, &second, &tol).is_empty());
+}

@@ -8,8 +8,8 @@
 //! run against a forced fully-serial run of the same process.
 
 use cfaopc_fft::parallel::{with_worker_limit, worker_count};
-use cfaopc_grid::Grid2D;
-use cfaopc_litho::{LithoConfig, LithoSimulator, ProcessCorner};
+use cfaopc_grid::{fill_rect, BitGrid, Grid2D, Point, Rect};
+use cfaopc_litho::{bossung_surface, CdAxis, CdProbe, LithoConfig, LithoSimulator, ProcessCorner};
 
 fn test_mask(n: usize) -> Grid2D<f64> {
     let values = (0..n * n)
@@ -63,4 +63,45 @@ fn aerial_images_are_bit_identical_serial_vs_parallel() {
             "corner bundle at {corner:?} depends on thread count"
         );
     }
+}
+
+#[test]
+fn bossung_surface_is_bit_identical_serial_vs_parallel() {
+    std::env::set_var("CFAOPC_THREADS", "4");
+    assert_eq!(worker_count(), 4, "CFAOPC_THREADS must win at pool setup");
+
+    let sim = LithoSimulator::new(LithoConfig::fast_test()).unwrap();
+    let n = sim.size();
+    let mut mask = BitGrid::new(n, n);
+    fill_rect(
+        &mut mask,
+        Rect::new(n as i32 / 4, 3, 3 * n as i32 / 4, n as i32 - 3),
+    );
+    let probe = CdProbe {
+        at: Point::new(n as i32 / 2, n as i32 / 2),
+        axis: CdAxis::Horizontal,
+    };
+    let defocus = [0.0, 50.0, 100.0];
+    let doses = [0.96, 1.0, 1.04];
+
+    let parallel = bossung_surface(&sim, &mask, &probe, &defocus, &doses).unwrap();
+    let serial = with_worker_limit(1, || {
+        bossung_surface(&sim, &mask, &probe, &defocus, &doses).unwrap()
+    });
+    assert_eq!(parallel.points.len(), serial.points.len());
+    for (p, s) in parallel.points.iter().zip(&serial.points) {
+        assert_eq!(
+            p.cd_nm.map(f64::to_bits),
+            s.cd_nm.map(f64::to_bits),
+            "CD at defocus {} dose {} depends on thread count",
+            p.defocus_nm,
+            p.dose
+        );
+    }
+
+    // The condensed metric must agree exactly as well.
+    let cd_target = (n as f64 / 2.0) * sim.config().pixel_nm();
+    let pw = parallel.window_fraction(cd_target, 0.25);
+    let sw = serial.window_fraction(cd_target, 0.25);
+    assert_eq!(pw.to_bits(), sw.to_bits());
 }

@@ -1,0 +1,53 @@
+//! Thread-count invariance of the metrics layer.
+//!
+//! `epe_report` walks sample sites in a fixed order and `evaluate_mask`
+//! only consumes bit-identical litho outputs, so every number they
+//! produce must be byte-for-byte independent of the worker pool size.
+//! Following the litho concurrency test, a single umbrella test pins
+//! `CFAOPC_THREADS=4` before the pool exists and compares the pooled
+//! run against a forced fully-serial run of the same process.
+
+use cfaopc_fft::parallel::{with_worker_limit, worker_count};
+use cfaopc_layouts::benchmark_case;
+use cfaopc_litho::{LithoConfig, LithoSimulator, ProcessCorner};
+use cfaopc_metrics::{epe_report, evaluate_mask, EpeConfig};
+
+#[test]
+fn metrics_are_bit_identical_serial_vs_parallel() {
+    std::env::set_var("CFAOPC_THREADS", "4");
+    assert_eq!(worker_count(), 4, "CFAOPC_THREADS must win at pool setup");
+
+    let sim = LithoSimulator::new(LithoConfig::fast_test()).unwrap();
+    let n = sim.size();
+    let pixel_nm = sim.config().pixel_nm();
+    let target = benchmark_case(4).unwrap().rasterize(n);
+    let printed = sim.print(&target, ProcessCorner::Nominal).unwrap();
+    let config = EpeConfig::default();
+
+    let parallel = epe_report(&printed, &target, &config, pixel_nm);
+    let serial = with_worker_limit(1, || epe_report(&printed, &target, &config, pixel_nm));
+    assert_eq!(parallel.sites, serial.sites);
+    assert_eq!(parallel.violations, serial.violations);
+    let pbits: Vec<u64> = parallel
+        .displacements_nm
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let sbits: Vec<u64> = serial
+        .displacements_nm
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(pbits, sbits, "EPE displacements depend on thread count");
+
+    // The full metric bundle goes through print_corners (three aerial
+    // images on the pool); its floats must not move either.
+    let par_metrics = evaluate_mask(&sim, &target, &target, &config).unwrap();
+    let ser_metrics = with_worker_limit(1, || {
+        evaluate_mask(&sim, &target, &target, &config).unwrap()
+    });
+    assert_eq!(par_metrics.l2.to_bits(), ser_metrics.l2.to_bits());
+    assert_eq!(par_metrics.pvb.to_bits(), ser_metrics.pvb.to_bits());
+    assert_eq!(par_metrics.epe, ser_metrics.epe);
+    assert_eq!(par_metrics.shots, ser_metrics.shots);
+}

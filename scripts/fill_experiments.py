@@ -1,88 +1,121 @@
 #!/usr/bin/env python3
-"""Fill EXPERIMENTS.md placeholders from target/experiments artifacts."""
+"""Fill EXPERIMENTS.md placeholders from measured artifacts.
+
+Sources:
+  * target/experiments/*.csv|*.out  -- the cfaopc-bench experiment binaries
+  * RESULTS.json                    -- `cfaopc eval` (schema cfaopc-eval/1)
+  * BENCH_circleopt_telemetry.jsonl -- tracing-enabled bench run
+
+Missing artifacts are skipped (their placeholder stays in place so a
+later run can fill it); an artifact that exists but cannot be parsed is
+a hard error and the script exits non-zero without touching
+EXPERIMENTS.md.
+
+Usage: scripts/fill_experiments.py [--results RESULTS.json]
+"""
+
+import argparse
+import json
 import re
+import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 EXP = ROOT / "target" / "experiments"
 MD = ROOT / "EXPERIMENTS.md"
 
+EVAL_SCHEMA = "cfaopc-eval/1"
+
+
+class ArtifactError(Exception):
+    """An artifact exists but is malformed."""
+
 
 def csv_to_md(path: Path, label_header: str = "Method") -> str:
     lines = path.read_text().strip().splitlines()
     out = [f"| {label_header} | L2 | PVB | EPE | #Shot |", "|---|---|---|---|---|"]
-    for line in lines[1:]:
-        label, l2, pvb, epe, shots = line.split(",")
-        out.append(f"| {label} | {float(l2):,.0f} | {float(pvb):,.0f} | {epe} | {shots} |")
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            label, l2, pvb, epe, shots = line.split(",")
+            out.append(
+                f"| {label} | {float(l2):,.0f} | {float(pvb):,.0f} | {epe} | {shots} |"
+            )
+        except ValueError as e:
+            raise ArtifactError(f"{path}:{lineno}: bad CSV row ({e})") from e
     return "\n".join(out)
 
 
-def section(out_file: Path, start: str = None, last: int = None) -> str:
-    text = out_file.read_text()
-    lines = text.splitlines()
-    if last:
-        lines = lines[-last:]
-    return "```text\n" + "\n".join(lines) + "\n```"
+def eval_table(path: Path) -> str:
+    """Render the `cfaopc eval` paper table from RESULTS.json.
 
+    Mirrors EvalReport::markdown_table so the committed table and the
+    CI artifact agree; validates the schema tag and every consumed field
+    so a truncated or mis-schemed file fails loudly.
+    """
+    try:
+        doc = json.loads(path.read_text())
+    except ValueError as e:
+        raise ArtifactError(f"{path}: not valid JSON ({e})") from e
+    if not isinstance(doc, dict) or doc.get("schema") != EVAL_SCHEMA:
+        raise ArtifactError(
+            f"{path}: schema {doc.get('schema')!r} (expected {EVAL_SCHEMA!r})"
+        )
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        raise ArtifactError(f"{path}: missing or empty 'cases' array")
 
-md = MD.read_text()
-
-# Table 1
-t1 = EXP / "table1_summary.csv"
-if t1.exists():
-    md = md.replace("<!-- TABLE1_MEASURED -->", csv_to_md(t1))
-
-# Table 2
-t2 = EXP / "table2_summary.csv"
-if t2.exists():
-    md = md.replace("<!-- TABLE2_MEASURED -->", csv_to_md(t2))
-
-# Table 3
-t3 = EXP / "table3_summary.csv"
-if t3.exists():
-    extra = ""
-    out = EXP / "table3.out"
-    if out.exists():
-        m = re.search(r"shot-count reduction.*", out.read_text())
-        if m:
-            extra = "\n\n" + m.group(0)
-    md = md.replace("<!-- TABLE3_MEASURED -->", csv_to_md(t3) + extra)
-
-# Fig 1
-f1 = EXP / "fig1.out"
-if f1.exists():
-    body = "\n".join(
-        l for l in f1.read_text().splitlines() if l.startswith(("curvilinear", "(a)", "(b)", "reduction"))
+    header = (
+        "| Case | Area (nm²) | L2 (CR) | PVB (CR) | EPE (CR) | #Shot (CR) | PW (CR) "
+        "| L2 (CO) | PVB (CO) | EPE (CO) | #Shot (CO) | PW (CO) |"
     )
-    md = md.replace("<!-- FIG1_MEASURED -->", "```text\n" + body + "\n```")
+    rows = [header, "|---|---|---|---|---|---|---|---|---|---|---|---|"]
+    sums = {("rule", k): 0.0 for k in ("l2", "pvb", "epe", "shots", "window")}
+    sums.update({("opt", k): 0.0 for k in ("l2", "pvb", "epe", "shots", "window")})
+    for case in cases:
+        try:
+            cells = [str(case["case"]), f"{int(case['area_nm2'])}"]
+            for method in ("rule", "opt"):
+                m = case[method]
+                cells += [
+                    f"{m['l2']:.0f}",
+                    f"{m['pvb']:.0f}",
+                    f"{m['epe']}",
+                    f"{m['shots']}",
+                    f"{m['window']:.2f}",
+                ]
+                for k in ("l2", "pvb", "epe", "shots", "window"):
+                    sums[(method, k)] += float(m[k])
+        except (KeyError, TypeError, ValueError) as e:
+            raise ArtifactError(f"{path}: malformed case record ({e!r})") from e
+        rows.append("| " + " | ".join(cells) + " |")
 
-# Fig 7
-f7 = EXP / "fig7.out"
-if f7.exists():
-    body = "\n".join(
-        l for l in f7.read_text().splitlines() if l.startswith(("m=", "MultiILT VSB"))
+    n = len(cases)
+    mean = ["**mean**", ""]
+    for method in ("rule", "opt"):
+        mean += [
+            f"{sums[(method, 'l2')] / n:.0f}",
+            f"{sums[(method, 'pvb')] / n:.0f}",
+            f"{sums[(method, 'epe')] / n:.1f}",
+            f"{sums[(method, 'shots')] / n:.1f}",
+            f"{sums[(method, 'window')] / n:.2f}",
+        ]
+    rows.append("| " + " | ".join(mean) + " |")
+    meta = (
+        f"\nSuite `{doc.get('suite')}` at {doc.get('size')} px, "
+        f"{doc.get('kernel_count')} kernels per corner "
+        f"(CR = MultiILT+CircleRule, CO = CircleOpt, PW = process-window "
+        f"fraction)."
     )
-    md = md.replace("<!-- FIG7_MEASURED -->", "```text\n" + body + "\n```")
-
-# Ablations
-ab = EXP / "ablations.out"
-if ab.exists():
-    body = "\n".join(
-        l for l in ab.read_text().splitlines() if l.startswith(("[1]", "[2]", "[3]", "[4]", "   "))
-    )
-    md = md.replace("<!-- ABLATIONS_MEASURED -->", "```text\n" + body + "\n```")
+    return "\n".join(rows) + meta
 
 
-# Telemetry (JSONL artifact from the circleopt bench or a --trace run)
 def telemetry_summary(path: Path) -> str:
-    import json
-
     iters, counters, spans = [], None, []
-    for line in path.read_text().splitlines():
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
         try:
             rec = json.loads(line)
-        except ValueError:
-            continue
+        except ValueError as e:
+            raise ArtifactError(f"{path}:{lineno}: bad JSONL record ({e})") from e
         kind = rec.get("kind")
         if kind == "iter":
             iters.append(rec)
@@ -110,9 +143,68 @@ def telemetry_summary(path: Path) -> str:
     return "```text\n" + "\n".join(out) + "\n```"
 
 
-tel = ROOT / "BENCH_circleopt_telemetry.jsonl"
-if tel.exists():
-    md = md.replace("<!-- TELEMETRY_MEASURED -->", telemetry_summary(tel))
+def fill(md: str, placeholder: str, body: str) -> str:
+    if placeholder not in md:
+        raise ArtifactError(f"EXPERIMENTS.md is missing the {placeholder} placeholder")
+    return md.replace(placeholder, body)
 
-MD.write_text(md)
-print("EXPERIMENTS.md filled")
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--results",
+        type=Path,
+        default=ROOT / "RESULTS.json",
+        help="path to the `cfaopc eval` RESULTS.json (default: repo root)",
+    )
+    args = ap.parse_args()
+
+    md = MD.read_text()
+    filled = []
+    try:
+        for name, header in (("table1", "Method"), ("table2", "Method"), ("table3", "Method")):
+            csv = EXP / f"{name}_summary.csv"
+            if csv.exists():
+                body = csv_to_md(csv, header)
+                if name == "table3":
+                    out = EXP / "table3.out"
+                    if out.exists():
+                        m = re.search(r"shot-count reduction.*", out.read_text())
+                        if m:
+                            body += "\n\n" + m.group(0)
+                md = fill(md, f"<!-- {name.upper()}_MEASURED -->", body)
+                filled.append(name)
+
+        for name, prefixes in (
+            ("fig1", ("curvilinear", "(a)", "(b)", "reduction")),
+            ("fig7", ("m=", "MultiILT VSB")),
+            ("ablations", ("[1]", "[2]", "[3]", "[4]", "   ")),
+        ):
+            out = EXP / f"{name}.out"
+            if out.exists():
+                body = "\n".join(
+                    l for l in out.read_text().splitlines() if l.startswith(prefixes)
+                )
+                md = fill(md, f"<!-- {name.upper()}_MEASURED -->", f"```text\n{body}\n```")
+                filled.append(name)
+
+        if args.results.exists():
+            md = fill(md, "<!-- EVAL_MEASURED -->", eval_table(args.results))
+            filled.append("eval")
+
+        tel = ROOT / "BENCH_circleopt_telemetry.jsonl"
+        if tel.exists():
+            md = fill(md, "<!-- TELEMETRY_MEASURED -->", telemetry_summary(tel))
+            filled.append("telemetry")
+    except ArtifactError as e:
+        print(f"error: {e}", file=sys.stderr)
+        print("EXPERIMENTS.md left untouched", file=sys.stderr)
+        return 1
+
+    MD.write_text(md)
+    print(f"EXPERIMENTS.md filled: {', '.join(filled) if filled else 'nothing to do'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

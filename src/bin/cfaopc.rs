@@ -5,12 +5,22 @@
 //! cfaopc fracture --case 3 [--size 256] [--method opt|rule] [--iters 30]
 //!                 [--out mask.cshot] [--svg mask.svg] [--trace run.jsonl]
 //! cfaopc evaluate --shots mask.cshot --case 3
+//! cfaopc eval [--suite small] [--out RESULTS.json] [--md table.md]
+//!             [--check eval/golden.json] [--tol 0.02] [--tol-abs 0.5]
+//!             [--timing]
 //! ```
 //!
 //! `--trace FILE.jsonl` (with `--method opt`) enables the observability
 //! layer for the run and streams one JSON line per optimizer iteration
 //! (loss terms, sparsity, active shots, gradient norms), followed by a
 //! counter summary and the span tree.
+//!
+//! `eval` runs a whole benchmark suite end to end (CircleRule and
+//! CircleOpt on every testcase), sharded across the worker pool, and
+//! writes a deterministic `RESULTS.json` — byte-identical across runs
+//! and `CFAOPC_THREADS` values unless `--timing` is given. With
+//! `--check` it compares every metric against a golden file and exits
+//! non-zero on drift beyond tolerance.
 
 use cfaopc::fracture::ShotList;
 use cfaopc::litho::loss_only;
@@ -24,6 +34,7 @@ fn main() -> ExitCode {
         Some("cases") => cmd_cases(),
         Some("fracture") => cmd_fracture(&parse_flags(&args[1..])),
         Some("evaluate") => cmd_evaluate(&parse_flags(&args[1..])),
+        Some("eval") => cmd_eval(&parse_flags(&args[1..])),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -45,7 +56,9 @@ fn print_usage() {
          USAGE:\n  cfaopc cases\n  cfaopc fracture --case <1-10> [--glp FILE] [--size N] \
          [--method opt|rule] [--iters N] [--out FILE.cshot] [--svg FILE.svg] \
          [--trace FILE.jsonl]\n  \
-         cfaopc evaluate --shots FILE.cshot (--case <1-10> | --glp FILE)\n"
+         cfaopc evaluate --shots FILE.cshot (--case <1-10> | --glp FILE)\n  \
+         cfaopc eval [--suite tiny|small|paper] [--out RESULTS.json] [--md FILE] \
+         [--check GOLDEN.json] [--tol REL] [--tol-abs ABS] [--timing]\n"
     );
 }
 
@@ -53,10 +66,15 @@ type Flags = HashMap<String, String>;
 
 fn parse_flags(args: &[String]) -> Flags {
     let mut flags = Flags::new();
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            let value = it.next().cloned().unwrap_or_default();
+            // A following token that is itself a flag means this one is
+            // boolean (e.g. `--timing --check g.json`).
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().cloned().unwrap_or_default(),
+                _ => String::new(),
+            };
             flags.insert(key.to_string(), value);
         }
     }
@@ -168,6 +186,92 @@ fn cmd_fracture(flags: &Flags) -> CliResult {
             .contour(&printed, "#228833")
             .save(path)?;
         println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_eval(flags: &Flags) -> CliResult {
+    let suite_name = flags.get("suite").map(String::as_str).unwrap_or("small");
+    let spec = cfaopc::eval::SuiteSpec::named(suite_name).ok_or_else(|| {
+        format!(
+            "unknown suite {suite_name:?} (available: {})",
+            cfaopc::eval::SuiteSpec::NAMES.join(", ")
+        )
+    })?;
+    let timing = flags.contains_key("timing");
+    println!(
+        "running suite {:?}: {} cases at {}px, {} workers",
+        spec.name,
+        spec.cases.len(),
+        spec.size,
+        cfaopc::fft::parallel::worker_count()
+    );
+    let report = if timing {
+        run_suite_timed(&spec)?
+    } else {
+        run_suite(&spec)?
+    };
+    for c in &report.cases {
+        let wall = c
+            .wall_ms
+            .map(|ms| format!(" [{ms:.0} ms]"))
+            .unwrap_or_default();
+        println!(
+            "{:<10} rule: L2 {:>9.0} PVB {:>9.0} EPE {:>3} #Shot {:>4} PW {:.2} | \
+             opt: L2 {:>9.0} PVB {:>9.0} EPE {:>3} #Shot {:>4} PW {:.2}{wall}",
+            c.name,
+            c.rule.l2,
+            c.rule.pvb,
+            c.rule.epe,
+            c.rule.shots,
+            c.rule.window,
+            c.opt.l2,
+            c.opt.pvb,
+            c.opt.epe,
+            c.opt.shots,
+            c.opt.window,
+        );
+    }
+    let out = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("RESULTS.json");
+    std::fs::write(out, report.to_json_string())?;
+    println!("wrote {out}");
+    if let Some(md) = flags.get("md") {
+        std::fs::write(md, report.markdown_table())?;
+        println!("wrote {md}");
+    }
+    if let Some(golden_path) = flags.get("check") {
+        let tol = Tolerance {
+            rel: flags
+                .get("tol")
+                .map(|s| s.parse())
+                .transpose()?
+                .unwrap_or(Tolerance::default().rel),
+            abs: flags
+                .get("tol-abs")
+                .map(|s| s.parse())
+                .transpose()?
+                .unwrap_or(Tolerance::default().abs),
+        };
+        let golden = EvalReport::from_json_str(&std::fs::read_to_string(golden_path)?)
+            .map_err(|e| format!("cannot load golden file {golden_path}: {e}"))?;
+        let drifts = compare_reports(&golden, &report, &tol);
+        if drifts.is_empty() {
+            println!(
+                "golden check OK: {} cases within tolerance (rel {}, abs {}) of {golden_path}",
+                report.cases.len(),
+                tol.rel,
+                tol.abs
+            );
+        } else {
+            eprintln!("golden check FAILED against {golden_path}:");
+            for d in &drifts {
+                eprintln!("  {d}");
+            }
+            return Err(format!("{} metric(s) drifted beyond tolerance", drifts.len()).into());
+        }
     }
     Ok(())
 }

@@ -15,6 +15,8 @@
 //! * [`fracture`] — rectangular fracturing, **CircleRule**, circle MRC,
 //! * [`circleopt`] — **CircleOpt**, the paper's optimization-based method,
 //! * [`metrics`] — L2 / PVB / EPE / shot count, result tables,
+//! * [`eval`] — the sharded end-to-end evaluation harness behind
+//!   `cfaopc eval` (suites, `RESULTS.json`, golden-file drift checks),
 //! * [`viz`] — PGM/SVG rendering,
 //! * [`trace`] — opt-in observability: hierarchical spans, atomic
 //!   counters, and per-iteration [`trace::TelemetrySink`] records.
@@ -54,6 +56,7 @@
 
 pub use cfaopc_core as circleopt;
 pub use cfaopc_ebeam as ebeam;
+pub use cfaopc_eval as eval;
 pub use cfaopc_fft as fft;
 pub use cfaopc_fracture as fracture;
 pub use cfaopc_grid as grid;
@@ -73,6 +76,9 @@ pub mod prelude {
     };
     pub use cfaopc_ebeam::{
         correct_proximity, intended_pattern, DosedShot, EbeamPsf, PecConfig, WriterModel,
+    };
+    pub use cfaopc_eval::{
+        compare_reports, run_suite, run_suite_timed, CaseRecord, EvalReport, SuiteSpec, Tolerance,
     };
     pub use cfaopc_fracture::{
         check_mrc, circle_rule, rect_fracture, rect_shot_count, CircleRuleConfig, CircleShot,
