@@ -47,24 +47,31 @@ struct CountingAlloc;
 static NET_BYTES: AtomicIsize = AtomicIsize::new(0);
 static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to `System` plus relaxed counters; the
+// counters have no effect on the allocator contract.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` unchanged to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         NET_BYTES.fetch_add(layout.size() as isize, Ordering::SeqCst);
         ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
         System.alloc(layout)
     }
 
+    // SAFETY: forwards `layout` unchanged to `System.alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         NET_BYTES.fetch_add(layout.size() as isize, Ordering::SeqCst);
         ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: forwards the pointer/layout pair it was handed to
+    // `System.dealloc` without modification.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         NET_BYTES.fetch_sub(layout.size() as isize, Ordering::SeqCst);
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: forwards all arguments unchanged to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         NET_BYTES.fetch_add(new_size as isize - layout.size() as isize, Ordering::SeqCst);
         ALLOC_CALLS.fetch_add(1, Ordering::SeqCst);

@@ -439,7 +439,7 @@ impl<T> SendPtr<T> {
     /// The wrapped pointer offset by `i` elements. Going through a method
     /// keeps closures capturing the (Sync) wrapper, not the raw field.
     fn at(&self, i: usize) -> *mut T {
-        // Caller guarantees `i` is in bounds of the owning buffer.
+        // SAFETY: caller guarantees `i` is in bounds of the owning buffer.
         #[allow(unsafe_code)]
         unsafe {
             self.0.add(i)
@@ -485,8 +485,8 @@ where
             base.at(i).write(value);
         }
     });
-    // All n slots are initialized: run_region returns only after every
-    // index completed, and a panic would have propagated above.
+    // SAFETY: all n slots are initialized — run_region returns only after
+    // every index completed, and a panic would have propagated above.
     #[allow(unsafe_code)]
     unsafe {
         out.set_len(n);

@@ -142,10 +142,10 @@ fn run_multiresolution(
             ..sim.config().clone()
         };
         let coarse_sim = LithoSimulator::new(coarse_cfg)?;
-        let coarse_target = downsample_majority(target, f);
+        let coarse_target = downsample_majority(target, f)?;
         let cfg = IltEngine::MultiIltLike.config(iterations);
         let result = run_pixel_ilt_with_init(&coarse_sim, &coarse_target, &cfg, warm.as_ref())?;
-        warm = Some(upsample_nearest(&result.latent, 2));
+        warm = Some(upsample_nearest(&result.latent, 2)?);
         // After upsampling from n/4 we are at n/2; after n/2 at n. The
         // loop structure advances one octave per level by construction
         // (4 then 2), so `warm` always matches the next level's size.
@@ -155,8 +155,16 @@ fn run_multiresolution(
 }
 
 /// Downsamples a binary image by `factor` with 50 % majority voting.
-pub fn downsample_majority(mask: &BitGrid, factor: usize) -> BitGrid {
-    assert!(factor > 0, "factor must be positive");
+///
+/// # Errors
+///
+/// Returns [`LithoError::BadParameter`] when `factor` is zero.
+pub fn downsample_majority(mask: &BitGrid, factor: usize) -> Result<BitGrid, LithoError> {
+    if factor == 0 {
+        return Err(LithoError::BadParameter(
+            "downsample factor must be positive".into(),
+        ));
+    }
     let (w, h) = (mask.width() / factor, mask.height() / factor);
     let mut out = BitGrid::new(w, h);
     let votes_needed = (factor * factor).div_ceil(2);
@@ -173,12 +181,20 @@ pub fn downsample_majority(mask: &BitGrid, factor: usize) -> BitGrid {
             out.set(x, y, votes >= votes_needed);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Upsamples a real grid by `factor` with nearest-neighbour replication.
-pub fn upsample_nearest(grid: &Grid2D<f64>, factor: usize) -> Grid2D<f64> {
-    assert!(factor > 0, "factor must be positive");
+///
+/// # Errors
+///
+/// Returns [`LithoError::BadParameter`] when `factor` is zero.
+pub fn upsample_nearest(grid: &Grid2D<f64>, factor: usize) -> Result<Grid2D<f64>, LithoError> {
+    if factor == 0 {
+        return Err(LithoError::BadParameter(
+            "upsample factor must be positive".into(),
+        ));
+    }
     let (w, h) = (grid.width() * factor, grid.height() * factor);
     let mut out = Grid2D::new(w, h, 0.0);
     for y in 0..h {
@@ -186,7 +202,7 @@ pub fn upsample_nearest(grid: &Grid2D<f64>, factor: usize) -> Grid2D<f64> {
             out[(x, y)] = grid[(x / factor, y / factor)];
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -270,16 +286,28 @@ mod tests {
         let mut m = BitGrid::new(4, 4);
         fill_rect(&mut m, Rect::new(0, 0, 2, 2)); // one full quadrant
         m.set(2, 2, true); // 1 of 4 votes — below majority
-        let d = downsample_majority(&m, 2);
+        let d = downsample_majority(&m, 2).unwrap();
         assert!(d.get(0, 0));
         assert!(!d.get(1, 1));
         assert!(!d.get(1, 0));
     }
 
     #[test]
+    fn zero_resample_factor_is_a_typed_error() {
+        // Regression for the typed error paths that replaced the old
+        // `assert!(factor > 0)` panics.
+        let m = BitGrid::new(4, 4);
+        let err = downsample_majority(&m, 0).unwrap_err();
+        assert!(matches!(err, LithoError::BadParameter(_)), "got {err:?}");
+        let g = Grid2D::from_vec(2, 2, vec![0.0; 4]);
+        let err = upsample_nearest(&g, 0).unwrap_err();
+        assert!(matches!(err, LithoError::BadParameter(_)), "got {err:?}");
+    }
+
+    #[test]
     fn upsample_nearest_replicates() {
         let g = Grid2D::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
-        let u = upsample_nearest(&g, 2);
+        let u = upsample_nearest(&g, 2).unwrap();
         assert_eq!(u.width(), 4);
         assert_eq!(u[(0, 0)], 1.0);
         assert_eq!(u[(1, 1)], 1.0);

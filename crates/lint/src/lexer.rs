@@ -1,0 +1,599 @@
+//! A small, self-contained Rust lexer — just enough token structure for
+//! the contract rules, with no external parser dependency (the build
+//! container is offline, so `syn` is not an option).
+//!
+//! The lexer's one hard promise is **robustness**: any byte sequence that
+//! is valid UTF-8 lexes to a token stream without panicking (unterminated
+//! strings and comments simply run to end of input). Everything the rules
+//! depend on is token-accurate:
+//!
+//! * string literals (plain, byte, raw with any `#` count) are single
+//!   tokens, so `"unsafe"` inside a string never looks like the keyword;
+//! * block comments nest (`/* /* */ */`), line/doc comments are kept as
+//!   [`TokKind::Comment`] tokens (with their text) so the `// SAFETY:`
+//!   rule can inspect them while keyword rules skip them;
+//! * char literals are distinguished from lifetimes;
+//! * float literals are distinguished from integers (the determinism rule
+//!   flags exact float comparisons);
+//! * a handful of two-character operators (`==`, `!=`, `::`, …) are fused
+//!   so rules can match them as single tokens.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers `r#foo`).
+    Ident,
+    /// Operator / punctuation (common two-char operators fused).
+    Punct,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Integer literal.
+    Int,
+    /// Floating-point literal (has a fractional part, an exponent, or an
+    /// `f32`/`f64` suffix).
+    Float,
+    /// Comment; `doc` distinguishes `///` / `//!` / `/**` / `/*!`.
+    Comment {
+        /// Whether this is a documentation comment.
+        doc: bool,
+    },
+}
+
+/// One token with its source span (1-based lines).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based line of the token's last character (differs from `line`
+    /// for multi-line strings and block comments).
+    pub end_line: u32,
+    /// The token's text. For `Str` tokens this is the *content* between
+    /// the delimiters (so rules never re-scan quoting); for everything
+    /// else it is the literal source text.
+    pub text: String,
+}
+
+impl Tok {
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Whether this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// Two-character operators fused into one `Punct` token. Order matters
+/// only in that all entries are the same length; longer operators such as
+/// `..=` and `<<=` lex as a fused pair plus a trailing single, which is
+/// precise enough for every rule in this crate.
+const TWO_CHAR_OPS: &[&str] = &[
+    "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "<<", ">>",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `source` into tokens. Never fails: malformed input degrades to
+/// `Punct` tokens or to literals that run to end of input.
+pub fn lex(source: &str) -> Vec<Tok> {
+    let mut cur = Cursor {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(c) = cur.peek() {
+        let start_line = cur.line;
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('/') {
+            toks.push(line_comment(&mut cur, start_line));
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            toks.push(block_comment(&mut cur, start_line));
+            continue;
+        }
+        if let Some(tok) = string_prefix(&mut cur, start_line) {
+            toks.push(tok);
+            continue;
+        }
+        if c == '"' {
+            toks.push(plain_string(&mut cur, start_line));
+            continue;
+        }
+        if c == '\'' {
+            toks.push(char_or_lifetime(&mut cur, start_line));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            toks.push(number(&mut cur, start_line));
+            continue;
+        }
+        if is_ident_start(c) {
+            toks.push(ident(&mut cur, start_line));
+            continue;
+        }
+        // Punctuation, fusing common two-char operators.
+        let mut text = String::new();
+        text.push(c);
+        cur.bump();
+        if let Some(next) = cur.peek() {
+            let mut pair = text.clone();
+            pair.push(next);
+            if TWO_CHAR_OPS.contains(&pair.as_str()) {
+                cur.bump();
+                text = pair;
+            }
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            line: start_line,
+            end_line: start_line,
+            text,
+        });
+    }
+    toks
+}
+
+fn line_comment(cur: &mut Cursor, start_line: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    // `///` and `//!` are doc comments; `////…` is an ordinary comment by
+    // rustdoc's rules.
+    let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+    Tok {
+        kind: TokKind::Comment { doc },
+        line: start_line,
+        end_line: start_line,
+        text,
+    }
+}
+
+fn block_comment(cur: &mut Cursor, start_line: u32) -> Tok {
+    let mut text = String::new();
+    // Consume the opening `/*`.
+    for _ in 0..2 {
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                text.push('/');
+                text.push('*');
+                cur.bump();
+                cur.bump();
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                text.push('*');
+                text.push('/');
+                cur.bump();
+                cur.bump();
+            }
+            (Some(c), _) => {
+                text.push(c);
+                cur.bump();
+            }
+            (None, _) => break, // unterminated: run to end of input
+        }
+    }
+    let doc = (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4)
+        || text.starts_with("/*!");
+    Tok {
+        kind: TokKind::Comment { doc },
+        line: start_line,
+        end_line: cur.line,
+        text,
+    }
+}
+
+/// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` and raw
+/// identifiers `r#ident`. Returns `None` when the cursor is not at any of
+/// these, leaving it untouched.
+fn string_prefix(cur: &mut Cursor, start_line: u32) -> Option<Tok> {
+    let c = cur.peek()?;
+    if c != 'r' && c != 'b' {
+        return None;
+    }
+    let (raw_at, byte) = match (c, cur.peek_at(1)) {
+        ('r', Some('"' | '#')) => (1, false),
+        ('b', Some('"')) => (1, true),
+        ('b', Some('\'')) => {
+            // Byte literal `b'x'`.
+            cur.bump();
+            let mut tok = char_or_lifetime(cur, start_line);
+            tok.kind = TokKind::Char;
+            return Some(tok);
+        }
+        ('b', Some('r')) if matches!(cur.peek_at(2), Some('"' | '#')) => (2, false),
+        _ => return None,
+    };
+    if byte {
+        cur.bump(); // `b`
+        return Some(plain_string(cur, start_line));
+    }
+    // Count hashes after the prefix; a `"` must follow for a raw string.
+    let mut hashes = 0usize;
+    while cur.peek_at(raw_at + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek_at(raw_at + hashes) != Some('"') {
+        if hashes > 0 && cur.peek_at(raw_at + hashes).is_some_and(is_ident_start) {
+            // Raw identifier `r#foo` (or the `br#…` impossibility, which
+            // still lexes harmlessly as an ident here).
+            for _ in 0..raw_at + hashes {
+                cur.bump();
+            }
+            let mut tok = ident(cur, start_line);
+            tok.text.insert_str(0, "r#");
+            return Some(tok);
+        }
+        return None; // plain ident starting with r/b
+    }
+    for _ in 0..raw_at + hashes + 1 {
+        cur.bump(); // prefix, hashes, opening quote
+    }
+    // Scan to `"` followed by `hashes` hashes.
+    let mut content = String::new();
+    loop {
+        match cur.peek() {
+            None => break, // unterminated
+            Some('"') => {
+                let mut matched = true;
+                for i in 0..hashes {
+                    if cur.peek_at(1 + i) != Some('#') {
+                        matched = false;
+                        break;
+                    }
+                }
+                if matched {
+                    for _ in 0..1 + hashes {
+                        cur.bump();
+                    }
+                    break;
+                }
+                content.push('"');
+                cur.bump();
+            }
+            Some(c) => {
+                content.push(c);
+                cur.bump();
+            }
+        }
+    }
+    Some(Tok {
+        kind: TokKind::Str,
+        line: start_line,
+        end_line: cur.line,
+        text: content,
+    })
+}
+
+fn plain_string(cur: &mut Cursor, start_line: u32) -> Tok {
+    cur.bump(); // opening quote
+    let mut content = String::new();
+    loop {
+        match cur.peek() {
+            None => break, // unterminated
+            Some('"') => {
+                cur.bump();
+                break;
+            }
+            Some('\\') => {
+                cur.bump();
+                if let Some(esc) = cur.bump() {
+                    content.push('\\');
+                    content.push(esc);
+                }
+            }
+            Some(c) => {
+                content.push(c);
+                cur.bump();
+            }
+        }
+    }
+    Tok {
+        kind: TokKind::Str,
+        line: start_line,
+        end_line: cur.line,
+        text: content,
+    }
+}
+
+fn char_or_lifetime(cur: &mut Cursor, start_line: u32) -> Tok {
+    let mut text = String::from("'");
+    cur.bump(); // opening quote
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume through the closing quote.
+            text.push('\\');
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+                if esc == 'u' {
+                    // `\u{…}` — consume through `}`.
+                    while let Some(c) = cur.peek() {
+                        text.push(c);
+                        cur.bump();
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                } else if esc == 'x' {
+                    for _ in 0..2 {
+                        if let Some(c) = cur.peek() {
+                            if c != '\'' {
+                                text.push(c);
+                                cur.bump();
+                            }
+                        }
+                    }
+                }
+            }
+            if cur.peek() == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            Tok {
+                kind: TokKind::Char,
+                line: start_line,
+                end_line: cur.line,
+                text,
+            }
+        }
+        Some(c) if is_ident_continue(c) => {
+            // One ident-ish char then a quote → char literal ('a');
+            // otherwise a lifetime ('a, 'static, '_).
+            text.push(c);
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                text.push('\'');
+                cur.bump();
+                return Tok {
+                    kind: TokKind::Char,
+                    line: start_line,
+                    end_line: cur.line,
+                    text,
+                };
+            }
+            while let Some(c) = cur.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            Tok {
+                kind: TokKind::Lifetime,
+                line: start_line,
+                end_line: cur.line,
+                text,
+            }
+        }
+        Some(other) => {
+            // Non-ident char literal like '(' or ' ' — or stray quote.
+            text.push(other);
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                text.push('\'');
+                cur.bump();
+            }
+            Tok {
+                kind: TokKind::Char,
+                line: start_line,
+                end_line: cur.line,
+                text,
+            }
+        }
+        None => Tok {
+            kind: TokKind::Punct,
+            line: start_line,
+            end_line: cur.line,
+            text,
+        },
+    }
+}
+
+fn number(cur: &mut Cursor, start_line: u32) -> Tok {
+    let mut text = String::new();
+    let mut float = false;
+    // Radix prefix disables float detection (`0x1.8` is not Rust anyway).
+    let hex = cur.peek() == Some('0') && matches!(cur.peek_at(1), Some('x' | 'o' | 'b'));
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if !hex && (c == 'e' || c == 'E') {
+                // Exponent only if followed by digit or sign+digit.
+                let next = cur.peek_at(1);
+                let sign_digit = matches!(next, Some('+' | '-'))
+                    && cur.peek_at(2).is_some_and(|d| d.is_ascii_digit());
+                if next.is_some_and(|d| d.is_ascii_digit()) || sign_digit {
+                    float = true;
+                    text.push(c);
+                    cur.bump();
+                    if sign_digit {
+                        if let Some(s) = cur.bump() {
+                            text.push(s);
+                        }
+                    }
+                    continue;
+                }
+            }
+            if !hex && c == 'f' {
+                // `f32` / `f64` suffix marks a float (e.g. `2f64`).
+                if (cur.peek_at(1) == Some('3') && cur.peek_at(2) == Some('2'))
+                    || (cur.peek_at(1) == Some('6') && cur.peek_at(2) == Some('4'))
+                {
+                    float = true;
+                }
+            }
+            text.push(c);
+            cur.bump();
+            continue;
+        }
+        if c == '.' && !float && !hex {
+            // A fractional part — but not `..` (range) and not `.method()`.
+            match cur.peek_at(1) {
+                Some('.') => break,
+                Some(n) if is_ident_start(n) => break,
+                _ => {
+                    float = true;
+                    text.push('.');
+                    cur.bump();
+                }
+            }
+            continue;
+        }
+        break;
+    }
+    Tok {
+        kind: if float { TokKind::Float } else { TokKind::Int },
+        line: start_line,
+        end_line: cur.line,
+        text,
+    }
+}
+
+fn ident(cur: &mut Cursor, start_line: u32) -> Tok {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Tok {
+        kind: TokKind::Ident,
+        line: start_line,
+        end_line: cur.line,
+        text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn fuses_comparison_operators() {
+        let toks = kinds("a == b != 0.5");
+        assert_eq!(toks[1], (TokKind::Punct, "==".into()));
+        assert_eq!(toks[3], (TokKind::Punct, "!=".into()));
+        assert_eq!(toks[4], (TokKind::Float, "0.5".into()));
+    }
+
+    #[test]
+    fn macro_bang_stays_single() {
+        let toks = kinds("panic!(\"x\")");
+        assert_eq!(toks[0], (TokKind::Ident, "panic".into()));
+        assert_eq!(toks[1], (TokKind::Punct, "!".into()));
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let toks = kinds("0..10");
+        assert_eq!(toks[0].0, TokKind::Int);
+        assert_eq!(toks[1], (TokKind::Punct, "..".into()));
+        assert_eq!(toks[2].0, TokKind::Int);
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_a_float() {
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokKind::Int, "1".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".into()));
+    }
+
+    #[test]
+    fn float_suffix_without_dot() {
+        assert_eq!(kinds("2f64")[0].0, TokKind::Float);
+        assert_eq!(kinds("1e-9")[0].0, TokKind::Float);
+        assert_eq!(kinds("3u32")[0].0, TokKind::Int);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("&'a str 'x' '_ '\\n'");
+        assert_eq!(toks[1], (TokKind::Lifetime, "'a".into()));
+        assert_eq!(toks[3], (TokKind::Char, "'x'".into()));
+        assert_eq!(toks[4], (TokKind::Lifetime, "'_".into()));
+        assert_eq!(toks[5].0, TokKind::Char);
+    }
+
+    #[test]
+    fn raw_ident_is_ident() {
+        let toks = kinds("r#fn r#unsafe");
+        assert_eq!(toks[0], (TokKind::Ident, "r#fn".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "r#unsafe".into()));
+    }
+
+    #[test]
+    fn multiline_tokens_track_end_line() {
+        let toks = lex("/* a\nb */ \"x\ny\"");
+        assert_eq!((toks[0].line, toks[0].end_line), (1, 2));
+        assert_eq!((toks[1].line, toks[1].end_line), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "/* open", "r#\"abc", "'", "b\"x", "r###\"y"] {
+            let _ = lex(src);
+        }
+    }
+}

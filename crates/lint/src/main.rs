@@ -1,0 +1,121 @@
+//! `cfaopc-lint` command-line interface.
+//!
+//! ```text
+//! cfaopc-lint [--check] [--root DIR] [--json FILE]
+//!             [--baseline FILE] [--hotpaths FILE] [--update-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 new findings, 2 stale baseline, 3 internal
+//! error (I/O or config parse failure).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cfaopc_lint::{run, RunOptions, EXIT_INTERNAL};
+
+struct Cli {
+    opts: RunOptions,
+    json_out: Option<PathBuf>,
+    update_baseline: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: cfaopc-lint [--check] [--root DIR] [--json FILE] \
+     [--baseline FILE] [--hotpaths FILE] [--update-baseline]\n\
+     \n\
+     Checks the workspace against the contract rules L1-L5 and the\n\
+     committed baseline (lint/baseline.json). Exit codes: 0 clean,\n\
+     1 new findings, 2 stale baseline, 3 internal error."
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        opts: RunOptions {
+            root: PathBuf::from("."),
+            hotpaths: None,
+            baseline: None,
+        },
+        json_out: None,
+        update_baseline: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |i: &mut usize| -> Result<PathBuf, String> {
+            *i += 1;
+            args.get(*i)
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg {
+            "--check" => {} // enforcing is the default; kept for CI readability
+            "--update-baseline" => cli.update_baseline = true,
+            "--root" => cli.opts.root = value(&mut i)?,
+            "--json" => cli.json_out = Some(value(&mut i)?),
+            "--baseline" => cli.opts.baseline = Some(value(&mut i)?),
+            "--hotpaths" => cli.opts.hotpaths = Some(value(&mut i)?),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("cfaopc-lint: {msg}\n{}", usage());
+            return exit(EXIT_INTERNAL);
+        }
+    };
+
+    let report = match run(&cli.opts) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("cfaopc-lint: internal error: {err}");
+            return exit(EXIT_INTERNAL);
+        }
+    };
+
+    if let Some(path) = &cli.json_out {
+        let text = report.to_json().to_string_pretty();
+        if let Err(err) = std::fs::write(path, text) {
+            eprintln!("cfaopc-lint: writing {}: {err}", path.display());
+            return exit(EXIT_INTERNAL);
+        }
+    }
+
+    if cli.update_baseline {
+        let path = cli
+            .opts
+            .baseline
+            .clone()
+            .unwrap_or_else(|| cli.opts.root.join("lint/baseline.json"));
+        let updated = report.baseline.updated_from(&report.raw_findings);
+        let text = updated.to_json().to_string_pretty();
+        if let Err(err) = std::fs::write(&path, text) {
+            eprintln!("cfaopc-lint: writing {}: {err}", path.display());
+            return exit(EXIT_INTERNAL);
+        }
+        println!(
+            "cfaopc-lint: wrote {} entries to {} (review any UNREVIEWED justifications)",
+            updated.entries.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    print!("{}", report.render_text());
+    exit(report.exit_code())
+}
+
+fn exit(code: i32) -> ExitCode {
+    ExitCode::from(code.clamp(0, u8::MAX as i32) as u8)
+}

@@ -1,0 +1,237 @@
+//! Parser for `lint/hotpaths.toml` — the checked-in manifest that names
+//! the allocation-free hot-path functions (rule L3) and the crates under
+//! the determinism (L4) and telemetry (L5) contracts.
+//!
+//! Only the TOML subset the manifest actually uses is supported: comments,
+//! `[[hotpath]]` array-of-tables, plain `[section]` tables, and
+//! `key = "string"` / `key = ["a", "b"]` assignments (single- or
+//! multi-line arrays). Anything else is a hard error so a typo in the
+//! manifest fails loudly instead of silently disabling a rule.
+
+/// One `[[hotpath]]` entry: a file and the functions within it whose
+/// bodies may not allocate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hotpath {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// Function names inside that file.
+    pub functions: Vec<String>,
+}
+
+/// The parsed manifest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// All `[[hotpath]]` entries in file order.
+    pub hotpaths: Vec<Hotpath>,
+    /// Crate names (directory names under `crates/`) whose `src/` trees
+    /// are subject to the determinism rule L4.
+    pub determinism_crates: Vec<String>,
+    /// Crate names exempt from the telemetry rule L5 (the tracing crate
+    /// itself implements the gated counters).
+    pub telemetry_exempt: Vec<String>,
+}
+
+/// A manifest parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError {
+    /// 1-based line in the manifest file.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "hotpaths.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn fail(line: u32, message: impl Into<String>) -> ManifestError {
+    ManifestError {
+        line,
+        message: message.into(),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    None,
+    Hotpath,
+    Determinism,
+    Telemetry,
+}
+
+/// Parses the manifest text.
+pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
+    let mut manifest = Manifest::default();
+    let mut section = Section::None;
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[hotpath]]" {
+            section = Section::Hotpath;
+            manifest.hotpaths.push(Hotpath {
+                file: String::new(),
+                functions: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with("[[") {
+            return Err(fail(lineno, format!("unknown array-of-tables {line}")));
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = match name.trim() {
+                "determinism" => Section::Determinism,
+                "telemetry" => Section::Telemetry,
+                other => return Err(fail(lineno, format!("unknown section [{other}]"))),
+            };
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(fail(lineno, "expected `key = value`"));
+        };
+        let key = key.trim();
+        let mut value = value.trim().to_string();
+        // Multi-line arrays: keep consuming lines until brackets balance.
+        while value.starts_with('[') && !value.ends_with(']') {
+            let Some((_, next)) = lines.next() else {
+                return Err(fail(lineno, "unterminated array"));
+            };
+            value.push(' ');
+            value.push_str(strip_comment(next).trim());
+        }
+        match (section, key) {
+            (Section::Hotpath, "file") => {
+                let Some(entry) = manifest.hotpaths.last_mut() else {
+                    return Err(fail(lineno, "file= outside [[hotpath]]"));
+                };
+                entry.file = parse_string(&value, lineno)?;
+            }
+            (Section::Hotpath, "functions") => {
+                let Some(entry) = manifest.hotpaths.last_mut() else {
+                    return Err(fail(lineno, "functions= outside [[hotpath]]"));
+                };
+                entry.functions = parse_string_array(&value, lineno)?;
+            }
+            (Section::Determinism, "crates") => {
+                manifest.determinism_crates = parse_string_array(&value, lineno)?;
+            }
+            (Section::Telemetry, "exempt") => {
+                manifest.telemetry_exempt = parse_string_array(&value, lineno)?;
+            }
+            _ => return Err(fail(lineno, format!("unexpected key `{key}` here"))),
+        }
+    }
+    for (i, entry) in manifest.hotpaths.iter().enumerate() {
+        if entry.file.is_empty() {
+            return Err(fail(0, format!("[[hotpath]] entry {} has no file=", i + 1)));
+        }
+        if entry.functions.is_empty() {
+            return Err(fail(
+                0,
+                format!("[[hotpath]] {} has no functions=", entry.file),
+            ));
+        }
+    }
+    Ok(manifest)
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, line: u32) -> Result<String, ManifestError> {
+    let value = value.trim();
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(|v| v.to_string())
+        .ok_or_else(|| fail(line, format!("expected a quoted string, got `{value}`")))
+}
+
+fn parse_string_array(value: &str, line: u32) -> Result<Vec<String>, ManifestError> {
+    let value = value.trim();
+    let Some(inner) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']')) else {
+        return Err(fail(line, format!("expected an array, got `{value}`")));
+    };
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(part, line)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_manifest() {
+        let text = r##"
+# Hot paths guarded by the allocation lint.
+[[hotpath]]
+file = "crates/core/src/compose.rs"
+functions = ["render_max", "backward_max_into"]
+
+[[hotpath]]
+file = "crates/fft/src/fft1d.rs"   # trailing comment
+functions = [
+    "dispatch",
+]
+
+[determinism]
+crates = ["eval", "metrics"]
+
+[telemetry]
+exempt = ["trace"]
+"##;
+        let m = parse(text).expect("manifest parses");
+        assert_eq!(m.hotpaths.len(), 2);
+        assert_eq!(m.hotpaths[0].file, "crates/core/src/compose.rs");
+        assert_eq!(
+            m.hotpaths[0].functions,
+            vec!["render_max", "backward_max_into"]
+        );
+        assert_eq!(m.hotpaths[1].functions, vec!["dispatch"]);
+        assert_eq!(m.determinism_crates, vec!["eval", "metrics"]);
+        assert_eq!(m.telemetry_exempt, vec!["trace"]);
+    }
+
+    #[test]
+    fn rejects_unknown_section_and_key() {
+        assert!(parse("[mystery]\n").is_err());
+        assert!(parse("[[hotpath]]\nnope = \"x\"\n").is_err());
+        assert!(parse("file = \"orphan.rs\"\n").is_err());
+    }
+
+    #[test]
+    fn rejects_incomplete_hotpath() {
+        assert!(parse("[[hotpath]]\nfile = \"a.rs\"\n").is_err());
+        assert!(parse("[[hotpath]]\nfunctions = [\"f\"]\n").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let m = parse("[[hotpath]]\nfile = \"a#b.rs\"\nfunctions = [\"f\"]\n").expect("parses");
+        assert_eq!(m.hotpaths[0].file, "a#b.rs");
+    }
+}

@@ -1,0 +1,121 @@
+//! Adversarial-input and property tests for the lint lexer/analyzer.
+//!
+//! The analyzer reads every `.rs` file in the workspace, including ones
+//! that are mid-edit or deliberately weird, so the one hard contract is:
+//! never panic, on any input. The deterministic cases below pin the
+//! classic lexer traps (raw strings containing keywords, nested block
+//! comments, doc comments, string literals holding braces); the
+//! proptest blocks then fuzz the same pipeline with arbitrary bytes and
+//! with adversarial concatenations of Rust token fragments.
+
+use cfaopc_lint::analyze::SourceFile;
+use cfaopc_lint::lexer::{lex, TokKind};
+use cfaopc_lint::manifest::Manifest;
+use cfaopc_lint::rules::{run_all, Finding};
+use proptest::prelude::*;
+
+/// Runs the full per-file pipeline the way `cfaopc_lint::run` does.
+fn findings(rel: &str, src: &str) -> Vec<Finding> {
+    let file = SourceFile::analyze(rel, src);
+    run_all(&file, &Manifest::default())
+}
+
+#[test]
+fn raw_string_containing_unsafe_is_not_flagged() {
+    let src = r##"
+pub fn doc() -> &'static str {
+    r#"unsafe { *ptr } // SAFETY: not real code"#
+}
+"##;
+    assert!(findings("crates/x/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn nested_block_comment_hides_code_from_every_rule() {
+    let src = "/* outer /* unsafe { boom() } x.unwrap() */ still comment */\npub fn f() {}\n";
+    assert!(findings("crates/x/src/lib.rs", src).is_empty());
+    // The lexer must fold the whole nesting into one comment token.
+    let toks = lex(src);
+    assert!(matches!(toks[0].kind, TokKind::Comment { .. }));
+    assert!(toks[0].text.contains("still comment"));
+}
+
+#[test]
+fn doc_comment_mentioning_unwrap_is_not_flagged() {
+    let src = "/// Panics: calls `.unwrap()` internally? No — see `unsafe` notes.\npub fn f() {}\n";
+    assert!(findings("crates/x/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn cfg_test_scope_survives_braces_inside_string_literals() {
+    // Regression: `"{"`/`"}"` literals inside the test module must not
+    // desynchronise brace matching and leak test code into L2's scope.
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    fn g(x: Option<u8>) -> u8 {
+        let open = "{";
+        let close = "}";
+        assert!(open != close);
+        x.unwrap()
+    }
+}
+"#;
+    assert!(findings("crates/x/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn safety_text_inside_a_string_does_not_satisfy_l1() {
+    let src =
+        "pub fn f(p: *const u8) -> u8 {\n    let _why = \"SAFETY: vibes\";\n    unsafe { *p }\n}\n";
+    let got = findings("crates/x/src/lib.rs", src);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].rule, "L1");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes (lossily decoded, so including U+FFFD and every
+    /// printable) never panic the lexer, and token line spans stay sane.
+    #[test]
+    fn lexer_is_total_on_arbitrary_bytes(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let line_count = src.lines().count().max(1);
+        for tok in lex(&src) {
+            prop_assert!(tok.line >= 1);
+            prop_assert!(tok.end_line >= tok.line);
+            prop_assert!((tok.end_line as usize) <= line_count + 1);
+        }
+    }
+
+    /// The whole analyze-and-lint pipeline never panics on arbitrary bytes.
+    #[test]
+    fn analyzer_is_total_on_arbitrary_bytes(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        for rel in ["crates/eval/src/lib.rs", "crates/x/src/lib.rs", "scratch.rs"] {
+            let _ = findings(rel, &src);
+        }
+    }
+
+    /// Adversarial soups of real Rust fragments — unterminated raw
+    /// strings, half-open comments, stray quotes next to `unsafe` — never
+    /// panic the pipeline. Fragments are concatenated WITHOUT separators
+    /// so delimiters collide in ways hand-written tests would not.
+    #[test]
+    fn analyzer_is_total_on_token_fragment_soup(
+        parts in proptest::collection::vec(prop_oneof![
+            Just("unsafe"), Just("{"), Just("}"), Just("\""), Just("r#\""),
+            Just("\"#"), Just("/*"), Just("*/"), Just("//"), Just("\n"),
+            Just("#[cfg(test)]"), Just("mod tests"), Just("fn f()"),
+            Just("'a"), Just("'a'"), Just(".unwrap()"), Just("panic!("),
+            Just("SAFETY:"), Just("1.0"), Just("=="), Just("0..10"),
+            Just("b\"x\""), Just("::<"), Just("ident"), Just("r#fn"),
+            Just("/// doc"), Just("#"), Just("\\"),
+        ], 0..64),
+    ) {
+        let src: String = parts.concat();
+        let _ = findings("crates/eval/src/lib.rs", &src);
+        let _ = lex(&src);
+    }
+}

@@ -1,5 +1,6 @@
 //! Optical and resist model configuration.
 
+use cfaopc_fft::FftError;
 use std::fmt;
 
 /// Error raised for invalid lithography configurations.
@@ -30,6 +31,16 @@ pub enum LithoError {
         /// The first loss/gradient term observed to be non-finite.
         term: NonFiniteTerm,
     },
+    /// An FFT plan rejected a buffer. Unreachable when plans and buffers
+    /// come from the same [`LithoConfig`], but propagated as a typed error
+    /// instead of panicking so the library surface stays panic-free.
+    Fft(FftError),
+}
+
+impl From<FftError> for LithoError {
+    fn from(err: FftError) -> Self {
+        LithoError::Fft(err)
+    }
 }
 
 /// Which quantity tripped the [`LithoError::NonFinite`] health guard.
@@ -74,11 +85,19 @@ impl fmt::Display for LithoError {
                 f,
                 "non-finite {term} at iteration {iteration}; run aborted by the numerical-health guard"
             ),
+            LithoError::Fft(err) => write!(f, "fft plan rejected a buffer: {err}"),
         }
     }
 }
 
-impl std::error::Error for LithoError {}
+impl std::error::Error for LithoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LithoError::Fft(err) => Some(err),
+            _ => None,
+        }
+    }
+}
 
 /// Process-window corner of the simulation (paper §2.3: PVB is measured
 /// between the maximum and minimum process corners).

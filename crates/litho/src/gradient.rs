@@ -146,15 +146,18 @@ pub fn loss_and_gradient_into(
 
         // Forward: coherent fields per kernel (kept for the adjoint). One
         // flat parallel region; each task's IFFT runs serially on its
-        // claimed thread in a pooled buffer.
-        let fields: Vec<Vec<Complex>> = par_map(k_count, |k| {
+        // claimed thread in a pooled buffer. Plan errors are unreachable
+        // (plan and buffers share one config) but propagate as
+        // `LithoError::Fft`; pooled buffers from completed kernels are
+        // dropped rather than repooled on that cold path.
+        let fields: Vec<Vec<Complex>> = par_map(k_count, |k| -> Result<Vec<Complex>, LithoError> {
             let mut field = sim.field_pool().take(n2);
             set.apply(k, &spectrum, &mut field);
-            sim.plan()
-                .inverse_serial(&mut field)
-                .expect("plan matches grid by construction");
-            field
-        });
+            sim.plan().inverse_serial(&mut field)?;
+            Ok(field)
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
 
         let mut intensity = sim.real_pool().take_zeroed(n2);
         for (k, field) in fields.iter().enumerate() {
@@ -189,23 +192,24 @@ pub fn loss_and_gradient_into(
 
         // Adjoint: per kernel, B = G ⊙ conj(A); contribute
         // 2·μ·dose·H ⊙ IFFT(B) on the (sparse) pupil support.
-        let contributions: Vec<Vec<(u32, Complex)>> = par_map(k_count, |k| {
-            let mut b = sim.field_pool().take(n2);
-            for (slot, (a, &g)) in b.iter_mut().zip(fields[k].iter().zip(&g_i)) {
-                *slot = a.conj() * g;
-            }
-            sim.plan()
-                .inverse_serial(&mut b)
-                .expect("plan matches grid by construction");
-            let scale = 2.0 * set.kernels()[k].weight * dose;
-            let contribution = set.kernels()[k]
-                .spectrum
-                .iter()
-                .map(|&(idx, h)| (idx, h * b[idx as usize] * scale))
-                .collect();
-            sim.field_pool().put(b);
-            contribution
-        });
+        let contributions: Vec<Vec<(u32, Complex)>> =
+            par_map(k_count, |k| -> Result<Vec<(u32, Complex)>, LithoError> {
+                let mut b = sim.field_pool().take(n2);
+                for (slot, (a, &g)) in b.iter_mut().zip(fields[k].iter().zip(&g_i)) {
+                    *slot = a.conj() * g;
+                }
+                sim.plan().inverse_serial(&mut b)?;
+                let scale = 2.0 * set.kernels()[k].weight * dose;
+                let contribution = set.kernels()[k]
+                    .spectrum
+                    .iter()
+                    .map(|&(idx, h)| (idx, h * b[idx as usize] * scale))
+                    .collect();
+                sim.field_pool().put(b);
+                Ok(contribution)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
         sim.real_pool().put(g_i);
         // Serial, kernel-ordered accumulation keeps the gradient
         // bit-identical across thread counts.
@@ -223,9 +227,7 @@ pub fn loss_and_gradient_into(
 
     // One shared forward FFT turns the spectral accumulator into the
     // pixel-space gradient.
-    sim.plan()
-        .forward(&mut acc)
-        .expect("plan matches grid by construction");
+    sim.plan().forward(&mut acc)?;
     if grad.width() != n || grad.height() != n {
         *grad = Grid2D::new(n, n, 0.0);
     }

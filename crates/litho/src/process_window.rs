@@ -135,7 +135,7 @@ pub fn bossung_surface(
     for &defocus in defocus_values_nm {
         let set = KernelSet::generate_with_defocus(cfg, defocus)?;
         // Unit-dose intensity for this focus; doses scale it linearly.
-        let base = intensity_from(&set, &spectrum, n, sim);
+        let base = intensity_from(&set, &spectrum, n, sim)?;
         for &dose in doses {
             let printed = BitGrid::from_threshold(
                 &Grid2D::from_vec(n, n, base.as_slice().iter().map(|&v| v * dose).collect()),
@@ -160,8 +160,12 @@ fn intensity_from(
     spectrum: &[Complex],
     n: usize,
     sim: &LithoSimulator,
-) -> Grid2D<f64> {
-    Grid2D::from_vec(n, n, sim.accumulate_intensity(set, spectrum, 1.0))
+) -> Result<Grid2D<f64>, LithoError> {
+    Ok(Grid2D::from_vec(
+        n,
+        n,
+        sim.accumulate_intensity(set, spectrum, 1.0)?,
+    ))
 }
 
 /// Convenience: the symmetric sweep the examples use

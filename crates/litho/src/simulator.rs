@@ -153,9 +153,7 @@ impl LithoSimulator {
             .iter()
             .map(|&v| Complex::from_re(v))
             .collect();
-        self.plan
-            .forward(&mut spectrum)
-            .expect("plan matches grid by construction");
+        self.plan.forward(&mut spectrum)?;
         Ok(spectrum)
     }
 
@@ -170,9 +168,7 @@ impl LithoSimulator {
         for (slot, &v) in spectrum.iter_mut().zip(mask.as_slice()) {
             *slot = Complex::from_re(v);
         }
-        self.plan
-            .forward(&mut spectrum)
-            .expect("plan matches grid by construction");
+        self.plan.forward(&mut spectrum)?;
         Ok(spectrum)
     }
 
@@ -181,12 +177,21 @@ impl LithoSimulator {
     /// `I(x) = dose(corner) · Σ_k μ_k |IFFT(H_k ⊙ F)(x)|²` — paper Eq. 1
     /// with the corner's dose folded in. Kernels are evaluated in a single
     /// flat parallel region on the persistent pool.
-    pub fn aerial_from_spectrum(&self, spectrum: &[Complex], corner: ProcessCorner) -> Grid2D<f64> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::BadParameter`] when `spectrum` does not have
+    /// `size²` entries (e.g. a spectrum computed on a different grid).
+    pub fn aerial_from_spectrum(
+        &self,
+        spectrum: &[Complex],
+        corner: ProcessCorner,
+    ) -> Result<Grid2D<f64>, LithoError> {
         let n = self.config.size;
         let set = self.kernel_set(corner);
         let dose = self.config.dose(corner);
-        let intensity = self.accumulate_intensity(set, spectrum, dose);
-        Grid2D::from_vec(n, n, intensity)
+        let intensity = self.accumulate_intensity(set, spectrum, dose)?;
+        Ok(Grid2D::from_vec(n, n, intensity))
     }
 
     /// Shared SOCS intensity accumulation:
@@ -205,9 +210,15 @@ impl LithoSimulator {
         set: &KernelSet,
         spectrum: &[Complex],
         scale: f64,
-    ) -> Vec<f64> {
-        let n2 = self.config.size * self.config.size;
-        assert_eq!(spectrum.len(), n2, "spectrum length");
+    ) -> Result<Vec<f64>, LithoError> {
+        let n = self.config.size;
+        let n2 = n * n;
+        if spectrum.len() != n2 {
+            return Err(LithoError::BadParameter(format!(
+                "spectrum has {} entries but the {n}x{n} grid needs {n2}",
+                spectrum.len(),
+            )));
+        }
         let k_count = set.kernels().len();
         // (next kernel allowed to merge, accumulator) under one lock.
         let merge = Mutex::new((0usize, vec![0.0f64; n2]));
@@ -242,7 +253,7 @@ impl LithoSimulator {
             }
         });
         let (_, intensity) = merge.into_inner().unwrap_or_else(|e| e.into_inner());
-        intensity
+        Ok(intensity)
     }
 
     /// Aerial image of a continuous mask at one corner.
@@ -256,7 +267,7 @@ impl LithoSimulator {
         corner: ProcessCorner,
     ) -> Result<Grid2D<f64>, LithoError> {
         let spectrum = self.mask_spectrum(mask)?;
-        Ok(self.aerial_from_spectrum(&spectrum, corner))
+        self.aerial_from_spectrum(&spectrum, corner)
     }
 
     /// Aerial images at all three corners, sharing one mask FFT.
@@ -267,9 +278,9 @@ impl LithoSimulator {
     pub fn aerial_corners(&self, mask: &Grid2D<f64>) -> Result<CornerImages, LithoError> {
         let spectrum = self.mask_spectrum(mask)?;
         Ok(CornerImages {
-            nominal: self.aerial_from_spectrum(&spectrum, ProcessCorner::Nominal),
-            max: self.aerial_from_spectrum(&spectrum, ProcessCorner::Max),
-            min: self.aerial_from_spectrum(&spectrum, ProcessCorner::Min),
+            nominal: self.aerial_from_spectrum(&spectrum, ProcessCorner::Nominal)?,
+            max: self.aerial_from_spectrum(&spectrum, ProcessCorner::Max)?,
+            min: self.aerial_from_spectrum(&spectrum, ProcessCorner::Min)?,
         })
     }
 
@@ -336,6 +347,25 @@ mod tests {
         let mut m = BitGrid::new(n, n);
         fill_rect(&mut m, Rect::new(c - half, c - half, c + half, c + half));
         m
+    }
+
+    #[test]
+    fn wrong_length_spectrum_is_a_typed_error() {
+        // Regression for the typed error path that replaced the old
+        // `assert_eq!(spectrum.len(), n2)`: a spectrum computed on a
+        // different grid must surface as `LithoError::BadParameter`, not
+        // a panic.
+        let s = sim();
+        let short = vec![Complex::from_re(0.0); 7];
+        let err = s
+            .aerial_from_spectrum(&short, ProcessCorner::Nominal)
+            .unwrap_err();
+        assert!(matches!(err, LithoError::BadParameter(_)), "got {err:?}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains('7'),
+            "message should name the bad length: {msg}"
+        );
     }
 
     #[test]

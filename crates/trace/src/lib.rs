@@ -208,7 +208,7 @@ pub fn span(name: &'static str) -> SpanGuard {
         };
     }
     let prev = CURRENT.with(|c| c.get());
-    let mut nodes = SPANS.lock().expect("span registry poisoned");
+    let mut nodes = SPANS.lock().unwrap_or_else(|e| e.into_inner());
     let node = nodes
         .iter()
         .position(|n| n.parent == prev && n.name == name)
@@ -237,7 +237,7 @@ impl Drop for SpanGuard {
         }
         let elapsed = self.start.elapsed().as_nanos() as u64;
         CURRENT.with(|c| c.set(self.prev));
-        let mut nodes = SPANS.lock().expect("span registry poisoned");
+        let mut nodes = SPANS.lock().unwrap_or_else(|e| e.into_inner());
         let n = &mut nodes[self.node];
         n.calls += 1;
         n.total_ns += elapsed;
@@ -246,7 +246,7 @@ impl Drop for SpanGuard {
 
 /// The span call tree in preorder (parents before children).
 pub fn span_snapshot() -> Vec<SpanStat> {
-    let nodes = SPANS.lock().expect("span registry poisoned");
+    let nodes = SPANS.lock().unwrap_or_else(|e| e.into_inner());
     let mut out = Vec::with_capacity(nodes.len());
     fn walk(nodes: &[SpanNode], parent: usize, depth: usize, out: &mut Vec<SpanStat>) {
         for (i, n) in nodes.iter().enumerate() {
@@ -271,7 +271,7 @@ pub fn reset() {
     for c in counters::all() {
         c.reset();
     }
-    SPANS.lock().expect("span registry poisoned").clear();
+    SPANS.lock().unwrap_or_else(|e| e.into_inner()).clear();
 }
 
 // --- numeric helpers --------------------------------------------------------
