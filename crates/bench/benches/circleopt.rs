@@ -5,16 +5,26 @@
 //! `cargo bench -p cfaopc-bench --bench circleopt`.
 //!
 //! Grid/shot sizes follow the tentpole acceptance matrix: 512² and 1024²
-//! with 100 and 1000 circles. Results are written as a JSON snapshot
-//! (default `BENCH_circleopt.json`, override with
-//! `CFAOPC_BENCH_CIRCLEOPT_OUT`) including explicit serial-vs-tiled
-//! speedup ratios and the measured heap behaviour of a steady-state
+//! with 100 and 1000 circles. The fused compose+backward path is timed
+//! as its own case pair (`fused_serial_*` / `fused_engine_*`) — a single
+//! closure running forward then backward — rather than summing the
+//! medians of separately timed phases, which fabricates a ratio no run
+//! ever achieved. Results are written as a JSON snapshot (default
+//! `BENCH_circleopt.json`, override with `CFAOPC_BENCH_CIRCLEOPT_OUT`)
+//! including serial-vs-engine speedup ratios computed from both medians
+//! (`speedup`) and minima (`speedup_min`, the statistic the CI gate
+//! compares), and the measured heap behaviour of a steady-state
 //! iteration (net bytes — expected 0 — and transient allocation count),
-//! via a counting global allocator local to this binary.
+//! via a counting global allocator local to this binary. Cases whose
+//! first-pass median lands under 20 ms are re-sampled up to 15
+//! iterations so the median and min stop disagreeing by scheduler noise.
 //!
 //! The full-iteration cases need a lithography simulator; 512² runs by
 //! default, the 1024² variant is opt-in via `CFAOPC_BENCH_FULL=1` to
-//! keep CI smoke runs fast.
+//! keep CI smoke runs fast. Because the serial/pooled iteration pair
+//! differs by only a few percent of a multi-hundred-ms run, its samples
+//! are interleaved (A, B, A, B, …) instead of block-sequential so that
+//! machine-state drift cannot masquerade as a speedup or regression.
 //!
 //! After timing, a short tracing-enabled CircleOpt run emits a JSONL
 //! telemetry artifact (per-iteration records, counters, span tree) next
@@ -38,7 +48,12 @@ use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
 use std::time::Instant;
 
 const WARMUP_ITERS: usize = 2;
-const TIMED_ITERS: usize = 5;
+const TIMED_ITERS: usize = 7;
+/// Extra samples for fast cases: anything whose first-pass median is
+/// under [`FAST_CASE_NS`] is noisy at 5 samples, so the harness tops the
+/// sample set up to this many iterations before computing statistics.
+const TIMED_ITERS_FAST: usize = 15;
+const FAST_CASE_NS: u128 = 20_000_000; // 20 ms
 
 // --- allocation accounting -------------------------------------------------
 
@@ -96,36 +111,96 @@ fn run_case<F: FnMut()>(name: String, mut f: F) -> CaseResult {
     for _ in 0..WARMUP_ITERS {
         f();
     }
-    let mut samples: Vec<u128> = Vec::with_capacity(TIMED_ITERS);
+    let mut samples: Vec<u128> = Vec::with_capacity(TIMED_ITERS_FAST);
     for _ in 0..TIMED_ITERS {
         let t0 = Instant::now();
         f();
         samples.push(t0.elapsed().as_nanos());
     }
     samples.sort_unstable();
+    // Sub-20 ms cases are noisy at 5 samples — and the CI gate compares
+    // `min_ns` while the table is median-based, so noise can make the
+    // two disagree. Top fast cases up with extra samples.
+    if samples[samples.len() / 2] < FAST_CASE_NS {
+        for _ in TIMED_ITERS..TIMED_ITERS_FAST {
+            let t0 = Instant::now();
+            f();
+            samples.push(t0.elapsed().as_nanos());
+        }
+    }
+    finish_case(name, samples)
+}
+
+fn finish_case(name: String, mut samples: Vec<u128>) -> CaseResult {
+    samples.sort_unstable();
     let min_ns = samples[0];
     let median_ns = samples[samples.len() / 2];
     let mean_ns = samples.iter().sum::<u128>() / samples.len() as u128;
     println!(
-        "{:<40} min {:>12.3} ms   median {:>12.3} ms   mean {:>12.3} ms",
+        "{:<40} min {:>12.3} ms   median {:>12.3} ms   mean {:>12.3} ms   ({} iters)",
         name,
         min_ns as f64 / 1e6,
         median_ns as f64 / 1e6,
         mean_ns as f64 / 1e6,
+        samples.len(),
     );
     CaseResult {
         name,
-        iters: TIMED_ITERS,
+        iters: samples.len(),
         min_ns,
         median_ns,
         mean_ns,
     }
 }
 
+/// Times two closures with **interleaved** samples (A, B, A, B, …) so
+/// slow machine-state drift — frequency scaling, a noisy co-tenant —
+/// lands on both sides of the comparison instead of biasing whichever
+/// case happened to run during the bad window. Used for the long
+/// full-iteration pairs, where the compared difference is a few percent
+/// of a multi-hundred-ms run and block-sequential timing lets drift
+/// masquerade as a speedup or a regression.
+fn run_interleaved_pair<FA: FnMut(), FB: FnMut()>(
+    name_a: String,
+    mut fa: FA,
+    name_b: String,
+    mut fb: FB,
+) -> (CaseResult, CaseResult) {
+    for _ in 0..WARMUP_ITERS {
+        fa();
+        fb();
+    }
+    let mut sa: Vec<u128> = Vec::with_capacity(TIMED_ITERS_FAST);
+    let mut sb: Vec<u128> = Vec::with_capacity(TIMED_ITERS_FAST);
+    for _ in 0..TIMED_ITERS_FAST {
+        let t0 = Instant::now();
+        fa();
+        sa.push(t0.elapsed().as_nanos());
+        let t0 = Instant::now();
+        fb();
+        sb.push(t0.elapsed().as_nanos());
+    }
+    (finish_case(name_a, sa), finish_case(name_b, sb))
+}
+
 struct Speedup {
     case: String,
     serial_ns: u128,
     tiled_ns: u128,
+    serial_min_ns: u128,
+    tiled_min_ns: u128,
+}
+
+/// A speedup row derived from two *measured* cases — medians for the
+/// human-facing table, minimums for the CI gate's noise-resistant view.
+fn speedup_of(case: String, serial: &CaseResult, tiled: &CaseResult) -> Speedup {
+    Speedup {
+        case,
+        serial_ns: serial.median_ns,
+        tiled_ns: tiled.median_ns,
+        serial_min_ns: serial.min_ns,
+        tiled_min_ns: tiled.min_ns,
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -185,38 +260,52 @@ fn main() {
             ws.compose(&sparse, &cfg);
             black_box(ws.mask());
         });
-        speedups.push(Speedup {
-            case: format!("compose_{n}_{count}c"),
-            serial_ns: serial_compose.median_ns,
-            tiled_ns: tiled_compose.median_ns,
-        });
+        speedups.push(speedup_of(
+            format!("compose_{n}_{count}c"),
+            &serial_compose,
+            &tiled_compose,
+        ));
 
         let composite = compose_serial(&sparse, &cfg);
         let serial_backward = run_case(format!("backward_serial_{n}_{count}c"), || {
             black_box(composite.backward_serial(&grad));
         });
         let mut grads = Vec::new();
-        let tiled_backward = run_case(format!("backward_parallel_{n}_{count}c"), || {
+        let tiled_backward = run_case(format!("backward_fused_{n}_{count}c"), || {
             ws.backward_into(&grad, &mut grads);
             black_box(grads.len());
         });
-        speedups.push(Speedup {
-            case: format!("backward_{n}_{count}c"),
-            serial_ns: serial_backward.median_ns,
-            tiled_ns: tiled_backward.median_ns,
-        });
+        speedups.push(speedup_of(
+            format!("backward_{n}_{count}c"),
+            &serial_backward,
+            &tiled_backward,
+        ));
 
-        // The acceptance metric: compose + backward together.
-        speedups.push(Speedup {
-            case: format!("compose+backward_{n}_{count}c"),
-            serial_ns: serial_compose.median_ns + serial_backward.median_ns,
-            tiled_ns: tiled_compose.median_ns + tiled_backward.median_ns,
+        // The acceptance metric: compose + backward as one *timed* run
+        // each — summing the medians of the two separately timed phases
+        // misstates the pipeline cost (cache-warm effects), so the fused
+        // cases below are measured end to end.
+        let fused_serial = run_case(format!("fused_serial_{n}_{count}c"), || {
+            let composite = compose_serial(&sparse, &cfg);
+            black_box(composite.backward_serial(&grad));
         });
+        let fused_engine = run_case(format!("fused_engine_{n}_{count}c"), || {
+            ws.compose(&sparse, &cfg);
+            ws.backward_into(&grad, &mut grads);
+            black_box(grads.len());
+        });
+        speedups.push(speedup_of(
+            format!("compose+backward_{n}_{count}c"),
+            &fused_serial,
+            &fused_engine,
+        ));
         results.extend([
             serial_compose,
             tiled_compose,
             serial_backward,
             tiled_backward,
+            fused_serial,
+            fused_engine,
         ]);
     }
 
@@ -230,7 +319,10 @@ fn main() {
     let mut steady_net_bytes: Option<isize> = None;
     let mut steady_allocs: Option<usize> = None;
     for &n in full_sizes {
-        let count = 400 * n / 512;
+        // 1000 circles at 512² (scaled with grid edge): the tentpole's
+        // acceptance workload, where composition is a meaningful slice
+        // of the iteration rather than measurement noise.
+        let count = 1000 * n / 512;
         let sim = LithoSimulator::new(LithoConfig {
             size: n,
             kernel_count: 4,
@@ -248,21 +340,9 @@ fn main() {
 
         // Serial/allocating: fresh compose, allocating gradient call,
         // allocating backward.
-        let mut flat = sparse.to_flat();
-        let mut optimizer = Optimizer::new(OptimizerKind::adam(0.1), flat.len());
-        let mut circles = sparse.clone();
-        let serial = run_case(format!("iteration_serial_{n}_{count}c"), || {
-            circles.set_from_flat(&flat);
-            let composite = compose_serial(&circles, &cfg);
-            let (_loss, grad_mask) =
-                loss_and_gradient(&sim, &composite.mask, &target_real, weights).unwrap();
-            let mut grads = composite.backward_serial(&grad_mask);
-            for (i, p) in circles.circles.iter().enumerate() {
-                grads[4 * i + 3] += gamma * p.q.signum() * if p.q == 0.0 { 0.0 } else { 1.0 };
-            }
-            optimizer.step(&mut flat, &grads);
-            black_box(&flat);
-        });
+        let mut flat_s = sparse.to_flat();
+        let mut optimizer_s = Optimizer::new(OptimizerKind::adam(0.1), flat_s.len());
+        let mut circles_s = sparse.clone();
 
         // Pooled steady state: reused workspace and buffers throughout —
         // the exact shape of `run_circleopt_impl`'s inner loop.
@@ -285,10 +365,30 @@ fn main() {
                 }
                 optimizer.step(flat, &grads);
             };
-        let pooled = run_case(format!("iteration_pooled_{n}_{count}c"), || {
-            pooled_iteration(&mut flat, &mut circles, &mut optimizer);
-            black_box(&flat);
-        });
+
+        // The two variants differ by a few percent of a multi-hundred-ms
+        // iteration, so they are sampled interleaved (see
+        // `run_interleaved_pair`) rather than block-sequentially.
+        let (serial, pooled) = run_interleaved_pair(
+            format!("iteration_serial_{n}_{count}c"),
+            || {
+                circles_s.set_from_flat(&flat_s);
+                let composite = compose_serial(&circles_s, &cfg);
+                let (_loss, grad_mask) =
+                    loss_and_gradient(&sim, &composite.mask, &target_real, weights).unwrap();
+                let mut grads = composite.backward_serial(&grad_mask);
+                for (i, p) in circles_s.circles.iter().enumerate() {
+                    grads[4 * i + 3] += gamma * p.q.signum() * if p.q == 0.0 { 0.0 } else { 1.0 };
+                }
+                optimizer_s.step(&mut flat_s, &grads);
+                black_box(&flat_s);
+            },
+            format!("iteration_pooled_{n}_{count}c"),
+            || {
+                pooled_iteration(&mut flat, &mut circles, &mut optimizer);
+                black_box(&flat);
+            },
+        );
 
         // Allocation profile of one steady-state iteration (the harness
         // above already warmed everything up).
@@ -305,11 +405,11 @@ fn main() {
             );
         }
 
-        speedups.push(Speedup {
-            case: format!("iteration_{n}_{count}c"),
-            serial_ns: serial.median_ns,
-            tiled_ns: pooled.median_ns,
-        });
+        speedups.push(speedup_of(
+            format!("iteration_{n}_{count}c"),
+            &serial,
+            &pooled,
+        ));
         results.extend([serial, pooled]);
     }
 
@@ -342,11 +442,14 @@ fn main() {
     out.push_str("  ],\n  \"speedups\": [\n");
     for (i, s) in speedups.iter().enumerate() {
         let ratio = s.serial_ns as f64 / s.tiled_ns.max(1) as f64;
+        let ratio_min = s.serial_min_ns as f64 / s.tiled_min_ns.max(1) as f64;
         out.push_str(&format!(
-            "    {{\"case\": \"{}\", \"serial_median_ns\": {}, \"tiled_median_ns\": {}, \"speedup\": {ratio:.3}}}{}\n",
+            "    {{\"case\": \"{}\", \"serial_median_ns\": {}, \"tiled_median_ns\": {}, \"speedup\": {ratio:.3}, \"serial_min_ns\": {}, \"tiled_min_ns\": {}, \"speedup_min\": {ratio_min:.3}}}{}\n",
             json_escape(&s.case),
             s.serial_ns,
             s.tiled_ns,
+            s.serial_min_ns,
+            s.tiled_min_ns,
             if i + 1 == speedups.len() { "" } else { "," },
         ));
     }

@@ -26,28 +26,41 @@
 //!   their window `U`. Tiles no circle touches are skipped outright —
 //!   they are neither cleared nor rendered (a per-tile dirty flag clears
 //!   tiles that *were* covered on the previous use of a workspace).
-//! * Tile bands (rows of tiles, contiguous in the row-major grids) render
-//!   in parallel on the persistent worker pool; bands are disjoint, so
-//!   writes are race-free and the result is **bit-identical** to the
-//!   retained serial reference ([`compose_serial`]) for every worker
-//!   count. Within a bucket circles keep their index order, so per-pixel
-//!   max updates replay the serial sequence exactly.
+//! * The **active tiles** (non-empty bucket now, or dirty from the
+//!   previous render) form a worklist that workers claim dynamically
+//!   (`par_index_claim` on the persistent pool), so sparse circle sets
+//!   never pay for empty bands and clustered sets self-balance. Tiles
+//!   are disjoint pixel sets, so the claimed writes (through a
+//!   [`DisjointSliceMut`] row-segment view) are race-free, and within a
+//!   bucket circles keep their index order, so per-pixel max updates
+//!   replay the serial sequence exactly: the result is **bit-identical**
+//!   to the retained serial reference ([`compose_serial`]) for every
+//!   worker count.
+//! * The per-pixel distance rows are computed by the AVX2 kernel in
+//!   [`crate::simd`] (bit-exact, scalar fallback elsewhere), and the
+//!   sigmoid skips its `exp` for provably saturated interior pixels.
 //! * Circles with activation `q ≤ q_floor` are skipped entirely. The
 //!   default floor of `0.0` is *exact*: a non-positive activation can
 //!   never win a pixel (the max starts at the 0 background) and therefore
 //!   never receives lithography gradient, so work shrinks for free as the
 //!   Lasso regularizer (Eq. 17) drives activations negative.
-//! * The backward pass runs one parallel task per circle: each task only
-//!   reads the shared argmax/gradient grids and writes its own four
-//!   gradient slots.
+//! * The backward pass is **fused with the forward routing**: one
+//!   pixel-major sweep over the content tiles reuses the argmax winners,
+//!   accumulating per-band partial gradients that a deterministic
+//!   ascending-band reduction merges into the flat gradient vector.
+//!   Bands scan row-major (y, then ascending tiles, then x), which visits
+//!   each circle's winning pixels in exactly the order the band-blocked
+//!   serial reference ([`Composite::backward_serial`]) accumulates them,
+//!   so the parallel pass is bit-identical to it at any worker count.
 //!
 //! [`ComposeWorkspace`] owns every buffer (mask, argmax, placed circles,
-//! tile buckets, parameter gradients) so the CircleOpt inner loop is
-//! allocation-free after the first iteration.
+//! tile buckets, band partials, parameter gradients) so the CircleOpt
+//! inner loop is allocation-free after the first iteration.
 
 use crate::repr::{CircleParams, SparseCircles};
+use crate::simd::{fill_dist_row, sigmoid_sat, SIGMOID_SAT};
 use crate::ste::ste;
-use cfaopc_fft::parallel::{par_chunks2_mut, par_chunks_mut};
+use cfaopc_fft::parallel::{par_index_claim, DisjointSliceMut};
 use cfaopc_grid::Grid2D;
 use cfaopc_litho::sigmoid;
 
@@ -200,6 +213,10 @@ pub(crate) struct TileGrid {
     tiles_x: usize,
     buckets: Vec<Vec<u32>>,
     dirty: Vec<bool>,
+    /// Worklist rebuilt by [`TileGrid::bin`]: tiles whose bucket is
+    /// non-empty *or* whose dirty flag is set — exactly the tiles the
+    /// renderer must touch (clear and/or draw).
+    active: Vec<u32>,
 }
 
 impl TileGrid {
@@ -214,8 +231,15 @@ impl TileGrid {
             self.tiles_x = tx;
             self.buckets.clear();
             self.buckets.resize_with(tx * tx, Vec::new);
+            // Every tile of the new geometry starts *dirty*: a workspace
+            // alternating between sizes (n₁ → n₂ → n₁) can still hold
+            // pixels from the previous same-sized render, and the flags
+            // that tracked them were discarded on the first resize.
+            // Forcing one full clear round makes correctness independent
+            // of whether the owning workspace also reallocates its
+            // grids (it does, but nothing should lean on that).
             self.dirty.clear();
-            self.dirty.resize(tx * tx, false);
+            self.dirty.resize(tx * tx, true);
         }
     }
 
@@ -253,7 +277,19 @@ impl TileGrid {
                 }
             }
         }
+        self.active.clear();
+        for (t, bucket) in self.buckets.iter().enumerate() {
+            if !bucket.is_empty() || self.dirty[t] {
+                self.active.push(t as u32);
+            }
+        }
         cfaopc_trace::counters::CIRCLES_PRUNED.add(pruned);
+    }
+
+    /// The tiles the renderer must touch (content now, or stale content
+    /// to clear), in row-major tile order.
+    pub(crate) fn active(&self) -> &[u32] {
+        &self.active
     }
 
     /// The circle indices binned into tile `t` (row-major tile order).
@@ -266,12 +302,6 @@ impl TileGrid {
         self.tiles_x
     }
 
-    /// Whether tile `t` held content on the previous render (and so must
-    /// be cleared even if its bucket is now empty).
-    pub(crate) fn is_dirty(&self, t: usize) -> bool {
-        self.dirty[t]
-    }
-
     /// Records which tiles now hold content, for the next render's
     /// skip-or-clear decision.
     pub(crate) fn commit_dirty(&mut self) {
@@ -281,80 +311,255 @@ impl TileGrid {
     }
 }
 
-/// Renders the hard-max composition tile-by-tile, bands in parallel.
+/// How many active tiles one scheduler claim hands a worker. Small
+/// enough to balance clustered layouts, large enough that the atomic
+/// claim cost is amortized over ~4 KiB of rendered pixels.
+pub(crate) const RENDER_GRAIN: usize = 4;
+
+/// Per-radius sigmoid/distance lookup tables for quantized renders.
 ///
-/// Every tile is either skipped (no circle touches it now or on the
-/// previous render), or cleared and re-rendered from its bucket. Bands
-/// (tile rows) are contiguous, disjoint slices of the row-major grids, so
-/// parallel rendering is race-free by construction.
+/// With `quantize = true` every placed circle has an integer center and
+/// radius, so a window pixel's squared center distance `dx² + dy²` is a
+/// small exact integer (at most `2·(r_max + margin)²`) and the window
+/// sigmoid depends only on the pair `(r, d²)`. Tabulating
+/// `d = √d²` and `f = σ(α(r − d))` for every reachable pair replaces
+/// the per-pixel sqrt + exp with two L1-resident loads. Each entry is
+/// computed with the exact expression tree the serial reference
+/// evaluates per pixel — same integer-valued inputs, same operations —
+/// so lookups are bit-identical by construction, not by approximation.
+#[derive(Debug, Default)]
+pub(crate) struct SigmaTable {
+    alpha: f64,
+    r_min: i32,
+    r_max: i32,
+    margin: i32,
+    /// `dtable[d²] = (d² as f64).sqrt()`.
+    dtable: Vec<f64>,
+    /// `ftable[(r − r_min)·(cap + 1) + d²] = σ(α·(r − dtable[d²]))`.
+    ftable: Vec<f64>,
+    /// Largest reachable `d²`: `2·(r_max + margin)²`.
+    cap: usize,
+}
+
+impl SigmaTable {
+    /// Rebuilds the tables when the governing config fields changed;
+    /// no-op (and allocation-free) otherwise.
+    pub(crate) fn ensure(&mut self, config: &ComposeConfig) {
+        if self.alpha == config.alpha
+            && self.r_min == config.r_min
+            && self.r_max == config.r_max
+            && self.margin == config.window_margin
+            && !self.ftable.is_empty()
+        {
+            return;
+        }
+        self.alpha = config.alpha;
+        self.r_min = config.r_min;
+        self.r_max = config.r_max;
+        self.margin = config.window_margin;
+        let half = (config.r_max + config.window_margin).max(0) as usize;
+        self.cap = 2 * half * half;
+        self.dtable.clear();
+        self.dtable
+            .extend((0..=self.cap).map(|d2| (d2 as f64).sqrt()));
+        let nr = (config.r_max - config.r_min).max(0) as usize + 1;
+        self.ftable.clear();
+        self.ftable.reserve(nr * (self.cap + 1));
+        for ri in 0..nr {
+            let r = (config.r_min + ri as i32) as f64;
+            self.ftable
+                .extend(self.dtable.iter().map(|&d| sigmoid(config.alpha * (r - d))));
+        }
+    }
+
+    /// The `(f, d)` lookup rows for an integer-valued radius `r`. An
+    /// out-of-range radius (impossible for STE-clipped circles) panics
+    /// on the slice bound rather than reading a neighbouring radius row.
+    fn rows(&self, r: f64) -> (&[f64], &[f64]) {
+        let ri = (r as i64 - self.r_min as i64) as usize;
+        let base = ri * (self.cap + 1);
+        (&self.ftable[base..base + self.cap + 1], &self.dtable)
+    }
+}
+
+/// Renders the hard-max composition over the active-tile worklist,
+/// tiles claimed dynamically by the worker pool.
+///
+/// Every active tile is cleared and re-rendered from its bucket;
+/// inactive tiles (untouched now *and* on the previous render) are never
+/// visited. Tiles are disjoint pixel sets and each worklist index is
+/// claimed exactly once per region, so the row-segment writes below are
+/// race-free and the result is bit-identical to [`compose_serial`] at
+/// any worker count.
+///
+/// Alongside mask and argmax, the render records each winning pixel's
+/// sigmoid value and center distance into `fwin`/`dwin` — the exact
+/// intermediates the backward pass would otherwise recompute (one sqrt
+/// and one exp per winner). The caches carry no validity state of their
+/// own: they are written exactly when argmax is, and the backward sweep
+/// reads them only where `argmax ≥ 0`, so they never need clearing.
+#[allow(clippy::too_many_arguments)] // internal: mask/argmax/fwin/dwin are one logical output set
 fn render_max(
     placed: &[PlacedCircle],
     config: &ComposeConfig,
     tiles: &TileGrid,
+    table: Option<&SigmaTable>,
     mask: &mut [f64],
     argmax: &mut [i32],
+    fwin: &mut [f64],
+    dwin: &mut [f64],
 ) {
     let n = config.size;
     let tiles_x = tiles.tiles_x;
-    par_chunks2_mut(mask, argmax, n * TILE, n * TILE, |band, m, a| {
-        let rows = m.len() / n;
-        let y_base = band * TILE;
-        // Tile counters accumulate locally and publish once per band, so
-        // the per-tile hot loop carries no atomic traffic.
-        let (mut rendered, mut skipped) = (0u64, 0u64);
-        for tx in 0..tiles_x {
-            let t = band * tiles_x + tx;
-            let bucket = &tiles.buckets[t];
-            if bucket.is_empty() && !tiles.dirty[t] {
-                skipped += 1;
-                continue; // untouched then, untouched now: still zero
+    let active = tiles.active();
+    let total_tiles = tiles_x * n.div_ceil(TILE);
+    cfaopc_trace::counters::TILES_RENDERED.add(active.len() as u64);
+    cfaopc_trace::counters::TILES_SKIPPED.add((total_tiles - active.len()) as u64);
+    let alpha = config.alpha;
+    let margin = config.window_margin;
+    let started = std::time::Instant::now();
+    let mask_sh = DisjointSliceMut::new(mask);
+    let arg_sh = DisjointSliceMut::new(argmax);
+    let fw_sh = DisjointSliceMut::new(fwin);
+    let dw_sh = DisjointSliceMut::new(dwin);
+    par_index_claim(active.len(), RENDER_GRAIN, |k| {
+        let t = active[k] as usize;
+        let (ty, tx) = (t / tiles_x, t % tiles_x);
+        let c0 = tx * TILE;
+        let c1 = (c0 + TILE).min(n);
+        let t_y0 = ty * TILE;
+        let t_y1 = (t_y0 + TILE).min(n);
+        for y in t_y0..t_y1 {
+            // SAFETY: tile `t` is claimed by exactly one worker per
+            // region and tiles are disjoint pixel sets, so no other
+            // live sub-slice overlaps this row segment.
+            #[allow(unsafe_code)]
+            let mrow = unsafe { mask_sh.slice_mut(y * n + c0, c1 - c0) };
+            // SAFETY: as above — same tile, same disjoint row segment.
+            #[allow(unsafe_code)]
+            let arow = unsafe { arg_sh.slice_mut(y * n + c0, c1 - c0) };
+            mrow.fill(0.0);
+            arow.fill(-1);
+        }
+        let mut dist = [0.0f64; TILE];
+        for &ci in tiles.bucket(t) {
+            let pc = &placed[ci as usize];
+            let (wx0, wx1, wy0, wy1) = pc
+                .window(n, margin)
+                .expect("binned circles have on-grid windows");
+            let x0 = (wx0 as usize).max(c0);
+            let x1 = (wx1 as usize + 1).min(c1);
+            let y0 = (wy0 as usize).max(t_y0);
+            let y1 = (wy1 as usize + 1).min(t_y1);
+            if x0 >= x1 {
+                continue;
             }
-            rendered += 1;
-            let c0 = tx * TILE;
-            let c1 = ((tx + 1) * TILE).min(n);
-            for row in 0..rows {
-                m[row * n + c0..row * n + c1].fill(0.0);
-                a[row * n + c0..row * n + c1].fill(-1);
-            }
-            for &ci in bucket {
-                let pc = &placed[ci as usize];
-                let (wx0, wx1, wy0, wy1) = pc
-                    .window(n, config.window_margin)
-                    .expect("binned circles have on-grid windows");
-                let x0 = (wx0 as usize).max(c0);
-                let x1 = (wx1 as usize + 1).min(c1);
-                let y0 = (wy0 as usize).max(y_base);
-                let y1 = (wy1 as usize + 1).min(y_base + rows);
-                for y in y0..y1 {
-                    let row_off = (y - y_base) * n;
-                    for x in x0..x1 {
-                        let d =
-                            (((x as f64 - pc.cx).powi(2)) + ((y as f64 - pc.cy).powi(2))).sqrt();
-                        let f = sigmoid(config.alpha * (pc.r - d));
-                        let v = pc.q * f;
-                        let cell = &mut m[row_off + x];
-                        if v > *cell {
-                            *cell = v;
-                            a[row_off + x] = ci as i32;
+            let seg_len = x1 - x0;
+            let lookup = table.map(|tb| tb.rows(pc.r));
+            for y in y0..y1 {
+                let dyv = y as f64 - pc.cy;
+                // SAFETY: the segment lies inside tile `t`'s rows
+                // (window intersected with the tile), claimed by this
+                // worker alone; no other sub-slice is alive.
+                #[allow(unsafe_code)]
+                let mrow = unsafe { mask_sh.slice_mut(y * n + x0, seg_len) };
+                // SAFETY: as above — same in-tile row segment.
+                #[allow(unsafe_code)]
+                let arow = unsafe { arg_sh.slice_mut(y * n + x0, seg_len) };
+                // SAFETY: as above — same in-tile row segment.
+                #[allow(unsafe_code)]
+                let frow = unsafe { fw_sh.slice_mut(y * n + x0, seg_len) };
+                // SAFETY: as above — same in-tile row segment.
+                #[allow(unsafe_code)]
+                let drow = unsafe { dw_sh.slice_mut(y * n + x0, seg_len) };
+                if let Some((ft, dt)) = lookup {
+                    // Quantized render: d² is a small exact integer, so
+                    // the sigmoid and distance come from the lookup
+                    // tables — no sqrt, no exp, bit-identical entries.
+                    let dy2 = dyv * dyv;
+                    for j in 0..seg_len {
+                        // v = q·f ≤ q (f ≤ 1, rounding is monotone), so
+                        // a circle whose activation does not exceed the
+                        // running max can never win: skip the lookup.
+                        if pc.q <= mrow[j] {
+                            continue;
                         }
+                        let dxv = (x0 + j) as f64 - pc.cx;
+                        let idx = (dxv * dxv + dy2) as usize;
+                        let f = ft[idx];
+                        let v = pc.q * f;
+                        if v > mrow[j] {
+                            mrow[j] = v;
+                            arow[j] = ci as i32;
+                            frow[j] = f;
+                            drow[j] = dt[idx];
+                        }
+                    }
+                    continue;
+                }
+                let seg = &mut dist[..seg_len];
+                fill_dist_row(seg, x0, pc.cx, dyv * dyv);
+                for (j, &d) in seg.iter().enumerate() {
+                    // Same early-skip as above: q ≤ running max can
+                    // never produce a strictly greater v. The serial
+                    // reference evaluates the sigmoid anyway and reaches
+                    // the same (no-update) outcome.
+                    if pc.q <= mrow[j] {
+                        continue;
+                    }
+                    let f = sigmoid_sat(alpha * (pc.r - d));
+                    let v = pc.q * f;
+                    if v > mrow[j] {
+                        mrow[j] = v;
+                        arow[j] = ci as i32;
+                        frow[j] = f;
+                        drow[j] = d;
                     }
                 }
             }
         }
-        cfaopc_trace::counters::TILES_RENDERED.add(rendered);
-        cfaopc_trace::counters::TILES_SKIPPED.add(skipped);
     });
+    cfaopc_trace::counters::COMPOSE_RENDER_NS.add(started.elapsed().as_nanos() as u64);
 }
 
-/// Backward pass shared by [`Composite::backward`] and
-/// [`ComposeWorkspace::backward_into`]: one parallel task per circle,
-/// each reading the shared argmax/gradient grids and writing only its own
-/// four slots of `grads`.
-fn backward_max_into(
+/// Fused backward pass shared by [`Composite::backward`] and
+/// [`ComposeWorkspace::backward_into`]: a single pixel-major sweep that
+/// reuses the forward argmax routing instead of re-scanning every
+/// circle's window.
+///
+/// Bands (tile rows) are claimed dynamically; each band task scans its
+/// rows left to right across content tiles and scatters each winning
+/// pixel's contribution into that band's private partial-gradient block
+/// (`4·n_circles` lanes). A deterministic ascending-band reduction then
+/// merges the partials and applies the STE gates. Because the band scan
+/// visits circle `i`'s winning pixels in (y, x) order — the same order
+/// the band-blocked serial reference accumulates them — and the merge
+/// tree is fixed, the result is bit-identical to
+/// [`Composite::backward_serial`] at any worker count.
+///
+/// `content`: when the caller owns the tile buckets, tiles with empty
+/// buckets are skipped (they cannot hold winners); `None` scans every
+/// tile, which is equivalent but slower.
+///
+/// `winners`: the forward sweep's per-pixel `(f, d)` caches when the
+/// caller kept them ([`ComposeWorkspace`] does). A cached winner costs
+/// no sqrt and no exp — saturated pixels (`f = 1.0` exactly, so
+/// `h = f(1−f) = 0`) collapse to `∂q += g` outright, and ring pixels
+/// reuse the recorded sigmoid and distance bit-for-bit. Without caches
+/// the sweep recomputes both, with a conservative interior shortcut:
+/// once `d² ≤ (r − SAT/α − 1)²` the sigmoid is provably saturated. The
+/// serial reference adds the saturated zero terms explicitly; skipping
+/// them can only flip a gradient's zero sign (`-0.0` vs `0.0`), which
+/// compares equal.
+#[allow(clippy::too_many_arguments)] // internal: the argmax/content/winners trio is one routing input
+fn backward_fused_into(
     placed: &[PlacedCircle],
     config: &ComposeConfig,
     argmax: &Grid2D<i32>,
     grad_mask: &Grid2D<f64>,
+    content: Option<&TileGrid>,
+    winners: Option<(&[f64], &[f64])>,
+    partials: &mut Vec<f64>,
     grads: &mut [f64],
 ) {
     let n = config.size;
@@ -363,43 +568,99 @@ fn backward_max_into(
         "gradient shape mismatch"
     );
     debug_assert_eq!(grads.len(), placed.len() * 4);
+    if placed.is_empty() {
+        return;
+    }
+    let bands = n.div_ceil(TILE);
+    let tiles_x = n.div_ceil(TILE);
+    let stride = placed.len() * 4;
+    partials.clear();
+    partials.resize(bands * stride, 0.0);
     let alpha = config.alpha;
-    par_chunks_mut(grads, 4, |i, out| {
-        out.fill(0.0);
-        let pc = &placed[i];
-        if pc.q <= config.q_floor {
-            // Exact for the default floor of 0: the circle cannot have
-            // won any pixel, so every windowed sum below would be zero.
-            return;
-        }
-        let Some((x0, x1, y0, y1)) = pc.window(n, config.window_margin) else {
-            return;
-        };
-        let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
-        for y in y0..=y1 {
-            for x in x0..=x1 {
-                if argmax[(x as usize, y as usize)] != i as i32 {
-                    continue;
+    let am = argmax.as_slice();
+    let gm = grad_mask.as_slice();
+    let started = std::time::Instant::now();
+    let part_sh = DisjointSliceMut::new(partials.as_mut_slice());
+    par_index_claim(bands, 1, |b| {
+        // SAFETY: band `b` is claimed by exactly one worker per region
+        // and bands own disjoint `stride`-sized blocks of the partials
+        // buffer.
+        #[allow(unsafe_code)]
+        let part = unsafe { part_sh.slice_mut(b * stride, stride) };
+        let y0 = b * TILE;
+        let y1 = (y0 + TILE).min(n);
+        for y in y0..y1 {
+            let row = y * n;
+            for tx in 0..tiles_x {
+                if let Some(tiles) = content {
+                    if tiles.bucket(b * tiles_x + tx).is_empty() {
+                        continue; // no circle rendered here: no winners
+                    }
                 }
-                let dx = x as f64 - pc.cx;
-                let dy = y as f64 - pc.cy;
-                let d = (dx * dx + dy * dy).sqrt();
-                let f = sigmoid(alpha * (pc.r - d));
-                let h = f * (1.0 - f);
-                let g = grad_mask[(x as usize, y as usize)];
-                if d > 1e-9 {
-                    gx += g * alpha * pc.q * h * (dx / d);
-                    gy += g * alpha * pc.q * h * (dy / d);
+                let x0 = tx * TILE;
+                let x1 = (x0 + TILE).min(n);
+                for x in x0..x1 {
+                    let w = am[row + x];
+                    if w < 0 {
+                        continue;
+                    }
+                    let pc = &placed[w as usize];
+                    let g = gm[row + x];
+                    let slot = 4 * w as usize;
+                    let (f, d) = if let Some((fc, dc)) = winners {
+                        let f = fc[row + x];
+                        if f == 1.0 {
+                            // Saturated winner: h = f(1−f) = 0 exactly.
+                            part[slot + 3] += g;
+                            continue;
+                        }
+                        (f, dc[row + x])
+                    } else {
+                        let dx = x as f64 - pc.cx;
+                        let dy = y as f64 - pc.cy;
+                        let d2 = dx * dx + dy * dy;
+                        let r_in = pc.r - SIGMOID_SAT / alpha - 1.0;
+                        if r_in > 0.0 && d2 <= r_in * r_in {
+                            // Saturated interior: f = 1 exactly, h = 0.
+                            part[slot + 3] += g;
+                            continue;
+                        }
+                        let d = d2.sqrt();
+                        (sigmoid_sat(alpha * (pc.r - d)), d)
+                    };
+                    let dx = x as f64 - pc.cx;
+                    let dy = y as f64 - pc.cy;
+                    let h = f * (1.0 - f);
+                    if d > 1e-9 {
+                        part[slot] += g * alpha * pc.q * h * (dx / d);
+                        part[slot + 1] += g * alpha * pc.q * h * (dy / d);
+                    }
+                    part[slot + 2] += g * alpha * pc.q * h;
+                    part[slot + 3] += g * f;
                 }
-                gr += g * alpha * pc.q * h;
-                gq += g * f;
             }
         }
-        out[0] = gx * pc.gate_x;
-        out[1] = gy * pc.gate_y;
-        out[2] = gr * pc.gate_r;
-        out[3] = gq;
     });
+    cfaopc_trace::counters::BACKWARD_SCAN_NS.add(started.elapsed().as_nanos() as u64);
+
+    // Ordered reduction: ascending bands, then the STE gates — the same
+    // fixed merge tree the serial reference uses, at every worker count.
+    let merge_started = std::time::Instant::now();
+    for (i, pc) in placed.iter().enumerate() {
+        let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
+        for b in 0..bands {
+            let base = b * stride + 4 * i;
+            gx += partials[base];
+            gy += partials[base + 1];
+            gr += partials[base + 2];
+            gq += partials[base + 3];
+        }
+        grads[4 * i] = gx * pc.gate_x;
+        grads[4 * i + 1] = gy * pc.gate_y;
+        grads[4 * i + 2] = gr * pc.gate_r;
+        grads[4 * i + 3] = gq;
+    }
+    cfaopc_trace::counters::BACKWARD_MERGE_NS.add(merge_started.elapsed().as_nanos() as u64);
 }
 
 /// Reusable state for the tiled composition engine: mask, argmax, placed
@@ -431,6 +692,15 @@ pub struct ComposeWorkspace {
     argmax: Grid2D<i32>,
     placed: Vec<PlacedCircle>,
     tiles: TileGrid,
+    partials: Vec<f64>,
+    /// Winning pixels' sigmoid values, written by the render alongside
+    /// argmax; read by the fused backward (valid wherever `argmax ≥ 0`).
+    fwin: Vec<f64>,
+    /// Winning pixels' center distances (same validity as `fwin`).
+    dwin: Vec<f64>,
+    /// Quantized-render sigmoid/distance lookup tables (rebuilt only
+    /// when the governing config fields change).
+    table: SigmaTable,
     config: Option<ComposeConfig>,
 }
 
@@ -449,6 +719,10 @@ impl ComposeWorkspace {
             argmax: Grid2D::new(0, 0, -1),
             placed: Vec::new(),
             tiles: TileGrid::new(),
+            partials: Vec::new(),
+            fwin: Vec::new(),
+            dwin: Vec::new(),
+            table: SigmaTable::default(),
             config: None,
         }
     }
@@ -462,17 +736,32 @@ impl ComposeWorkspace {
         if self.mask.width() != n || self.mask.height() != n {
             self.mask = Grid2D::new(n, n, 0.0);
             self.argmax = Grid2D::new(n, n, -1);
+            self.fwin.clear();
+            self.fwin.resize(n * n, 0.0);
+            self.dwin.clear();
+            self.dwin.resize(n * n, 0.0);
         }
         self.config = Some(*config);
         place_circles(circles, config, &mut self.placed);
         self.tiles
             .bin(&self.placed, n, config.window_margin, Some(config.q_floor));
+        // Integer centers/radii (quantize = true) make the sigmoid a
+        // finite function of (r, d²) — serve it from lookup tables.
+        let table = if config.quantize {
+            self.table.ensure(config);
+            Some(&self.table)
+        } else {
+            None
+        };
         render_max(
             &self.placed,
             config,
             &self.tiles,
+            table,
             self.mask.as_mut_slice(),
             self.argmax.as_mut_slice(),
+            &mut self.fwin,
+            &mut self.dwin,
         );
         self.tiles.commit_dirty();
     }
@@ -491,17 +780,32 @@ impl ComposeWorkspace {
     /// fully overwritten (so a buffer reused across iterations never
     /// accumulates stale gradients).
     ///
+    /// Runs the fused pixel-major sweep over the content tiles recorded
+    /// by the last compose, reusing its argmax routing; the band-partial
+    /// scratch buffer lives in the workspace (hence `&mut self`), so
+    /// steady-state iterations stay allocation-free.
+    ///
     /// # Panics
     ///
     /// Panics if [`ComposeWorkspace::compose`] has not been called, or on
     /// a gradient shape mismatch.
-    pub fn backward_into(&self, grad_mask: &Grid2D<f64>, grads: &mut Vec<f64>) {
+    pub fn backward_into(&mut self, grad_mask: &Grid2D<f64>, grads: &mut Vec<f64>) {
         let config = self
             .config
             .as_ref()
             .expect("backward_into requires a prior compose");
+        grads.clear();
         grads.resize(self.placed.len() * 4, 0.0);
-        backward_max_into(&self.placed, config, &self.argmax, grad_mask, grads);
+        backward_fused_into(
+            &self.placed,
+            config,
+            &self.argmax,
+            grad_mask,
+            Some(&self.tiles),
+            Some((&self.fwin, &self.dwin)),
+            &mut self.partials,
+            grads,
+        );
     }
 
     /// Consumes the workspace into an owned [`Composite`].
@@ -608,22 +912,30 @@ impl Composite {
     /// through Eq. 12–14 into the flat `4n` parameter gradient
     /// `[∂x₀, ∂y₀, ∂r₀, ∂q₀, ∂x₁, …]`.
     ///
-    /// Gradients aggregate only over each circle's window `U` **and**
-    /// only at pixels the circle wins (the argmax routing of Eq. 12).
-    /// Circles run in parallel (each writes only its own four slots);
-    /// the result is bit-identical to
-    /// [`Composite::backward_serial`].
+    /// Gradients aggregate only at pixels each circle wins (the argmax
+    /// routing of Eq. 12): a fused pixel-major sweep scatters winning
+    /// pixels into per-band partials, bands claimed in parallel, merged
+    /// by a deterministic ascending-band reduction. The result is
+    /// bit-identical to [`Composite::backward_serial`].
+    ///
+    /// Callers iterating should prefer [`ComposeWorkspace::backward_into`],
+    /// which reuses the band-partial scratch buffer (and skips tiles no
+    /// circle touches).
     ///
     /// # Panics
     ///
     /// Panics if `grad_mask` does not match the grid size.
     pub fn backward(&self, grad_mask: &Grid2D<f64>) -> Vec<f64> {
         let mut grads = vec![0.0f64; self.placed.len() * 4];
-        backward_max_into(
+        let mut partials = Vec::new();
+        backward_fused_into(
             &self.placed,
             &self.config,
             &self.argmax,
             grad_mask,
+            None,
+            None,
+            &mut partials,
             &mut grads,
         );
         grads
@@ -631,6 +943,14 @@ impl Composite {
 
     /// The retained serial reference for [`Composite::backward`] —
     /// ground truth for the property tests and the benchmark baseline.
+    ///
+    /// Accumulation is **band-blocked**: each circle's windowed sums are
+    /// collected per tile row (ascending `y`, then `x`, within each
+    /// band) and the per-band partials are reduced in ascending band
+    /// order before the STE gates apply. This fixes the floating-point
+    /// summation tree that the parallel fused pass reproduces exactly;
+    /// the naive whole-window sum would associate multi-band windows
+    /// differently and drift by rounding.
     ///
     /// # Panics
     ///
@@ -642,33 +962,52 @@ impl Composite {
             "gradient shape mismatch"
         );
         let alpha = self.config.alpha;
-        let mut grads = vec![0.0f64; self.placed.len() * 4];
-        for (i, pc) in self.placed.iter().enumerate() {
-            if pc.q <= self.config.q_floor {
-                continue;
-            }
-            let Some((x0, x1, y0, y1)) = pc.window(n, self.config.window_margin) else {
-                continue;
-            };
-            let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
-            for y in y0..=y1 {
-                for x in x0..=x1 {
-                    if self.argmax[(x as usize, y as usize)] != i as i32 {
-                        continue;
-                    }
-                    let dx = x as f64 - pc.cx;
-                    let dy = y as f64 - pc.cy;
-                    let d = (dx * dx + dy * dy).sqrt();
-                    let f = sigmoid(alpha * (pc.r - d));
-                    let h = f * (1.0 - f);
-                    let g = grad_mask[(x as usize, y as usize)];
-                    if d > 1e-9 {
-                        gx += g * alpha * pc.q * h * (dx / d);
-                        gy += g * alpha * pc.q * h * (dy / d);
-                    }
-                    gr += g * alpha * pc.q * h;
-                    gq += g * f;
+        let bands = n.div_ceil(TILE);
+        let stride = self.placed.len() * 4;
+        let mut partials = vec![0.0f64; bands * stride];
+        for b in 0..bands {
+            let band_y0 = b * TILE;
+            let band_y1 = (band_y0 + TILE).min(n);
+            let part = &mut partials[b * stride..(b + 1) * stride];
+            for (i, pc) in self.placed.iter().enumerate() {
+                if pc.q <= self.config.q_floor {
+                    continue;
                 }
+                let Some((x0, x1, y0, y1)) = pc.window(n, self.config.window_margin) else {
+                    continue;
+                };
+                let row0 = (y0 as usize).max(band_y0);
+                let row1 = (y1 as usize + 1).min(band_y1);
+                for y in row0..row1 {
+                    for x in x0..=x1 {
+                        if self.argmax[(x as usize, y)] != i as i32 {
+                            continue;
+                        }
+                        let dx = x as f64 - pc.cx;
+                        let dy = y as f64 - pc.cy;
+                        let d = (dx * dx + dy * dy).sqrt();
+                        let f = sigmoid(alpha * (pc.r - d));
+                        let h = f * (1.0 - f);
+                        let g = grad_mask[(x as usize, y)];
+                        if d > 1e-9 {
+                            part[4 * i] += g * alpha * pc.q * h * (dx / d);
+                            part[4 * i + 1] += g * alpha * pc.q * h * (dy / d);
+                        }
+                        part[4 * i + 2] += g * alpha * pc.q * h;
+                        part[4 * i + 3] += g * f;
+                    }
+                }
+            }
+        }
+        let mut grads = vec![0.0f64; stride];
+        for (i, pc) in self.placed.iter().enumerate() {
+            let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
+            for b in 0..bands {
+                let base = b * stride + 4 * i;
+                gx += partials[base];
+                gy += partials[base + 1];
+                gr += partials[base + 2];
+                gq += partials[base + 3];
             }
             grads[4 * i] = gx * pc.gate_x;
             grads[4 * i + 1] = gy * pc.gate_y;

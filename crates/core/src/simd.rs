@@ -1,0 +1,209 @@
+//! Bit-exact SIMD kernels for the composition engine's per-pixel math.
+//!
+//! The hot inner loops of both composition flavours spend their time on
+//! `d = √((x−cx)² + (y−cy)²)` followed by a sigmoid. The distance row is
+//! vectorized here with explicit AVX2 intrinsics; the sigmoid keeps its
+//! scalar `exp` but gains an **exact** saturation shortcut.
+//!
+//! # Why the SIMD path is bit-identical
+//!
+//! Every operation in the distance kernel — subtract, multiply, add,
+//! square root — is IEEE-754 correctly rounded in both its scalar and
+//! its packed (`vsubpd`/`vmulpd`/`vaddpd`/`vsqrtpd`) form, so a lane of
+//! the vector computes *the same bits* as the scalar expression as long
+//! as the operation sequence matches. The kernel therefore mirrors the
+//! serial reference exactly: `dx·dx + dy²` then `sqrt`, never an FMA
+//! (contraction would change the rounding), and pixel coordinates are
+//! materialized as exact integer-valued `f64`s (all < 2⁵³). The
+//! property tests in `tests/properties.rs` and the unit tests below
+//! hold the dispatch to this contract on every build.
+//!
+//! # Feature detection and fallback policy
+//!
+//! The AVX2 path is compiled only for `x86_64` and selected at runtime
+//! via [`std::arch::is_x86_feature_detected!`], latched once in an
+//! atomic so steady-state dispatch is a relaxed load. Non-x86 targets
+//! (and x86 machines without AVX2) take the scalar fallback, which is
+//! the definition of the kernel's semantics — the SIMD path must match
+//! it bit-for-bit, so switching paths can never change results.
+//!
+//! # The saturation shortcut
+//!
+//! `sigmoid(t) = 1/(1+e^{−t})` evaluates to **exactly** `1.0` once
+//! `e^{−t} ≤ 2⁻⁵³` (half an ulp of 1.0): the addition `1 + e^{−t}`
+//! rounds to `1.0` and the division returns `1.0`. That holds for every
+//! `t ≥ 37` (`e^{−37} ≈ 8.5·10⁻¹⁷ < 1.11·10⁻¹⁶ = 2⁻⁵³`); [`SIGMOID_SAT`]
+//! is set to `40` for slack. [`sigmoid_sat`] uses the shortcut to skip
+//! the `exp` call for deep-interior pixels while returning the same
+//! bits as the full evaluation — asserted by a unit test against the
+//! plain [`sigmoid`].
+
+use cfaopc_litho::sigmoid;
+
+/// Sigmoid argument beyond which `sigmoid(t) == 1.0` *exactly* (see the
+/// module docs for the rounding argument; the true threshold is 37, the
+/// extra slack costs a handful of spurious `exp` calls near the rim).
+pub(crate) const SIGMOID_SAT: f64 = 40.0;
+
+/// `sigmoid(t)`, skipping the `exp` for saturated arguments.
+///
+/// Bit-identical to [`sigmoid`] for every finite `t`: the shortcut only
+/// fires where the full evaluation provably returns `1.0`.
+#[inline(always)]
+pub(crate) fn sigmoid_sat(t: f64) -> f64 {
+    if t >= SIGMOID_SAT {
+        1.0
+    } else {
+        sigmoid(t)
+    }
+}
+
+/// Fills `d[k] = √((x0+k − cx)² + dy2)` for `k in 0..d.len()`.
+///
+/// `dy2` is the caller's pre-squared row term `(y − cy)·(y − cy)`;
+/// squaring it once per row instead of once per pixel is exact (it is
+/// the same correctly-rounded product every time). Dispatches to AVX2
+/// when available, scalar otherwise — both produce identical bits.
+#[inline]
+pub(crate) fn fill_dist_row(d: &mut [f64], x0: usize, cx: f64, dy2: f64) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_available() {
+            // SAFETY: the AVX2 feature was detected at runtime on this
+            // CPU, which is the only precondition of the target_feature
+            // function below.
+            #[allow(unsafe_code)]
+            unsafe {
+                fill_dist_row_avx2(d, x0, cx, dy2);
+            }
+            return;
+        }
+    }
+    fill_dist_row_scalar(d, x0, cx, dy2);
+}
+
+/// Scalar reference kernel — the definition of [`fill_dist_row`]'s
+/// semantics, and the fallback for non-x86 targets.
+#[inline]
+fn fill_dist_row_scalar(d: &mut [f64], x0: usize, cx: f64, dy2: f64) {
+    for (k, slot) in d.iter_mut().enumerate() {
+        let dx = (x0 + k) as f64 - cx;
+        *slot = (dx * dx + dy2).sqrt();
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// AVX2 kernel: four pixels per iteration via packed sub/mul/add/sqrt.
+///
+/// All four packed ops are IEEE correctly rounded, matching the scalar
+/// kernel lane-for-lane; no FMA is emitted (the intrinsics fix the
+/// instruction selection, unlike autovectorized `mul_add`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+// SAFETY: callers must have verified AVX2 support (the `fill_dist_row`
+// dispatcher gates on `avx2_available()`); beyond that the function has
+// no preconditions — every store is bounds-checked against `d.len()`.
+unsafe fn fill_dist_row_avx2(d: &mut [f64], x0: usize, cx: f64, dy2: f64) {
+    use std::arch::x86_64::*;
+    let n = d.len();
+    let cxv = _mm256_set1_pd(cx);
+    let dy2v = _mm256_set1_pd(dy2);
+    let mut k = 0usize;
+    while k + 4 <= n {
+        // (x0+k..x0+k+3) as f64 is exact (pixel indices are far below
+        // 2^53), so each lane holds the same dx input as the scalar
+        // kernel's `(x0 + k) as f64`.
+        let xv = _mm256_set_pd(
+            (x0 + k + 3) as f64,
+            (x0 + k + 2) as f64,
+            (x0 + k + 1) as f64,
+            (x0 + k) as f64,
+        );
+        let dx = _mm256_sub_pd(xv, cxv);
+        let d2 = _mm256_add_pd(_mm256_mul_pd(dx, dx), dy2v);
+        let dist = _mm256_sqrt_pd(d2);
+        // SAFETY: `k + 4 <= n` bounds the 4-lane store inside `d`.
+        unsafe {
+            _mm256_storeu_pd(d.as_mut_ptr().add(k), dist);
+        }
+        k += 4;
+    }
+    fill_dist_row_scalar(&mut d[k..], x0 + k, cx, dy2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_saturates_to_exactly_one_at_threshold() {
+        // The rounding lemma the shortcut relies on: at and beyond the
+        // saturation threshold the *full* evaluation already returns 1.0
+        // bit-exactly, while clearly below it the sigmoid is still < 1.
+        for t in [37.0, 38.0, SIGMOID_SAT, 50.0, 300.0] {
+            assert_eq!(sigmoid(t), 1.0, "sigmoid({t}) must saturate exactly");
+            assert_eq!(sigmoid_sat(t), 1.0);
+        }
+        assert!(
+            sigmoid(30.0) < 1.0,
+            "well below threshold must not saturate"
+        );
+    }
+
+    #[test]
+    fn sigmoid_sat_bit_identical_to_sigmoid() {
+        let mut t = -60.0;
+        while t <= 60.0 {
+            assert_eq!(sigmoid_sat(t), sigmoid(t), "t={t}");
+            t += 0.37;
+        }
+    }
+
+    #[test]
+    fn dist_row_matches_scalar_reference_bitwise() {
+        // Cover every alignment phase of the 4-lane kernel, including
+        // scalar tails, against awkward (non-representable) centers.
+        for len in 0..23usize {
+            for &(cx, cy) in &[(7.3_f64, 11.9_f64), (-2.25, 40.125), (1000.7, 0.1)] {
+                let y = 13.0;
+                let dyv = y - cy;
+                let dy2 = dyv * dyv;
+                let mut fast = vec![0.0; len];
+                let mut slow = vec![0.0; len];
+                fill_dist_row(&mut fast, 5, cx, dy2);
+                fill_dist_row_scalar(&mut slow, 5, cx, dy2);
+                for k in 0..len {
+                    assert_eq!(
+                        fast[k].to_bits(),
+                        slow[k].to_bits(),
+                        "len={len} k={k} cx={cx}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dist_row_matches_open_coded_pixel_math() {
+        // The kernel must reproduce the composition loops' historical
+        // per-pixel expression `((x-cx)^2 + (y-cy)^2).sqrt()` exactly.
+        let (cx, cy) = (18.6_f64, 9.2_f64);
+        let y = 14usize;
+        let dyv = y as f64 - cy;
+        let mut row = vec![0.0; 17];
+        fill_dist_row(&mut row, 3, cx, dyv * dyv);
+        for (k, &d) in row.iter().enumerate() {
+            let x = 3 + k;
+            let reference = (((x as f64 - cx).powi(2)) + ((y as f64 - cy).powi(2))).sqrt();
+            assert_eq!(d.to_bits(), reference.to_bits(), "x={x}");
+        }
+    }
+}

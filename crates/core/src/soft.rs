@@ -14,20 +14,30 @@
 //! max. The backward pass is exact:
 //! `∂M̄/∂vₖ = wₖ (1 + β vₖ − β M̄)`.
 //!
-//! The forward pass shares the tile-bucketed parallel engine of
+//! The forward pass shares the tile-bucketed engine of
 //! [`crate::compose`]: circles are binned by window into [`TILE`]-sized
-//! tiles and the numerator/normalizer grids render band-parallel.
+//! tiles, workers claim active tiles dynamically, and the per-pixel
+//! distance rows come from the bit-exact SIMD kernel in [`crate::simd`].
+//! Deep-interior pixels (sigmoid provably saturated at `f = 1`) reuse a
+//! per-circle cached `e^{βq}` instead of calling `exp` twice per pixel.
 //! Unlike the hard max, the softmax **ignores `q_floor`** — a circle
 //! with `q = 0` still contributes `e^{β·0} = 1` to every covered pixel's
 //! normalizer, so dropping it would change the output. Accumulation
 //! order within a pixel follows circle index order in every bucket, so
 //! the result stays bit-identical to [`compose_soft_serial`].
 //!
+//! The backward pass accumulates per-band partial gradients (tile rows
+//! claimed dynamically, each band scanning its slice of every circle's
+//! window in row-major order) and merges them with a deterministic
+//! ascending-band reduction — bit-identical to the band-blocked
+//! [`SoftComposite::backward_serial`] at any worker count.
+//!
 //! [`TILE`]: crate::compose::TILE
 
-use crate::compose::{place_circles, ComposeConfig, PlacedCircle, TileGrid, TILE};
+use crate::compose::{place_circles, ComposeConfig, PlacedCircle, TileGrid, RENDER_GRAIN, TILE};
 use crate::repr::SparseCircles;
-use cfaopc_fft::parallel::{par_chunks2_mut, par_chunks_mut};
+use crate::simd::{fill_dist_row, SIGMOID_SAT};
+use cfaopc_fft::parallel::{par_index_claim, DisjointSliceMut};
 use cfaopc_grid::Grid2D;
 use cfaopc_litho::sigmoid;
 
@@ -78,6 +88,7 @@ pub struct SoftWorkspace {
     norm: Grid2D<f64>,
     placed: Vec<PlacedCircle>,
     tiles: TileGrid,
+    partials: Vec<f64>,
     config: Option<ComposeConfig>,
     beta: f64,
 }
@@ -97,6 +108,7 @@ impl SoftWorkspace {
             norm: Grid2D::new(0, 0, 1.0),
             placed: Vec::new(),
             tiles: TileGrid::new(),
+            partials: Vec::new(),
             config: None,
             beta: 0.0,
         }
@@ -121,55 +133,77 @@ impl SoftWorkspace {
         let placed = &self.placed;
         let tiles = &self.tiles;
         let tiles_x = tiles.tiles_x();
-        par_chunks2_mut(
-            self.mask.as_mut_slice(),
-            self.norm.as_mut_slice(),
-            n * TILE,
-            n * TILE,
-            |band, num_band, norm_band| {
-                let rows = num_band.len() / n;
-                let y_base = band * TILE;
-                let (mut rendered, mut skipped) = (0u64, 0u64);
-                for tx in 0..tiles_x {
-                    let t = band * tiles_x + tx;
-                    let bucket = tiles.bucket(t);
-                    if bucket.is_empty() && !tiles.is_dirty(t) {
-                        skipped += 1;
-                        continue; // untouched then and now: still 0 / 1
-                    }
-                    rendered += 1;
-                    let c0 = tx * TILE;
-                    let c1 = ((tx + 1) * TILE).min(n);
-                    for row in 0..rows {
-                        num_band[row * n + c0..row * n + c1].fill(0.0);
-                        norm_band[row * n + c0..row * n + c1].fill(1.0);
-                    }
-                    for &ci in bucket {
-                        let pc = &placed[ci as usize];
-                        let (wx0, wx1, wy0, wy1) = pc
-                            .window(n, config.window_margin)
-                            .expect("binned circles have on-grid windows");
-                        let x0 = (wx0 as usize).max(c0);
-                        let x1 = (wx1 as usize + 1).min(c1);
-                        let y0 = (wy0 as usize).max(y_base);
-                        let y1 = (wy1 as usize + 1).min(y_base + rows);
-                        for y in y0..y1 {
-                            let row_off = (y - y_base) * n;
-                            for x in x0..x1 {
-                                let d = ((x as f64 - pc.cx).powi(2) + (y as f64 - pc.cy).powi(2))
-                                    .sqrt();
-                                let v = pc.q * sigmoid(config.alpha * (pc.r - d));
-                                let e = (beta * v).exp();
-                                num_band[row_off + x] += v * e;
-                                norm_band[row_off + x] += e;
-                            }
-                        }
+        let active = tiles.active();
+        let total_tiles = tiles_x * n.div_ceil(TILE);
+        cfaopc_trace::counters::TILES_RENDERED.add(active.len() as u64);
+        cfaopc_trace::counters::TILES_SKIPPED.add((total_tiles - active.len()) as u64);
+        let alpha = config.alpha;
+        let margin = config.window_margin;
+        let started = std::time::Instant::now();
+        let num_sh = DisjointSliceMut::new(self.mask.as_mut_slice());
+        let norm_sh = DisjointSliceMut::new(self.norm.as_mut_slice());
+        par_index_claim(active.len(), RENDER_GRAIN, |k| {
+            let t = active[k] as usize;
+            let (ty, tx) = (t / tiles_x, t % tiles_x);
+            let c0 = tx * TILE;
+            let c1 = (c0 + TILE).min(n);
+            let t_y0 = ty * TILE;
+            let t_y1 = (t_y0 + TILE).min(n);
+            for y in t_y0..t_y1 {
+                // SAFETY: tile `t` is claimed by exactly one worker per
+                // region and tiles are disjoint pixel sets, so no other
+                // live sub-slice overlaps this row segment.
+                #[allow(unsafe_code)]
+                let nrow = unsafe { num_sh.slice_mut(y * n + c0, c1 - c0) };
+                // SAFETY: as above — same tile, same disjoint segment.
+                #[allow(unsafe_code)]
+                let zrow = unsafe { norm_sh.slice_mut(y * n + c0, c1 - c0) };
+                nrow.fill(0.0);
+                zrow.fill(1.0);
+            }
+            let mut dist = [0.0f64; TILE];
+            for &ci in tiles.bucket(t) {
+                let pc = &placed[ci as usize];
+                let (wx0, wx1, wy0, wy1) = pc
+                    .window(n, margin)
+                    .expect("binned circles have on-grid windows");
+                let x0 = (wx0 as usize).max(c0);
+                let x1 = (wx1 as usize + 1).min(c1);
+                let y0 = (wy0 as usize).max(t_y0);
+                let y1 = (wy1 as usize + 1).min(t_y1);
+                if x0 >= x1 {
+                    continue;
+                }
+                let seg_len = x1 - x0;
+                // Saturated interior pixels have v = q·1 = q exactly, so
+                // their weight e^{βv} is this one per-circle constant.
+                let e_sat = (beta * pc.q).exp();
+                for y in y0..y1 {
+                    let dyv = y as f64 - pc.cy;
+                    let seg = &mut dist[..seg_len];
+                    fill_dist_row(seg, x0, pc.cx, dyv * dyv);
+                    // SAFETY: the segment lies inside tile `t`'s rows,
+                    // claimed by this worker alone.
+                    #[allow(unsafe_code)]
+                    let nrow = unsafe { num_sh.slice_mut(y * n + x0, seg_len) };
+                    // SAFETY: as above — same in-tile row segment.
+                    #[allow(unsafe_code)]
+                    let zrow = unsafe { norm_sh.slice_mut(y * n + x0, seg_len) };
+                    for (j, &d) in seg.iter().enumerate() {
+                        let t_arg = alpha * (pc.r - d);
+                        let (v, e) = if t_arg >= SIGMOID_SAT {
+                            (pc.q, e_sat) // f = 1.0 exactly
+                        } else {
+                            let v = pc.q * sigmoid(t_arg);
+                            (v, (beta * v).exp())
+                        };
+                        nrow[j] += v * e;
+                        zrow[j] += e;
                     }
                 }
-                cfaopc_trace::counters::TILES_RENDERED.add(rendered);
-                cfaopc_trace::counters::TILES_SKIPPED.add(skipped);
-            },
-        );
+            }
+        });
+        cfaopc_trace::counters::COMPOSE_RENDER_NS.add(started.elapsed().as_nanos() as u64);
         self.tiles.commit_dirty();
 
         // In-place divide: the numerator grid becomes the mask. Clean
@@ -191,17 +225,20 @@ impl SoftWorkspace {
 
     /// Backward pass into a caller-owned buffer, resized to `4n` and
     /// fully overwritten — the allocation-free counterpart of
-    /// [`SoftComposite::backward`].
+    /// [`SoftComposite::backward`]. The band-partial scratch buffer
+    /// lives in the workspace (hence `&mut self`), so steady-state
+    /// iterations stay allocation-free.
     ///
     /// # Panics
     ///
     /// Panics if [`SoftWorkspace::compose`] has not been called, or on a
     /// gradient shape mismatch.
-    pub fn backward_into(&self, grad_mask: &Grid2D<f64>, grads: &mut Vec<f64>) {
+    pub fn backward_into(&mut self, grad_mask: &Grid2D<f64>, grads: &mut Vec<f64>) {
         let config = self
             .config
             .as_ref()
             .expect("backward_into requires a prior compose");
+        grads.clear();
         grads.resize(self.placed.len() * 4, 0.0);
         backward_soft_into(
             &self.placed,
@@ -210,6 +247,7 @@ impl SoftWorkspace {
             &self.mask,
             &self.norm,
             grad_mask,
+            &mut self.partials,
             grads,
         );
     }
@@ -232,10 +270,27 @@ impl SoftWorkspace {
     }
 }
 
-/// Backward pass shared by [`SoftComposite::backward`] and
-/// [`SoftWorkspace::backward_into`]: one parallel task per circle, each
-/// reading the shared mask/normalizer/gradient grids and writing only its
-/// own four slots of `grads`.
+/// Distance-row scratch length for the backward band scans: windows can
+/// be wider than a tile, so rows are processed in chunks of this many
+/// pixels (chunking is invisible to the math — every chunk runs the
+/// same bit-exact kernel).
+const DIST_SEG: usize = 2 * TILE;
+
+/// Fused backward pass shared by [`SoftComposite::backward`] and
+/// [`SoftWorkspace::backward_into`].
+///
+/// Bands (tile rows) are claimed dynamically; each band task scans its
+/// slice of every circle's window row-major, accumulating into that
+/// band's private partial-gradient block, and a deterministic
+/// ascending-band reduction merges the partials and applies the STE
+/// gates — the same summation tree as the band-blocked
+/// [`SoftComposite::backward_serial`], so the result is bit-identical
+/// to it at any worker count. Saturated interior pixels (`f = 1`
+/// exactly, `h = 0`) reuse the per-circle `e^{βq}` weight and
+/// contribute only to `∂q`; the zero x/y/r terms the serial reference
+/// adds explicitly can at most flip a zero's sign, which compares
+/// equal.
+#[allow(clippy::too_many_arguments)] // internal: mask/norm/grad_mask are one fixed forward-state set
 fn backward_soft_into(
     placed: &[PlacedCircle],
     config: &ComposeConfig,
@@ -243,6 +298,7 @@ fn backward_soft_into(
     mask: &Grid2D<f64>,
     norm: &Grid2D<f64>,
     grad_mask: &Grid2D<f64>,
+    partials: &mut Vec<f64>,
     grads: &mut [f64],
 ) {
     let n = config.size;
@@ -251,39 +307,100 @@ fn backward_soft_into(
         "gradient shape mismatch"
     );
     debug_assert_eq!(grads.len(), placed.len() * 4);
+    if placed.is_empty() {
+        return;
+    }
+    let bands = n.div_ceil(TILE);
+    let stride = placed.len() * 4;
+    partials.clear();
+    partials.resize(bands * stride, 0.0);
     let alpha = config.alpha;
-    par_chunks_mut(grads, 4, |i, out| {
-        out.fill(0.0);
-        let pc = &placed[i];
-        let Some((x0, x1, y0, y1)) = pc.window(n, config.window_margin) else {
-            return;
-        };
-        let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
-        for y in y0..=y1 {
-            for x in x0..=x1 {
-                let p = (x as usize, y as usize);
-                let dx = x as f64 - pc.cx;
-                let dy = y as f64 - pc.cy;
-                let d = (dx * dx + dy * dy).sqrt();
-                let f = sigmoid(alpha * (pc.r - d));
-                let v = pc.q * f;
-                let w = (beta * v).exp() / norm[p];
-                let dm_dv = w * (1.0 + beta * v - beta * mask[p]);
-                let g = grad_mask[p] * dm_dv;
-                let h = f * (1.0 - f);
-                if d > 1e-9 {
-                    gx += g * alpha * pc.q * h * (dx / d);
-                    gy += g * alpha * pc.q * h * (dy / d);
-                }
-                gr += g * alpha * pc.q * h;
-                gq += g * f;
+    let margin = config.window_margin;
+    let m = mask.as_slice();
+    let z = norm.as_slice();
+    let gm = grad_mask.as_slice();
+    let started = std::time::Instant::now();
+    let part_sh = DisjointSliceMut::new(partials.as_mut_slice());
+    par_index_claim(bands, 1, |b| {
+        // SAFETY: band `b` is claimed by exactly one worker per region
+        // and bands own disjoint `stride`-sized partial blocks.
+        #[allow(unsafe_code)]
+        let part = unsafe { part_sh.slice_mut(b * stride, stride) };
+        let band_y0 = b * TILE;
+        let band_y1 = (band_y0 + TILE).min(n);
+        let mut dist = [0.0f64; DIST_SEG];
+        for (i, pc) in placed.iter().enumerate() {
+            let Some((x0, x1, y0, y1)) = pc.window(n, margin) else {
+                continue;
+            };
+            let row0 = (y0 as usize).max(band_y0);
+            let row1 = (y1 as usize + 1).min(band_y1);
+            if row0 >= row1 {
+                continue;
             }
+            let e_sat = (beta * pc.q).exp();
+            let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
+            for y in row0..row1 {
+                let dyv = y as f64 - pc.cy;
+                let dy2 = dyv * dyv;
+                let row = y * n;
+                let mut x = x0 as usize;
+                let x_end = x1 as usize + 1;
+                while x < x_end {
+                    let seg_len = (x_end - x).min(DIST_SEG);
+                    let seg = &mut dist[..seg_len];
+                    fill_dist_row(seg, x, pc.cx, dy2);
+                    for (j, &d) in seg.iter().enumerate() {
+                        let p = row + x + j;
+                        let t_arg = alpha * (pc.r - d);
+                        if t_arg >= SIGMOID_SAT {
+                            // f = 1.0 exactly, h = 0: only ∂q survives.
+                            let w = e_sat / z[p];
+                            let dm_dv = w * (1.0 + beta * pc.q - beta * m[p]);
+                            gq += gm[p] * dm_dv;
+                            continue;
+                        }
+                        let f = sigmoid(t_arg);
+                        let v = pc.q * f;
+                        let w = (beta * v).exp() / z[p];
+                        let dm_dv = w * (1.0 + beta * v - beta * m[p]);
+                        let g = gm[p] * dm_dv;
+                        let h = f * (1.0 - f);
+                        if d > 1e-9 {
+                            let dx = (x + j) as f64 - pc.cx;
+                            gx += g * alpha * pc.q * h * (dx / d);
+                            gy += g * alpha * pc.q * h * (dyv / d);
+                        }
+                        gr += g * alpha * pc.q * h;
+                        gq += g * f;
+                    }
+                    x += seg_len;
+                }
+            }
+            part[4 * i] += gx;
+            part[4 * i + 1] += gy;
+            part[4 * i + 2] += gr;
+            part[4 * i + 3] += gq;
         }
-        out[0] = gx * pc.gate_x;
-        out[1] = gy * pc.gate_y;
-        out[2] = gr * pc.gate_r;
-        out[3] = gq;
     });
+    cfaopc_trace::counters::BACKWARD_SCAN_NS.add(started.elapsed().as_nanos() as u64);
+
+    let merge_started = std::time::Instant::now();
+    for (i, pc) in placed.iter().enumerate() {
+        let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
+        for b in 0..bands {
+            let base = b * stride + 4 * i;
+            gx += partials[base];
+            gy += partials[base + 1];
+            gr += partials[base + 2];
+            gq += partials[base + 3];
+        }
+        grads[4 * i] = gx * pc.gate_x;
+        grads[4 * i + 1] = gy * pc.gate_y;
+        grads[4 * i + 2] = gr * pc.gate_r;
+        grads[4 * i + 3] = gq;
+    }
+    cfaopc_trace::counters::BACKWARD_MERGE_NS.add(merge_started.elapsed().as_nanos() as u64);
 }
 
 /// The retained serial reference implementation of [`compose_soft`]: one
@@ -331,16 +448,19 @@ impl SoftComposite {
     /// gradient, spreading each pixel's gradient across *all* circles
     /// covering it (softmax weights), unlike the paper's argmax routing.
     ///
-    /// Circles run in parallel — each task reads the shared mask,
-    /// normalizer and gradient grids and writes only its own four
-    /// gradient slots; bit-identical to
-    /// [`SoftComposite::backward_serial`].
+    /// Bands (tile rows) run in parallel, each accumulating private
+    /// partial gradients merged by a deterministic ascending-band
+    /// reduction; bit-identical to [`SoftComposite::backward_serial`].
+    ///
+    /// Callers iterating should prefer [`SoftWorkspace::backward_into`],
+    /// which reuses the band-partial scratch buffer.
     ///
     /// # Panics
     ///
     /// Panics on a gradient shape mismatch.
     pub fn backward(&self, grad_mask: &Grid2D<f64>) -> Vec<f64> {
         let mut grads = vec![0.0f64; self.placed.len() * 4];
+        let mut partials = Vec::new();
         backward_soft_into(
             &self.placed,
             &self.config,
@@ -348,12 +468,20 @@ impl SoftComposite {
             &self.mask,
             &self.norm,
             grad_mask,
+            &mut partials,
             &mut grads,
         );
         grads
     }
 
     /// The retained serial reference for [`SoftComposite::backward`].
+    ///
+    /// Accumulation is **band-blocked** (per-tile-row partials reduced
+    /// in ascending band order before the STE gates), fixing the
+    /// floating-point summation tree the parallel fused pass reproduces
+    /// exactly — see [`Composite::backward_serial`] for the rationale.
+    ///
+    /// [`Composite::backward_serial`]: crate::Composite::backward_serial
     ///
     /// # Panics
     ///
@@ -366,31 +494,55 @@ impl SoftComposite {
         );
         let alpha = self.config.alpha;
         let beta = self.beta;
-        let mut grads = vec![0.0f64; self.placed.len() * 4];
-        for (i, pc) in self.placed.iter().enumerate() {
-            let Some((x0, x1, y0, y1)) = pc.window(n, self.config.window_margin) else {
-                continue;
-            };
-            let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
-            for y in y0..=y1 {
-                for x in x0..=x1 {
-                    let p = (x as usize, y as usize);
-                    let dx = x as f64 - pc.cx;
-                    let dy = y as f64 - pc.cy;
-                    let d = (dx * dx + dy * dy).sqrt();
-                    let f = sigmoid(alpha * (pc.r - d));
-                    let v = pc.q * f;
-                    let w = (beta * v).exp() / self.norm[p];
-                    let dm_dv = w * (1.0 + beta * v - beta * self.mask[p]);
-                    let g = grad_mask[p] * dm_dv;
-                    let h = f * (1.0 - f);
-                    if d > 1e-9 {
-                        gx += g * alpha * pc.q * h * (dx / d);
-                        gy += g * alpha * pc.q * h * (dy / d);
+        let bands = n.div_ceil(TILE);
+        let stride = self.placed.len() * 4;
+        let mut partials = vec![0.0f64; bands * stride];
+        for b in 0..bands {
+            let band_y0 = b * TILE;
+            let band_y1 = (band_y0 + TILE).min(n);
+            let part = &mut partials[b * stride..(b + 1) * stride];
+            for (i, pc) in self.placed.iter().enumerate() {
+                let Some((x0, x1, y0, y1)) = pc.window(n, self.config.window_margin) else {
+                    continue;
+                };
+                let row0 = (y0 as usize).max(band_y0);
+                let row1 = (y1 as usize + 1).min(band_y1);
+                let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
+                for y in row0..row1 {
+                    for x in x0..=x1 {
+                        let p = (x as usize, y);
+                        let dx = x as f64 - pc.cx;
+                        let dy = y as f64 - pc.cy;
+                        let d = (dx * dx + dy * dy).sqrt();
+                        let f = sigmoid(alpha * (pc.r - d));
+                        let v = pc.q * f;
+                        let w = (beta * v).exp() / self.norm[p];
+                        let dm_dv = w * (1.0 + beta * v - beta * self.mask[p]);
+                        let g = grad_mask[p] * dm_dv;
+                        let h = f * (1.0 - f);
+                        if d > 1e-9 {
+                            gx += g * alpha * pc.q * h * (dx / d);
+                            gy += g * alpha * pc.q * h * (dy / d);
+                        }
+                        gr += g * alpha * pc.q * h;
+                        gq += g * f;
                     }
-                    gr += g * alpha * pc.q * h;
-                    gq += g * f;
                 }
+                part[4 * i] += gx;
+                part[4 * i + 1] += gy;
+                part[4 * i + 2] += gr;
+                part[4 * i + 3] += gq;
+            }
+        }
+        let mut grads = vec![0.0f64; stride];
+        for (i, pc) in self.placed.iter().enumerate() {
+            let (mut gx, mut gy, mut gr, mut gq) = (0.0, 0.0, 0.0, 0.0);
+            for b in 0..bands {
+                let base = b * stride + 4 * i;
+                gx += partials[base];
+                gy += partials[base + 1];
+                gr += partials[base + 2];
+                gq += partials[base + 3];
             }
             grads[4 * i] = gx * pc.gate_x;
             grads[4 * i + 1] = gy * pc.gate_y;

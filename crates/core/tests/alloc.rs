@@ -11,8 +11,13 @@
 //! forbids is *growth*: any buffer allocated per iteration and kept, or
 //! reallocated bigger each step, shows up as a positive byte delta.
 //!
-//! The lib crates themselves stay `#![forbid(unsafe_code)]`; the
-//! allocator shim is unsafe and lives only in this test binary.
+//! `backward_into` runs the fused compose+backward path (band-partial
+//! scratch lives in the workspace), so this guard also pins the fused
+//! sweep's steady state to zero growth once the partials buffer warms
+//! up. The lib crates keep `unsafe` denied by default with narrow
+//! per-site `// SAFETY:`-documented exemptions in the render/backward
+//! kernels; the allocator shim here is unsafe and lives only in this
+//! test binary.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicIsize, Ordering};

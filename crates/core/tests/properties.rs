@@ -171,6 +171,27 @@ proptest! {
     }
 
     #[test]
+    fn fused_backward_with_pruning_bit_identical_to_serial(
+        circles in arb_straddling_circles(10),
+        q_floor in 0.0f64..0.8,
+    ) {
+        // An activation floor makes both paths skip circles; the fused
+        // sweep and the serial reference must skip the same set and
+        // still agree bit for bit on the survivors' gradients.
+        let mut config = cfg();
+        config.q_floor = q_floor;
+        let mut ws = ComposeWorkspace::new();
+        ws.compose(&circles, &config);
+        let serial = compose_serial(&circles, &config);
+        prop_assert_eq!(ws.mask(), &serial.mask);
+        prop_assert_eq!(ws.argmax(), &serial.argmax);
+        let grad = wavy_grad();
+        let mut grads = Vec::new();
+        ws.backward_into(&grad, &mut grads);
+        prop_assert_eq!(grads, serial.backward_serial(&grad));
+    }
+
+    #[test]
     fn tiled_soft_compose_bit_identical_to_serial(circles in arb_straddling_circles(8)) {
         let beta = 20.0;
         let tiled = compose_soft(&circles, &cfg(), beta);

@@ -1,0 +1,180 @@
+//! Alternating-grid-size regression tests for the pooled workspaces.
+//!
+//! A workspace that renders at size `n₁`, then `n₂`, then `n₁` again
+//! must behave exactly like a fresh compose at every step. The failure
+//! mode under test: `TileGrid::reset` historically dropped the dirty
+//! flags on a size change, so a tile that held content before the
+//! resize could come back stale after returning to the original size —
+//! a tile whose bucket is now empty is only cleared if its dirty flag
+//! says it must be. Two independent mechanisms defend this invariant:
+//! the workspace reallocates (zero-filled) pixel buffers whenever the
+//! grid size changes, and `TileGrid::reset` marks every tile dirty on a
+//! tile-count change so the first render after a resize does one full
+//! clear round. These tests pin the end-to-end invariant so removing
+//! either defence without a replacement is caught.
+
+use cfaopc_core::{
+    compose_serial, compose_soft_serial, CircleParams, ComposeConfig, ComposeWorkspace,
+    SoftWorkspace, SparseCircles, TILE,
+};
+use cfaopc_grid::Grid2D;
+
+const BETA: f64 = 20.0;
+
+fn cfg(n: usize) -> ComposeConfig {
+    ComposeConfig::new(n, 2, 10)
+}
+
+/// Circles that put content into the high tile (beyond `TILE` in both
+/// axes) of a `2·TILE` grid — the tile that must not survive stale.
+fn corner_circles() -> SparseCircles {
+    SparseCircles {
+        circles: vec![
+            CircleParams {
+                x: TILE as f64 + 12.0,
+                y: TILE as f64 + 14.0,
+                r: 7.0,
+                q: 1.2,
+            },
+            CircleParams {
+                x: TILE as f64 - 2.0,
+                y: TILE as f64 + 3.0,
+                r: 6.0,
+                q: 0.8,
+            },
+        ],
+    }
+}
+
+/// Circles confined to the low tile only, leaving the high tile's
+/// bucket empty.
+fn low_tile_circles() -> SparseCircles {
+    SparseCircles {
+        circles: vec![
+            CircleParams {
+                x: 10.0,
+                y: 12.0,
+                r: 5.0,
+                q: 0.9,
+            },
+            CircleParams {
+                x: 20.0,
+                y: 8.0,
+                r: 4.0,
+                q: 0.6,
+            },
+        ],
+    }
+}
+
+fn wavy_grad(n: usize) -> Grid2D<f64> {
+    Grid2D::from_vec(
+        n,
+        n,
+        (0..n * n)
+            .map(|i| ((i as f64 * 0.7310).sin() - 0.3) * 0.2)
+            .collect(),
+    )
+}
+
+/// One full n₁ → n₂ → n₁ round-trip through a hard-max workspace, with
+/// the third render leaving a previously-contented tile empty.
+fn check_hard_roundtrip(n1: usize, n2: usize) {
+    let mut ws = ComposeWorkspace::new();
+
+    // Render 1 at n₁: content in the high tile.
+    ws.compose(&corner_circles(), &cfg(n1));
+
+    // Render 2 at n₂: different size, arbitrary content.
+    ws.compose(&low_tile_circles(), &cfg(n2));
+
+    // Render 3 back at n₁: the high tile's bucket is now empty. Any
+    // stale pixels from render 1 would survive here if the resize path
+    // lost the dirty flags.
+    let third = low_tile_circles();
+    ws.compose(&third, &cfg(n1));
+
+    let reference = compose_serial(&third, &cfg(n1));
+    assert_eq!(
+        ws.mask(),
+        &reference.mask,
+        "stale mask after {n1}→{n2}→{n1}"
+    );
+    assert_eq!(
+        ws.argmax(),
+        &reference.argmax,
+        "stale argmax after {n1}→{n2}→{n1}"
+    );
+
+    let grad = wavy_grad(n1);
+    let mut grads = Vec::new();
+    ws.backward_into(&grad, &mut grads);
+    assert_eq!(
+        grads,
+        reference.backward_serial(&grad),
+        "fused backward diverged after {n1}→{n2}→{n1}"
+    );
+}
+
+/// Same round-trip through the soft-max workspace.
+fn check_soft_roundtrip(n1: usize, n2: usize) {
+    let mut ws = SoftWorkspace::new();
+    ws.compose(&corner_circles(), &cfg(n1), BETA);
+    ws.compose(&low_tile_circles(), &cfg(n2), BETA);
+    let third = low_tile_circles();
+    ws.compose(&third, &cfg(n1), BETA);
+
+    let reference = compose_soft_serial(&third, &cfg(n1), BETA);
+    assert_eq!(
+        ws.mask(),
+        &reference.mask,
+        "stale soft mask after {n1}→{n2}→{n1}"
+    );
+
+    let grad = wavy_grad(n1);
+    let mut grads = Vec::new();
+    ws.backward_into(&grad, &mut grads);
+    assert_eq!(
+        grads,
+        reference.backward_serial(&grad),
+        "soft backward diverged after {n1}→{n2}→{n1}"
+    );
+}
+
+#[test]
+fn hard_workspace_survives_grow_shrink_cycle() {
+    // n₂ > n₁: the resize grows the grid, then returns.
+    check_hard_roundtrip(2 * TILE, 3 * TILE);
+}
+
+#[test]
+fn hard_workspace_survives_shrink_grow_cycle() {
+    // n₂ < n₁: shrink then grow back — same tile count at n₁ both
+    // times, so the stale-tile hazard is identical.
+    check_hard_roundtrip(3 * TILE, 2 * TILE);
+}
+
+#[test]
+fn hard_workspace_survives_non_tile_aligned_sizes() {
+    // Ragged edge tiles (n not a multiple of TILE) resize correctly.
+    check_hard_roundtrip(2 * TILE + 9, TILE + 5);
+}
+
+#[test]
+fn hard_workspace_survives_same_tile_count_resize() {
+    // n changes but the tile count does not (both sizes land in the
+    // same `div_ceil(TILE)` bucket), so `TileGrid::reset`'s size-change
+    // branch never fires and the dirty flags persist across renders
+    // with different tile geometry.
+    check_hard_roundtrip(2 * TILE, 2 * TILE - 7);
+}
+
+#[test]
+fn soft_workspace_survives_grow_shrink_cycle() {
+    check_soft_roundtrip(2 * TILE, 3 * TILE);
+}
+
+#[test]
+fn soft_workspace_survives_shrink_grow_cycle() {
+    check_soft_roundtrip(3 * TILE, 2 * TILE);
+}

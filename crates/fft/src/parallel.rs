@@ -431,6 +431,110 @@ where
     run_region(n, workers, &f);
 }
 
+/// Runs `f(i)` for every `i in 0..n` with **dynamic claiming in batches
+/// of `grain` consecutive indices** on the persistent pool.
+///
+/// This is the work-stealing-style primitive behind the dirty-tile
+/// composition scheduler in `cfaopc-core`: the region's atomic cursor
+/// hands each participant `grain` indices per claim, so the claim cost
+/// amortizes over a batch while short, uneven worklists (sparse circle
+/// sets touch few tiles) still balance dynamically instead of being
+/// carved into fixed bands up front. Indices inside a batch run in
+/// ascending order; batches themselves are unordered across threads, so
+/// `f` must make iterations independent (e.g. each index owns a
+/// disjoint region of the output — see [`DisjointSliceMut`]).
+///
+/// Runs serially (inline, spawning nothing) when only one worker is
+/// configured or there is at most one batch.
+///
+/// # Panics
+///
+/// Panics if `grain == 0`. Panics propagate from `f` after the region
+/// drains.
+pub fn par_index_claim<F>(n: usize, grain: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(grain > 0, "grain must be positive");
+    let batches = n.div_ceil(grain);
+    let workers = effective_workers().min(batches.max(1));
+    if workers <= 1 || batches <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    run_region(batches, workers, &|b| {
+        let start = b * grain;
+        let end = (start + grain).min(n);
+        for i in start..end {
+            f(i);
+        }
+    });
+}
+
+/// A shared mutable slice that parallel tasks may carve into
+/// **caller-guaranteed disjoint** sub-slices.
+///
+/// The safe constructor borrows the slice mutably for the wrapper's
+/// lifetime, so no other access can exist while tasks write through it;
+/// the remaining obligation — that concurrent [`DisjointSliceMut::slice_mut`]
+/// calls never overlap — cannot be checked here and is why that method
+/// is `unsafe`. This is the tile-renderer's write path: each claimed
+/// tile maps to row segments no other tile contains.
+pub struct DisjointSliceMut<'a, T> {
+    ptr: SendPtr<T>,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+impl<'a, T: Send> DisjointSliceMut<'a, T> {
+    /// Wraps `data` for disjoint parallel writes.
+    pub fn new(data: &'a mut [T]) -> Self {
+        DisjointSliceMut {
+            len: data.len(),
+            ptr: SendPtr(data.as_mut_ptr()),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Total length of the wrapped slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wrapped slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The sub-slice `[start, start + len)`.
+    ///
+    /// # Safety
+    ///
+    /// No two sub-slices alive at the same time (across all threads) may
+    /// overlap, and `start + len` must not exceed [`DisjointSliceMut::len`].
+    /// The bounds are asserted; the disjointness is the caller's contract.
+    // `&self -> &mut` is the point of this type: many tasks hold shared
+    // references to the wrapper and carve provably disjoint sub-slices,
+    // which is exactly the aliasing obligation the `unsafe` contract
+    // above pushes to the caller.
+    #[allow(clippy::mut_from_ref)]
+    #[allow(unsafe_code)]
+    // SAFETY: see `# Safety` above — bounds are asserted here, and the
+    // caller upholds the no-overlapping-sub-slices contract.
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        assert!(
+            start <= self.len && len <= self.len - start,
+            "sub-slice out of bounds"
+        );
+        // SAFETY: bounds checked above; the caller guarantees no aliasing
+        // sub-slice is alive, and the wrapper's lifetime pins the unique
+        // borrow of the underlying data.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.at(start), len) }
+    }
+}
+
 /// Wrapper making a raw pointer `Send + Sync` so region tasks can write
 /// disjoint slots of a shared buffer.
 struct SendPtr<T>(*mut T);
@@ -568,6 +672,66 @@ mod tests {
         });
         assert_eq!(count.load(Ordering::Relaxed), 1000);
         assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn par_index_claim_runs_each_index_once() {
+        for grain in [1, 3, 16, 1000] {
+            let count = AtomicU64::new(0);
+            let sum = AtomicU64::new(0);
+            par_index_claim(257, grain, |i| {
+                count.fetch_add(1, Ordering::Relaxed);
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 257, "grain {grain}");
+            assert_eq!(sum.load(Ordering::Relaxed), 256 * 257 / 2, "grain {grain}");
+        }
+    }
+
+    #[test]
+    fn par_index_claim_handles_zero_and_one() {
+        par_index_claim(0, 4, |_| panic!("must not run"));
+        let hit = AtomicU64::new(0);
+        par_index_claim(1, 4, |_| {
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "grain must be positive")]
+    fn par_index_claim_rejects_zero_grain() {
+        par_index_claim(4, 0, |_| {});
+    }
+
+    #[test]
+    fn disjoint_slice_mut_writes_disjoint_tiles() {
+        let mut data = vec![0u32; 64];
+        let shared = DisjointSliceMut::new(&mut data);
+        assert_eq!(shared.len(), 64);
+        assert!(!shared.is_empty());
+        par_index_claim(8, 2, |i| {
+            // SAFETY: each index owns the disjoint window [8i, 8i+8), and
+            // every index is claimed exactly once per region.
+            #[allow(unsafe_code)]
+            let chunk = unsafe { shared.slice_mut(i * 8, 8) };
+            for v in chunk.iter_mut() {
+                *v = i as u32 + 1;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i / 8) as u32 + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-slice out of bounds")]
+    fn disjoint_slice_mut_checks_bounds() {
+        let mut data = vec![0u8; 8];
+        let shared = DisjointSliceMut::new(&mut data);
+        // SAFETY: no other sub-slice is alive; the call panics on bounds.
+        #[allow(unsafe_code)]
+        let _ = unsafe { shared.slice_mut(4, 5) };
     }
 
     #[test]

@@ -116,6 +116,9 @@ impl Counter {
 /// | `tiles_skipped` | composition tiles skipped (untouched twice over) |
 /// | `circles_pruned` | circles dropped by the hard-max `q_floor` |
 /// | `nonfinite_aborts` | runs terminated by the numerical-health guard |
+/// | `compose_render_ns` | wall ns inside composition render regions |
+/// | `backward_scan_ns` | wall ns inside fused-backward band scans |
+/// | `backward_merge_ns` | wall ns merging backward band partials |
 pub mod counters {
     use super::Counter;
 
@@ -131,9 +134,17 @@ pub mod counters {
     pub static CIRCLES_PRUNED: Counter = Counter::new("circles_pruned");
     /// Optimizer runs aborted by the NaN/Inf health guard.
     pub static NONFINITE_ABORTS: Counter = Counter::new("nonfinite_aborts");
+    /// Nanoseconds spent in composition render regions (wall time around
+    /// the dynamic tile-claiming region, accumulated per compose).
+    pub static COMPOSE_RENDER_NS: Counter = Counter::new("compose_render_ns");
+    /// Nanoseconds spent in the fused backward band-scan regions.
+    pub static BACKWARD_SCAN_NS: Counter = Counter::new("backward_scan_ns");
+    /// Nanoseconds spent merging backward band partials (ordered
+    /// reduction on the calling thread).
+    pub static BACKWARD_MERGE_NS: Counter = Counter::new("backward_merge_ns");
 
     /// Every counter, in inventory order.
-    pub fn all() -> [&'static Counter; 6] {
+    pub fn all() -> [&'static Counter; 9] {
         [
             &FFT_2D,
             &POOL_REGIONS,
@@ -141,6 +152,9 @@ pub mod counters {
             &TILES_SKIPPED,
             &CIRCLES_PRUNED,
             &NONFINITE_ABORTS,
+            &COMPOSE_RENDER_NS,
+            &BACKWARD_SCAN_NS,
+            &BACKWARD_MERGE_NS,
         ]
     }
 }

@@ -70,10 +70,10 @@ def main() -> int:
     measured = load_cases(args.measured)
 
     failures = []
+    removed = sorted(set(baseline) - set(measured))
     for name, base_ns in sorted(baseline.items()):
         got_ns = measured.get(name)
         if got_ns is None:
-            failures.append(f"{name}: present in baseline but not measured")
             continue
         ratio = got_ns / base_ns if base_ns else float("inf")
         marker = "FAIL" if ratio > args.tolerance else "ok"
@@ -92,6 +92,15 @@ def main() -> int:
             )
     for name in sorted(set(measured) - set(baseline)):
         print(f"note  {name}: new case with no baseline (add it on refresh)")
+    if removed:
+        # A vanished benchmark usually means a case was renamed or its
+        # code path deleted; name every missing case in one place so the
+        # failure message says exactly what to reconcile.
+        failures.append(
+            f"{len(removed)} baseline case(s) missing from the measured "
+            f"snapshot: {', '.join(removed)} -- if the rename/removal is "
+            "intentional, refresh eval/baselines/ in the same change"
+        )
 
     if failures:
         print(
