@@ -17,7 +17,7 @@
 use cfaopc_core::{compose, compose_soft, ComposeConfig, SparseCircles};
 use cfaopc_ebeam::{EbeamPsf, WriterModel};
 use cfaopc_fft::parallel::{pool_thread_count, worker_count};
-use cfaopc_fft::{Complex, Fft2d};
+use cfaopc_fft::{Complex, Fft2d, Rfft2d};
 use cfaopc_fracture::{circle_rule, rect_fracture, CircleRuleConfig};
 use cfaopc_grid::{skeletonize, Grid2D};
 use cfaopc_layouts::benchmark_case;
@@ -147,6 +147,23 @@ fn main() {
         black_box(buf[0]);
     }));
 
+    // Real-input FFT (the mask-spectrum path).
+    let rplan = Rfft2d::square(N).unwrap();
+    let real_base: Vec<f64> = (0..N * N).map(|i| (i % 7) as f64).collect();
+    let mut rfft_out = vec![Complex::ZERO; N * N];
+    results.push(run_case("rfft2d_forward_256", || {
+        rplan.forward_into(&real_base, &mut rfft_out).unwrap();
+        black_box(rfft_out[0]);
+    }));
+    let rplan512 = Rfft2d::square(2 * N).unwrap();
+    let real_base512: Vec<f64> = (0..4 * N * N).map(|i| (i % 7) as f64).collect();
+    let mut rfft_out512 = vec![Complex::ZERO; 4 * N * N];
+    results.push(run_case("rfft2d_forward_512", || {
+        rplan512.forward_into(&real_base512, &mut rfft_out512).unwrap();
+        black_box(rfft_out512[0]);
+    }));
+    drop((rfft_out, rfft_out512, real_base512));
+
     // Litho forward model. The warmup iterations also bring the worker
     // pool and buffer pools to steady state, so the thread count taken
     // here must stay flat across the timed loop.
@@ -172,6 +189,26 @@ fn main() {
     results.push(run_case("loss_and_gradient_256_3corner", || {
         black_box(loss_and_gradient(&s, &grad_mask, &target_real, LossWeights::default()).unwrap());
     }));
+
+    // The same gradient at 512² (fewer iterations would be nice, but a
+    // uniform harness keeps the snapshot schema simple; the case costs
+    // ~4× the 256² one).
+    {
+        let s512 = LithoSimulator::new(LithoConfig {
+            size: 2 * N,
+            kernel_count: 8,
+            ..LithoConfig::default()
+        })
+        .unwrap();
+        let target512 = benchmark_case(3).unwrap().rasterize(2 * N).to_real();
+        let grad_mask512 = Grid2D::new(2 * N, 2 * N, 0.4);
+        results.push(run_case("loss_and_gradient_512_3corner", || {
+            black_box(
+                loss_and_gradient(&s512, &grad_mask512, &target512, LossWeights::default())
+                    .unwrap(),
+            );
+        }));
+    }
 
     // Fracturing.
     results.push(run_case("skeletonize_case3_256", || {

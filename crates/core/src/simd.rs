@@ -38,25 +38,10 @@
 //! bits as the full evaluation — asserted by a unit test against the
 //! plain [`sigmoid`].
 
-use cfaopc_litho::sigmoid;
-
-/// Sigmoid argument beyond which `sigmoid(t) == 1.0` *exactly* (see the
-/// module docs for the rounding argument; the true threshold is 37, the
-/// extra slack costs a handful of spurious `exp` calls near the rim).
-pub(crate) const SIGMOID_SAT: f64 = 40.0;
-
-/// `sigmoid(t)`, skipping the `exp` for saturated arguments.
-///
-/// Bit-identical to [`sigmoid`] for every finite `t`: the shortcut only
-/// fires where the full evaluation provably returns `1.0`.
-#[inline(always)]
-pub(crate) fn sigmoid_sat(t: f64) -> f64 {
-    if t >= SIGMOID_SAT {
-        1.0
-    } else {
-        sigmoid(t)
-    }
-}
+// The saturation shortcut and its threshold are the litho crate's
+// canonical definitions now (the resist model is the other consumer);
+// re-exported here so the composition loops keep their import path.
+pub(crate) use cfaopc_litho::{sigmoid_sat, SIGMOID_SAT};
 
 /// Fills `d[k] = √((x0+k − cx)² + dy2)` for `k in 0..d.len()`.
 ///
@@ -92,13 +77,10 @@ fn fill_dist_row_scalar(d: &mut [f64], x0: usize, cx: f64, dy2: f64) {
     }
 }
 
+// Shared runtime-detection latch (one OnceLock for the whole workspace,
+// defined next to the FFT butterflies).
 #[cfg(target_arch = "x86_64")]
-#[inline]
-fn avx2_available() -> bool {
-    use std::sync::OnceLock;
-    static AVX2: OnceLock<bool> = OnceLock::new();
-    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
-}
+use cfaopc_fft::simd::avx2_available;
 
 /// AVX2 kernel: four pixels per iteration via packed sub/mul/add/sqrt.
 ///
@@ -142,6 +124,7 @@ unsafe fn fill_dist_row_avx2(d: &mut [f64], x0: usize, cx: f64, dy2: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cfaopc_litho::sigmoid;
 
     #[test]
     fn sigmoid_saturates_to_exactly_one_at_threshold() {

@@ -21,7 +21,10 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// assert_eq!(a * b, Complex::new(5.0, 5.0));
 /// assert_eq!(a.conj(), Complex::new(1.0, -2.0));
 /// ```
+// `repr(C)` pins the [re, im] field order so the SIMD kernels in
+// [`crate::simd`] may reinterpret `&[Complex]` as packed f64 pairs.
 #[derive(Clone, Copy, Default, PartialEq)]
+#[repr(C)]
 pub struct Complex {
     /// Real part.
     pub re: f64,

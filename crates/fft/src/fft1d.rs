@@ -80,6 +80,11 @@ pub struct Fft {
     /// Forward twiddles laid out stage-major: for each stage `s`
     /// (half-size `m = 2^s`), `m` factors `e^{-iπ j/m}`, `j = 0..m`.
     twiddles: Arc<[Complex]>,
+    /// Conjugated copy of `twiddles` for the inverse transform, so the
+    /// butterfly loops index one table instead of conjugating per
+    /// butterfly. `z.conj()` only flips a sign bit, so the precomputed
+    /// table is bit-identical to conjugating at use.
+    twiddles_inv: Arc<[Complex]>,
 }
 
 impl Fft {
@@ -110,10 +115,12 @@ impl Fft {
             }
             m <<= 1;
         }
+        let twiddles_inv: Vec<Complex> = twiddles.iter().map(|w| w.conj()).collect();
         Ok(Fft {
             n,
             bit_rev: bit_rev.into(),
             twiddles: twiddles.into(),
+            twiddles_inv: twiddles_inv.into(),
         })
     }
 
@@ -188,26 +195,138 @@ impl Fft {
                 data.swap(i, j);
             }
         }
-        // Iterative butterflies; twiddle table is stage-major.
-        let mut m = 1usize;
-        let mut tw_base = 0usize;
-        while m < self.n {
-            let step = m << 1;
-            for start in (0..self.n).step_by(step) {
-                for j in 0..m {
-                    let w = match dir {
-                        Direction::Forward => self.twiddles[tw_base + j],
-                        Direction::Inverse => self.twiddles[tw_base + j].conj(),
-                    };
-                    let a = data[start + j];
-                    let b = data[start + j + m] * w;
-                    data[start + j] = a + b;
-                    data[start + j + m] = a - b;
+        // Iterative butterflies; the direction picks one of the two
+        // precomputed stage-major twiddle tables (the inverse table is the
+        // conjugated copy — bit-identical to conjugating per butterfly).
+        let tw = match dir {
+            Direction::Forward => &self.twiddles,
+            Direction::Inverse => &self.twiddles_inv,
+        };
+        #[cfg(target_arch = "x86_64")]
+        {
+            if self.n >= 4 && crate::simd::avx2_available() {
+                // SAFETY: AVX2 was detected at runtime — the only
+                // precondition of the target_feature function below.
+                #[allow(unsafe_code)]
+                unsafe {
+                    butterflies_avx2(data, tw);
                 }
+                return;
             }
-            tw_base += m;
-            m = step;
         }
+        butterflies_scalar(data, tw);
+    }
+}
+
+/// Scalar butterfly ladder — the definition of the transform's numerical
+/// semantics and the fallback for non-AVX2 targets. `data.len()` must be
+/// a power of two ≥ 2 and `tw` its stage-major twiddle table (already
+/// conjugated for inverse transforms).
+#[inline]
+fn butterflies_scalar(data: &mut [Complex], tw: &[Complex]) {
+    let n = data.len();
+    let mut m = 1usize;
+    let mut tw_base = 0usize;
+    while m < n {
+        let step = m << 1;
+        for start in (0..n).step_by(step) {
+            for j in 0..m {
+                let w = tw[tw_base + j];
+                let a = data[start + j];
+                let b = data[start + j + m] * w;
+                data[start + j] = a + b;
+                data[start + j + m] = a - b;
+            }
+        }
+        tw_base += m;
+        m = step;
+    }
+}
+
+/// AVX2 butterfly ladder, two complex butterflies per vector op.
+///
+/// # Why this is bit-identical to [`butterflies_scalar`]
+///
+/// The twiddle product uses `vmulpd` + `vaddsubpd`: even lanes compute
+/// `b.re·w.re − b.im·w.im` and odd lanes `b.im·w.re + b.re·w.im`. The
+/// scalar `Complex::mul` computes `b.re·w.im + b.im·w.re` for the
+/// imaginary part — the same two correctly rounded products added in the
+/// other order, and IEEE-754 addition is commutative (one rounding of the
+/// exact sum either way) — so every lane carries the scalar bits. The
+/// `a ± b·w` adds and the first-stage deinterleave/reinterleave shuffles
+/// (`vperm2f128` moves finished values only) preserve that. No FMA is
+/// emitted: the intrinsics pin the instruction selection.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+// SAFETY: callers must have verified AVX2 support (the `dispatch` gate);
+// additionally `data.len()` must be a power of two ≥ 4 with `tw` its
+// stage-major twiddle table — both guaranteed by plan construction. All
+// pointer arithmetic below is bounded by those shapes.
+unsafe fn butterflies_avx2(data: &mut [Complex], tw: &[Complex]) {
+    use std::arch::x86_64::*;
+    let n = data.len();
+    debug_assert!(n >= 4 && n.is_power_of_two());
+    let p = data.as_mut_ptr() as *mut f64;
+    let twp = tw.as_ptr() as *const f64;
+
+    // Stage m = 1: butterflies on adjacent pairs (a, b) with w = tw[0].
+    // Two 2-complex registers are deinterleaved into an `a` vector and a
+    // `b` vector, processed, and reinterleaved — the arithmetic per lane
+    // matches the generic scalar butterfly with w = tw[0] exactly.
+    // SAFETY: `i + 4 <= n` bounds all loads/stores; `Complex` is
+    // `repr(C)` so the f64 view sees [re, im] pairs.
+    unsafe {
+        let w_re = _mm256_set1_pd(tw[0].re);
+        let w_im = _mm256_set1_pd(tw[0].im);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let v_lo = _mm256_loadu_pd(p.add(2 * i)); // a0 b0
+            let v_hi = _mm256_loadu_pd(p.add(2 * i + 4)); // a1 b1
+            let a = _mm256_permute2f128_pd(v_lo, v_hi, 0x20); // a0 a1
+            let b = _mm256_permute2f128_pd(v_lo, v_hi, 0x31); // b0 b1
+            // b·w via mul/addsub (see the bit-identity argument above).
+            let b_swap = _mm256_permute_pd(b, 0b0101);
+            let bw = _mm256_addsub_pd(_mm256_mul_pd(b, w_re), _mm256_mul_pd(b_swap, w_im));
+            let s = _mm256_add_pd(a, bw);
+            let d = _mm256_sub_pd(a, bw);
+            _mm256_storeu_pd(p.add(2 * i), _mm256_permute2f128_pd(s, d, 0x20));
+            _mm256_storeu_pd(p.add(2 * i + 4), _mm256_permute2f128_pd(s, d, 0x31));
+            i += 4;
+        }
+    }
+
+    // Stages m ≥ 2: lanes j and j+1 live in one register already.
+    let mut m = 2usize;
+    let mut tw_base = 1usize;
+    while m < n {
+        let step = m << 1;
+        let mut start = 0usize;
+        while start < n {
+            let mut j = 0usize;
+            while j + 2 <= m {
+                // SAFETY: `j + 2 <= m` keeps the twiddle load inside this
+                // stage's table block and both data loads/stores inside
+                // the current butterfly group (`start + j + m + 2 <=
+                // start + step <= n`).
+                unsafe {
+                    let w = _mm256_loadu_pd(twp.add(2 * (tw_base + j))); // w0 w1
+                    let a = _mm256_loadu_pd(p.add(2 * (start + j)));
+                    let b = _mm256_loadu_pd(p.add(2 * (start + j + m)));
+                    let w_re = _mm256_movedup_pd(w); // w0.re w0.re w1.re w1.re
+                    let w_im = _mm256_permute_pd(w, 0b1111); // w0.im w0.im w1.im w1.im
+                    let b_swap = _mm256_permute_pd(b, 0b0101);
+                    let bw =
+                        _mm256_addsub_pd(_mm256_mul_pd(b, w_re), _mm256_mul_pd(b_swap, w_im));
+                    _mm256_storeu_pd(p.add(2 * (start + j)), _mm256_add_pd(a, bw));
+                    _mm256_storeu_pd(p.add(2 * (start + j + m)), _mm256_sub_pd(a, bw));
+                }
+                j += 2;
+            }
+            start += step;
+        }
+        tw_base += m;
+        m = step;
     }
 }
 
@@ -215,13 +334,28 @@ impl Fft {
 ///
 /// Exposed publicly so downstream crates can sanity-check their own
 /// frequency-domain constructions in tests; do not use it on large inputs.
+/// Allocates a fresh output per call — fuzz and property loops should
+/// prefer [`naive_dft_into`] with a reused buffer.
 pub fn naive_dft(input: &[Complex], dir: Direction) -> Vec<Complex> {
+    let mut out = vec![Complex::ZERO; input.len()];
+    naive_dft_into(input, dir, &mut out);
+    out
+}
+
+/// [`naive_dft`] into a caller-owned buffer, so tight reference loops
+/// (fuzzers, property tests) stop allocating per transform.
+///
+/// # Panics
+///
+/// Panics if `out.len() != input.len()` — this is test-support code, a
+/// typed error would only obscure the broken harness.
+pub fn naive_dft_into(input: &[Complex], dir: Direction, out: &mut [Complex]) {
     let n = input.len();
+    assert_eq!(out.len(), n, "output buffer length must match the input");
     let sign = match dir {
         Direction::Forward => -1.0,
         Direction::Inverse => 1.0,
     };
-    let mut out = vec![Complex::ZERO; n];
     for (k, slot) in out.iter_mut().enumerate() {
         let mut acc = Complex::ZERO;
         for (j, &x) in input.iter().enumerate() {
@@ -234,7 +368,6 @@ pub fn naive_dft(input: &[Complex], dir: Direction) -> Vec<Complex> {
             acc
         };
     }
-    out
 }
 
 #[cfg(test)]
@@ -383,6 +516,80 @@ mod tests {
             let rhs = alpha * fa[k] + fb[k];
             assert!((lhs[k] - rhs).abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn avx2_butterflies_bit_identical_to_scalar() {
+        // The dispatcher's contract: the SIMD ladder must reproduce the
+        // scalar reference bit for bit, in both directions, at every size
+        // the litho stack uses (and the small ones where the m=1 stage
+        // dominates). When AVX2 is unavailable this degenerates to
+        // scalar-vs-scalar, which still pins the shared butterfly body.
+        for log2 in 2..=9 {
+            let n = 1usize << log2;
+            let plan = Fft::new(n).unwrap();
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let tw = match dir {
+                    Direction::Forward => &plan.twiddles,
+                    Direction::Inverse => &plan.twiddles_inv,
+                };
+                let mut simd = ramp(n);
+                plan.dispatch(&mut simd, dir);
+                // dispatch() also bit-reverses; apply the same permutation
+                // to the scalar ladder's input for a like-for-like run.
+                let mut scalar_in = ramp(n);
+                for i in 0..n {
+                    let j = plan.bit_rev[i] as usize;
+                    if i < j {
+                        scalar_in.swap(i, j);
+                    }
+                }
+                butterflies_scalar(&mut scalar_in, tw);
+                for i in 0..n {
+                    assert_eq!(
+                        simd[i].re.to_bits(),
+                        scalar_in[i].re.to_bits(),
+                        "n={n} {dir:?} i={i}"
+                    );
+                    assert_eq!(
+                        simd[i].im.to_bits(),
+                        scalar_in[i].im.to_bits(),
+                        "n={n} {dir:?} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_twiddle_table_is_exact_conjugate() {
+        let plan = Fft::new(64).unwrap();
+        for (w, wi) in plan.twiddles.iter().zip(plan.twiddles_inv.iter()) {
+            assert_eq!(w.re.to_bits(), wi.re.to_bits());
+            assert_eq!(w.conj().im.to_bits(), wi.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn naive_dft_into_matches_allocating_variant() {
+        let input = ramp(16);
+        let mut out = vec![Complex::ZERO; 16];
+        for dir in [Direction::Forward, Direction::Inverse] {
+            naive_dft_into(&input, dir, &mut out);
+            let fresh = naive_dft(&input, dir);
+            for (a, b) in out.iter().zip(&fresh) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer length")]
+    fn naive_dft_into_rejects_wrong_length() {
+        let input = ramp(8);
+        let mut out = vec![Complex::ZERO; 4];
+        naive_dft_into(&input, Direction::Forward, &mut out);
     }
 
     #[test]

@@ -152,6 +152,95 @@ impl Fft2d {
         self.execute_with(data, dir, true)
     }
 
+    /// [`Fft2d::inverse_serial`] specialized for spectra whose support is
+    /// confined to a band of rows (e.g. a pupil-filtered SOCS field): the
+    /// row pass skips rows that are entirely zero, since their transform
+    /// is zero.
+    ///
+    /// The only conceivable divergence from the unskipped transform is
+    /// the *sign* of exact zeros inside skipped rows (a computed zero row
+    /// can carry `-0.0` from sign-flipped products); every consumer
+    /// squares or accumulates those entries, where the sign of zero is
+    /// inert. Nonzero results are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len() != height*width`.
+    pub fn inverse_serial_sparse(&self, data: &mut [Complex]) -> Result<(), FftError> {
+        self.check(data)?;
+        cfaopc_trace::counters::FFT_2D.incr();
+        let row_fft = &self.row_fft;
+        for row in data.chunks_mut(self.width) {
+            // The scan short-circuits at the first nonzero entry, so dense
+            // rows pay a handful of loads and sparse fields skip ~80% of
+            // their row transforms.
+            if row.iter().any(|z| z.re != 0.0 || z.im != 0.0) {
+                row_fft
+                    .inverse(row)
+                    .expect("row length matches plan by construction");
+            }
+        }
+        let mut scratch = self.scratch.take(data.len());
+        transpose_into(data, self.height, self.width, &mut scratch);
+        let col_fft = &self.col_fft;
+        for col in scratch.chunks_mut(self.height) {
+            col_fft
+                .inverse(col)
+                .expect("column length matches plan by construction");
+        }
+        transpose_into(&scratch, self.width, self.height, data);
+        self.scratch.put(scratch);
+        Ok(())
+    }
+
+    /// [`Fft2d::inverse_serial`] for consumers that only read a subset of
+    /// output **columns**: the column pass transforms only the columns
+    /// flagged in `wanted` (indexed by `kx`, length `width`).
+    ///
+    /// Entries in unwanted columns are left **unspecified** (they hold
+    /// untransformed row-pass data). Wanted columns are bit-identical to
+    /// the dense serial inverse — each column transform is independent,
+    /// so skipping neighbours cannot perturb it. The adjoint litho pass
+    /// uses this to evaluate `IFFT(B)` only on the pupil support.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len() != height*width`
+    /// or `wanted.len() != width`.
+    pub fn inverse_serial_cols(
+        &self,
+        data: &mut [Complex],
+        wanted: &[bool],
+    ) -> Result<(), FftError> {
+        self.check(data)?;
+        if wanted.len() != self.width {
+            return Err(FftError::LengthMismatch {
+                expected: self.width,
+                actual: wanted.len(),
+            });
+        }
+        cfaopc_trace::counters::FFT_2D.incr();
+        let row_fft = &self.row_fft;
+        for row in data.chunks_mut(self.width) {
+            row_fft
+                .inverse(row)
+                .expect("row length matches plan by construction");
+        }
+        let mut scratch = self.scratch.take(data.len());
+        transpose_into(data, self.height, self.width, &mut scratch);
+        let col_fft = &self.col_fft;
+        for (kx, col) in scratch.chunks_mut(self.height).enumerate() {
+            if wanted[kx] {
+                col_fft
+                    .inverse(col)
+                    .expect("column length matches plan by construction");
+            }
+        }
+        transpose_into(&scratch, self.width, self.height, data);
+        self.scratch.put(scratch);
+        Ok(())
+    }
+
     /// Shared body of the parallel and serial entry points. The row/column
     /// passes write disjoint chunks and perform no cross-chunk reductions,
     /// so the parallel and serial results are bit-identical.
@@ -333,6 +422,78 @@ mod tests {
                 assert!((prod[y * n + x] - src).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn sparse_inverse_matches_dense_inverse() {
+        // A pupil-like field: support confined to a few rows. The sparse
+        // row-skipping inverse must agree with the dense serial inverse —
+        // bit-identically on nonzero entries, up to the sign of zero on
+        // exact zeros.
+        let n = 32;
+        let plan = Fft2d::square(n).unwrap();
+        let mut field = vec![Complex::ZERO; n * n];
+        for ky in [0usize, 1, 2, 30, 31] {
+            for kx in 0..n {
+                field[ky * n + kx] = Complex::new((kx as f64 * 0.3).sin(), kx as f64 * 0.01 - 0.1);
+            }
+        }
+        let mut dense = field.clone();
+        plan.inverse_serial(&mut dense).unwrap();
+        let mut sparse = field;
+        plan.inverse_serial_sparse(&mut sparse).unwrap();
+        for i in 0..n * n {
+            let (a, b) = (sparse[i], dense[i]);
+            let same_re = a.re.to_bits() == b.re.to_bits() || (a.re == 0.0 && b.re == 0.0);
+            let same_im = a.im.to_bits() == b.im.to_bits() || (a.im == 0.0 && b.im == 0.0);
+            assert!(same_re && same_im, "pixel {i}: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_inverse_of_dense_field_is_exact() {
+        // No zero rows at all: the sparse path must degenerate to the
+        // dense serial inverse bit for bit.
+        let (h, w) = (16, 8);
+        let field = sample(h, w);
+        let plan = Fft2d::new(h, w).unwrap();
+        let mut dense = field.clone();
+        plan.inverse_serial(&mut dense).unwrap();
+        let mut sparse = field;
+        plan.inverse_serial_sparse(&mut sparse).unwrap();
+        for i in 0..h * w {
+            assert_eq!(sparse[i].re.to_bits(), dense[i].re.to_bits(), "pixel {i}");
+            assert_eq!(sparse[i].im.to_bits(), dense[i].im.to_bits(), "pixel {i}");
+        }
+    }
+
+    #[test]
+    fn column_sampled_inverse_matches_dense_on_wanted_columns() {
+        let (h, w) = (16, 32);
+        let field = sample(h, w);
+        let plan = Fft2d::new(h, w).unwrap();
+        let mut dense = field.clone();
+        plan.inverse_serial(&mut dense).unwrap();
+        // A pupil-like column mask: low and high (wrapped) frequencies.
+        let wanted: Vec<bool> = (0..w).map(|kx| kx < 5 || kx >= w - 4).collect();
+        let mut sampled = field;
+        plan.inverse_serial_cols(&mut sampled, &wanted).unwrap();
+        for ky in 0..h {
+            for (kx, &keep) in wanted.iter().enumerate() {
+                if keep {
+                    let (a, b) = (sampled[ky * w + kx], dense[ky * w + kx]);
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "({ky},{kx})");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "({ky},{kx})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn column_sampled_inverse_rejects_wrong_mask_length() {
+        let plan = Fft2d::new(8, 8).unwrap();
+        let mut buf = vec![Complex::ZERO; 64];
+        assert!(plan.inverse_serial_cols(&mut buf, &[true; 7]).is_err());
     }
 
     #[test]

@@ -8,10 +8,15 @@
 //! * [`Fft`] — a reusable 1-D radix-2 plan with precomputed twiddles,
 //! * [`Fft2d`] — a separable, thread-parallel 2-D plan with pooled
 //!   (steady-state allocation-free) transpose scratch,
+//! * [`Rfft2d`] — a real-input 2-D plan that exploits Hermitian symmetry
+//!   to roughly halve the transform work for real masks,
 //! * [`parallel`] — persistent-worker-pool helpers the rest of the
 //!   workspace reuses for data-parallel loops,
+//! * [`simd`] — the workspace's shared AVX2 detection latch and bit-exact
+//!   vector kernels for complex-field inner loops,
 //! * [`workspace`] — recyclable buffer pools for hot-loop scratch space,
-//! * [`naive_dft`] — an O(n²) reference transform for tests.
+//! * [`naive_dft`] / [`naive_dft_into`] — O(n²) reference transforms for
+//!   tests.
 //!
 //! # Examples
 //!
@@ -52,9 +57,12 @@ mod complex;
 mod fft1d;
 mod fft2d;
 pub mod parallel;
+mod rfft2d;
+pub mod simd;
 pub mod workspace;
 
 pub use complex::Complex;
-pub use fft1d::{naive_dft, Direction, Fft, FftError};
+pub use fft1d::{naive_dft, naive_dft_into, Direction, Fft, FftError};
 pub use fft2d::{signed_freq, Fft2d};
+pub use rfft2d::Rfft2d;
 pub use workspace::BufferPool;

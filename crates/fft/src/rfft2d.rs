@@ -1,0 +1,440 @@
+//! Real-input 2-D FFT exploiting Hermitian symmetry.
+//!
+//! Masks are real, so their spectra obey `S(ky, kx) = conj(S(−ky, −kx))`
+//! (indices mod grid). [`Rfft2d`] uses that twice:
+//!
+//! * **Row pass** — two real rows are packed as the real and imaginary
+//!   parts of one complex row (`Z = r₀ + i·r₁`), transformed once, and
+//!   unpacked via `F₀(k) = (Z(k) + conj(Z(−k)))/2`,
+//!   `F₁(k) = (Z(k) − conj(Z(−k)))/(2i)` — halving the row transforms.
+//! * **Column pass** — only the `w/2 + 1` non-redundant columns are
+//!   transformed; the remaining half of the spectrum is filled by the 2-D
+//!   symmetry relation — halving the column transforms.
+//!
+//! [`Rfft2d::forward_re_into`] runs the mirrored trick for the gradient's
+//! final `Re[FFT(·)]` step: the input is first projected onto its
+//! Hermitian part (which leaves the real part of the transform unchanged,
+//! since the anti-Hermitian remainder transforms to a purely imaginary
+//! field), columns are transformed over the non-redundant half, and two
+//! real output rows are then recovered from each packed complex row
+//! transform.
+//!
+//! The full complex spectrum is always materialized on output so sparse
+//! spectral consumers (the SOCS kernel supports index the full grid) need
+//! no layout changes. Every output cell is computed by exactly one task
+//! and no cross-task reductions occur, so results are **bit-identical
+//! across worker counts**.
+
+use crate::complex::Complex;
+use crate::fft1d::{Fft, FftError};
+use crate::fft2d::Fft2d;
+use crate::parallel::par_chunks_mut;
+use crate::workspace::BufferPool;
+
+/// A reusable real-input 2-D FFT plan for a fixed `height × width` shape.
+///
+/// Both dimensions must be powers of two. The plan is `Send + Sync` and
+/// cheap to clone; clones share the scratch pools.
+///
+/// # Examples
+///
+/// ```
+/// use cfaopc_fft::{Complex, Fft2d, Rfft2d};
+///
+/// # fn main() -> Result<(), cfaopc_fft::FftError> {
+/// let n = 8;
+/// let img: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let rplan = Rfft2d::square(n)?;
+/// let mut spectrum = vec![Complex::ZERO; n * n];
+/// rplan.forward_into(&img, &mut spectrum)?;
+///
+/// // Same spectrum as the complex plan applied to the real image.
+/// let mut full: Vec<Complex> = img.iter().map(|&v| Complex::from_re(v)).collect();
+/// Fft2d::square(n)?.forward(&mut full)?;
+/// for (a, b) in spectrum.iter().zip(&full) {
+///     assert!((*a - *b).abs() < 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rfft2d {
+    height: usize,
+    width: usize,
+    row_fft: Fft,
+    col_fft: Fft,
+    /// Recycled packed-row buffers (`width` entries each).
+    row_scratch: BufferPool<Complex>,
+    /// Recycled half-spectrum column scratch (`(w/2 + 1) · h` entries).
+    /// Kept separate from the row pool so neither pool thrashes between
+    /// buffer shapes.
+    col_scratch: BufferPool<Complex>,
+    /// Full complex plan for degenerate shapes (an edge shorter than 2
+    /// rows leaves nothing to pack) — never used on production grids.
+    fallback: Fft2d,
+}
+
+impl Rfft2d {
+    /// Builds a plan for `height × width` real-input transforms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthNotPowerOfTwo`] if either dimension is
+    /// not a nonzero power of two.
+    pub fn new(height: usize, width: usize) -> Result<Self, FftError> {
+        Ok(Rfft2d {
+            height,
+            width,
+            row_fft: Fft::new(width)?,
+            col_fft: Fft::new(height)?,
+            row_scratch: BufferPool::new(),
+            col_scratch: BufferPool::new(),
+            fallback: Fft2d::new(height, width)?,
+        })
+    }
+
+    /// Convenience constructor for square transforms.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Rfft2d::new`].
+    pub fn square(n: usize) -> Result<Self, FftError> {
+        Self::new(n, n)
+    }
+
+    /// Grid height (number of rows).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Grid width (number of columns).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total element count `height × width`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Returns `true` if the plan covers zero elements (never, by
+    /// construction, but provided alongside `len` per convention).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn check(&self, actual: usize) -> Result<(), FftError> {
+        if actual != self.len() {
+            return Err(FftError::LengthMismatch {
+                expected: self.len(),
+                actual,
+            });
+        }
+        Ok(())
+    }
+
+    /// Forward 2-D DFT of a real field into a full complex spectrum.
+    ///
+    /// Equivalent to widening `src` to complex and running
+    /// [`Fft2d::forward`], at roughly half the transform work. Output
+    /// cells are each written by exactly one task, so the result is
+    /// bit-identical across worker counts (though not bit-identical to
+    /// the complex plan — the packing reassociates a few additions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `src` or `out` is not
+    /// `height·width` long.
+    pub fn forward_into(&self, src: &[f64], out: &mut [Complex]) -> Result<(), FftError> {
+        self.check(src.len())?;
+        self.check(out.len())?;
+        cfaopc_trace::counters::FFT_2D.incr();
+        let (h, w) = (self.height, self.width);
+        if h < 2 || w < 2 {
+            for (slot, &v) in out.iter_mut().zip(src) {
+                *slot = Complex::from_re(v);
+            }
+            return self.fallback.forward(out);
+        }
+        let wh = w / 2 + 1;
+
+        // Row pass: rows (2p, 2p+1) share one complex transform.
+        let row_fft = &self.row_fft;
+        let row_scratch = &self.row_scratch;
+        par_chunks_mut(out, 2 * w, |p, chunk| {
+            let r0 = 2 * p * w;
+            let r1 = r0 + w;
+            let mut buf = row_scratch.take(w);
+            for (x, slot) in buf.iter_mut().enumerate() {
+                *slot = Complex::new(src[r0 + x], src[r1 + x]);
+            }
+            row_fft
+                .forward(&mut buf)
+                .expect("row length matches plan by construction");
+            for k in 0..w {
+                let z = buf[k];
+                let zm = buf[(w - k) % w].conj();
+                // F₀ = (Z + conj(Z(−k)))/2, F₁ = (Z − conj(Z(−k)))/(2i).
+                chunk[k] = Complex::new((z.re + zm.re) * 0.5, (z.im + zm.im) * 0.5);
+                chunk[w + k] = Complex::new((z.im - zm.im) * 0.5, (zm.re - z.re) * 0.5);
+            }
+            row_scratch.put(buf);
+        });
+
+        // Column pass over the non-redundant columns only, in column-major
+        // scratch (gather → transform → scatter).
+        let mut cols = self.col_scratch.take(wh * h);
+        {
+            let col_fft = &self.col_fft;
+            let rows_done: &[Complex] = out;
+            par_chunks_mut(&mut cols, h, |c, col| {
+                for (y, slot) in col.iter_mut().enumerate() {
+                    *slot = rows_done[y * w + c];
+                }
+                col_fft
+                    .forward(col)
+                    .expect("column length matches plan by construction");
+            });
+        }
+        let cols_ro: &[Complex] = &cols;
+        par_chunks_mut(out, w, |y, row| {
+            for (c, slot) in row[..wh].iter_mut().enumerate() {
+                *slot = cols_ro[c * h + y];
+            }
+        });
+        self.col_scratch.put(cols);
+
+        // Hermitian fill of the redundant half: S(ky,kx) = conj(S(−ky,−kx)).
+        // Reads stay in columns < wh (already final), writes in columns
+        // ≥ wh — disjoint, so fill order is irrelevant.
+        for ky in 0..h {
+            let mirror_row = ((h - ky) % h) * w;
+            for kx in wh..w {
+                let v = out[mirror_row + (w - kx)].conj();
+                out[ky * w + kx] = v;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes `out = Re[FFT2D(freq)]` — the gradient's final shared
+    /// forward transform — at roughly half the full transform's cost.
+    ///
+    /// The anti-Hermitian part of `freq` contributes only to the
+    /// imaginary part of the transform, so `freq` is first projected onto
+    /// its Hermitian part, whose transform is real and recoverable from
+    /// `w/2 + 1` column transforms plus one packed complex row transform
+    /// per *pair* of output rows. Bit-identical across worker counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `freq` or `out` is not
+    /// `height·width` long.
+    pub fn forward_re_into(&self, freq: &[Complex], out: &mut [f64]) -> Result<(), FftError> {
+        self.check(freq.len())?;
+        self.check(out.len())?;
+        cfaopc_trace::counters::FFT_2D.incr();
+        let (h, w) = (self.height, self.width);
+        if h < 2 || w < 2 {
+            let mut buf = self.col_scratch.take(h * w);
+            buf.copy_from_slice(freq);
+            self.fallback.forward(&mut buf)?;
+            for (slot, z) in out.iter_mut().zip(&buf) {
+                *slot = z.re;
+            }
+            self.col_scratch.put(buf);
+            return Ok(());
+        }
+        let wh = w / 2 + 1;
+
+        // Hermitian projection + column transform, non-redundant columns
+        // only. The projected input has the 2-D symmetry, and the column
+        // DFT turns it into rows that are Hermitian in kx (substituting
+        // ky → −ky in the column sum conjugates the result and mirrors
+        // kx), so the redundant columns are recoverable by conjugation.
+        let mut cols = self.col_scratch.take(wh * h);
+        {
+            let col_fft = &self.col_fft;
+            par_chunks_mut(&mut cols, h, |c, col| {
+                let wc = (w - c) % w;
+                for (ky, slot) in col.iter_mut().enumerate() {
+                    let z = freq[ky * w + c];
+                    let zm = freq[((h - ky) % h) * w + wc].conj();
+                    *slot = Complex::new((z.re + zm.re) * 0.5, (z.im + zm.im) * 0.5);
+                }
+                col_fft
+                    .forward(col)
+                    .expect("column length matches plan by construction");
+            });
+        }
+
+        // Row pass: each transformed row is Hermitian in kx, so its row
+        // DFT is real; packing rows (2p, 2p+1) as D = C(y₀) + i·C(y₁)
+        // makes one transform yield both real output rows (real part →
+        // y₀, imaginary part → y₁).
+        let cols_ro: &[Complex] = &cols;
+        let row_fft = &self.row_fft;
+        let row_scratch = &self.row_scratch;
+        par_chunks_mut(out, 2 * w, |p, chunk| {
+            let y0 = 2 * p;
+            let y1 = y0 + 1;
+            let mut buf = row_scratch.take(w);
+            for (k, slot) in buf.iter_mut().enumerate() {
+                let (cs, mirror) = if k < wh { (k, false) } else { (w - k, true) };
+                let mut c0 = cols_ro[cs * h + y0];
+                let mut c1 = cols_ro[cs * h + y1];
+                if mirror {
+                    c0 = c0.conj();
+                    c1 = c1.conj();
+                }
+                *slot = Complex::new(c0.re - c1.im, c0.im + c1.re);
+            }
+            row_fft
+                .forward(&mut buf)
+                .expect("row length matches plan by construction");
+            for x in 0..w {
+                chunk[x] = buf[x].re;
+                chunk[w + x] = buf[x].im;
+            }
+            row_scratch.put(buf);
+        });
+        self.col_scratch.put(cols);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft2d::Fft2d;
+
+    fn real_sample(h: usize, w: usize) -> Vec<f64> {
+        (0..h * w)
+            .map(|i| (i as f64 * 0.13).sin() * 0.8 + (i as f64 * 0.029).cos() * 0.3 - 0.1)
+            .collect()
+    }
+
+    fn complex_sample(h: usize, w: usize) -> Vec<Complex> {
+        (0..h * w)
+            .map(|i| Complex::new((i as f64 * 0.17).sin(), (i as f64 * 0.07).cos() - 0.2))
+            .collect()
+    }
+
+    fn spectrum_tolerance(vals: &[Complex], n: usize) -> f64 {
+        // Ulp-scaled: FFT rounding grows like ε·log₂(n)·‖X‖∞; allow a
+        // small constant factor over that.
+        let peak = vals.iter().map(|z| z.abs()).fold(1.0f64, f64::max);
+        peak * f64::EPSILON * 8.0 * (n.max(2) as f64).log2()
+    }
+
+    #[test]
+    fn matches_complex_plan_across_shapes() {
+        for (h, w) in [(2, 2), (4, 8), (8, 4), (16, 16), (32, 8), (64, 64)] {
+            let src = real_sample(h, w);
+            let rplan = Rfft2d::new(h, w).unwrap();
+            let mut got = vec![Complex::ZERO; h * w];
+            rplan.forward_into(&src, &mut got).unwrap();
+
+            let mut full: Vec<Complex> = src.iter().map(|&v| Complex::from_re(v)).collect();
+            Fft2d::new(h, w).unwrap().forward(&mut full).unwrap();
+            let tol = spectrum_tolerance(&full, h.max(w));
+            for (i, (a, b)) in got.iter().zip(&full).enumerate() {
+                assert!(
+                    (*a - *b).abs() <= tol,
+                    "({h}x{w}) bin {i}: {a:?} vs {b:?} (tol {tol:e})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_hermitian_bit_exactly() {
+        let (h, w) = (16, 8);
+        let src = real_sample(h, w);
+        let rplan = Rfft2d::new(h, w).unwrap();
+        let mut spec = vec![Complex::ZERO; h * w];
+        rplan.forward_into(&src, &mut spec).unwrap();
+        for ky in 0..h {
+            for kx in w / 2 + 1..w {
+                let a = spec[ky * w + kx];
+                let b = spec[((h - ky) % h) * w + (w - kx)].conj();
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "({ky},{kx})");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "({ky},{kx})");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_re_matches_full_transform() {
+        for (h, w) in [(2, 2), (4, 8), (8, 4), (16, 16), (64, 64)] {
+            let freq = complex_sample(h, w);
+            let rplan = Rfft2d::new(h, w).unwrap();
+            let mut got = vec![0.0f64; h * w];
+            rplan.forward_re_into(&freq, &mut got).unwrap();
+
+            let mut full = freq.clone();
+            Fft2d::new(h, w).unwrap().forward(&mut full).unwrap();
+            let tol = spectrum_tolerance(&full, h.max(w));
+            for (i, (a, b)) in got.iter().zip(&full).enumerate() {
+                assert!(
+                    (a - b.re).abs() <= tol,
+                    "({h}x{w}) pixel {i}: {a} vs {} (tol {tol:e})",
+                    b.re
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_fall_back_to_full_plan() {
+        for (h, w) in [(1, 8), (8, 1), (1, 1)] {
+            let src = real_sample(h, w);
+            let rplan = Rfft2d::new(h, w).unwrap();
+            let mut got = vec![Complex::ZERO; h * w];
+            rplan.forward_into(&src, &mut got).unwrap();
+            let mut full: Vec<Complex> = src.iter().map(|&v| Complex::from_re(v)).collect();
+            Fft2d::new(h, w).unwrap().forward(&mut full).unwrap();
+            for (a, b) in got.iter().zip(&full) {
+                assert!((*a - *b).abs() < 1e-12);
+            }
+            let freq = complex_sample(h, w);
+            let mut re = vec![0.0f64; h * w];
+            rplan.forward_re_into(&freq, &mut re).unwrap();
+            let mut fullc = freq.clone();
+            Fft2d::new(h, w).unwrap().forward(&mut fullc).unwrap();
+            for (a, b) in re.iter().zip(&fullc) {
+                assert!((a - b.re).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_lengths() {
+        let rplan = Rfft2d::square(8).unwrap();
+        let mut out = vec![Complex::ZERO; 64];
+        assert!(matches!(
+            rplan.forward_into(&[0.0; 63], &mut out),
+            Err(FftError::LengthMismatch { .. })
+        ));
+        let mut short = vec![Complex::ZERO; 10];
+        assert!(rplan.forward_into(&[0.0; 64], &mut short).is_err());
+        let mut re = vec![0.0; 63];
+        assert!(rplan.forward_re_into(&out, &mut re).is_err());
+    }
+
+    #[test]
+    fn constant_field_concentrates_at_dc() {
+        let n = 16;
+        let rplan = Rfft2d::square(n).unwrap();
+        let mut spec = vec![Complex::ZERO; n * n];
+        rplan.forward_into(&vec![0.5; n * n], &mut spec).unwrap();
+        assert!((spec[0].re - 0.5 * (n * n) as f64).abs() < 1e-9);
+        for z in spec.iter().skip(1) {
+            assert!(z.abs() < 1e-9);
+        }
+    }
+}

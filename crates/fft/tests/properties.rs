@@ -1,6 +1,6 @@
 //! Property-based tests for the FFT substrate.
 
-use cfaopc_fft::{naive_dft, Complex, Direction, Fft, Fft2d};
+use cfaopc_fft::{naive_dft_into, Complex, Direction, Fft, Fft2d, Rfft2d};
 use proptest::prelude::*;
 
 fn complex_vec(log2_len: std::ops::Range<u32>) -> impl Strategy<Value = Vec<Complex>> {
@@ -9,6 +9,23 @@ fn complex_vec(log2_len: std::ops::Range<u32>) -> impl Strategy<Value = Vec<Comp
         proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), n)
             .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
     })
+}
+
+fn real_field(
+    log2_h: std::ops::Range<u32>,
+    log2_w: std::ops::Range<u32>,
+) -> impl Strategy<Value = (usize, usize, Vec<f64>)> {
+    (log2_h, log2_w).prop_flat_map(|(lh, lw)| {
+        let h = 1usize << lh;
+        let w = 1usize << lw;
+        proptest::collection::vec(-10.0f64..10.0, h * w).prop_map(move |v| (h, w, v))
+    })
+}
+
+/// Ulp-scaled agreement tolerance between two radix-2 pipelines of the
+/// same transform: a few rounding steps per butterfly stage.
+fn fft_tol(peak: f64, len: usize) -> f64 {
+    peak.max(1.0) * f64::EPSILON * 8.0 * (len as f64).log2().max(1.0)
 }
 
 proptest! {
@@ -29,7 +46,10 @@ proptest! {
     #[test]
     fn forward_matches_reference(input in complex_vec(0..6)) {
         let n = input.len();
-        let expected = naive_dft(&input, Direction::Forward);
+        // `naive_dft_into` keeps the reference allocation-free inside
+        // the proptest loop.
+        let mut expected = vec![Complex::ZERO; n];
+        naive_dft_into(&input, Direction::Forward, &mut expected);
         let mut got = input.clone();
         Fft::new(n).unwrap().forward(&mut got).unwrap();
         for (a, b) in got.iter().zip(&expected) {
@@ -87,6 +107,55 @@ proptest! {
         plan.forward(&mut fb).unwrap();
         for ((s, x), y) in sum.iter().zip(&fa).zip(&fb) {
             prop_assert!((*s - (*x + *y)).abs() < 1e-6);
+        }
+    }
+}
+
+// A separate block: the proptest! TT-muncher hits the compiler's
+// recursion limit when every property shares one invocation.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rfft2d_agrees_with_complex_plan(case in real_field(0..6, 0..6)) {
+        // (Tuple destructured in the body: proptest 1.0's macro cannot
+        // parse tuple patterns in the parameter position.)
+        let (h, w, reals) = case;
+        // The Hermitian-symmetry plan and the full complex plan compute
+        // the same spectrum up to a few ulps of reassociation per stage.
+        let rplan = Rfft2d::new(h, w).unwrap();
+        let plan = Fft2d::new(h, w).unwrap();
+        let mut got = vec![Complex::ZERO; h * w];
+        rplan.forward_into(&reals, &mut got).unwrap();
+        let mut want: Vec<Complex> = reals.iter().map(|&r| Complex::from_re(r)).collect();
+        plan.forward(&mut want).unwrap();
+        let peak = want.iter().map(|z| z.abs()).fold(0.0f64, f64::max);
+        let tol = fft_tol(peak, h * w);
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            prop_assert!((*a - *b).abs() <= tol, "bin {i}: {a:?} vs {b:?} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn rfft2d_forward_re_round_trips(case in real_field(0..6, 0..6)) {
+        let (h, w, reals) = case;
+        // FFT(FFT(x)) = N·x(−·) for real x, so the half-spectrum
+        // `Re[FFT(·)]` of the forward spectrum recovers the (reflected,
+        // scaled) input.
+        let rplan = Rfft2d::new(h, w).unwrap();
+        let mut spectrum = vec![Complex::ZERO; h * w];
+        rplan.forward_into(&reals, &mut spectrum).unwrap();
+        let mut twice = vec![0.0f64; h * w];
+        rplan.forward_re_into(&spectrum, &mut twice).unwrap();
+        let n = (h * w) as f64;
+        let peak = reals.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let tol = fft_tol(peak, h * w) * n;
+        for y in 0..h {
+            for x in 0..w {
+                let src = n * reals[((h - y) % h) * w + ((w - x) % w)];
+                let got = twice[y * w + x];
+                prop_assert!((got - src).abs() <= tol, "({x},{y}): {got} vs {src}");
+            }
         }
     }
 }

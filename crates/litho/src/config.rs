@@ -164,6 +164,14 @@ pub struct LithoConfig {
     pub dose_min: f64,
     /// Focus error of the `Min` corner in nanometres.
     pub defocus_nm: f64,
+    /// SOCS accuracy knob in `(0, 1]`: the fraction of total kernel
+    /// energy (sum of SOCS weights `μ_k`, descending) that must be
+    /// captured before the tail of the kernel sum is dropped. `1.0` (the
+    /// default) keeps every kernel and is **bit-identical** to the
+    /// untruncated model; lower values trade aerial-image accuracy for
+    /// proportionally fewer per-kernel transforms in both the forward
+    /// model and the gradient.
+    pub kernel_energy_floor: f64,
 }
 
 impl Default for LithoConfig {
@@ -181,6 +189,7 @@ impl Default for LithoConfig {
             dose_max: 1.02,
             dose_min: 0.98,
             defocus_nm: 25.0,
+            kernel_energy_floor: 1.0,
         }
     }
 }
@@ -277,6 +286,12 @@ impl LithoConfig {
                 self.threshold
             )));
         }
+        if !(self.kernel_energy_floor > 0.0 && self.kernel_energy_floor <= 1.0) {
+            return Err(LithoError::BadParameter(format!(
+                "kernel_energy_floor must lie in (0,1], got {}",
+                self.kernel_energy_floor
+            )));
+        }
         // The pupil (radius NA/λ in frequency space) must resolve to at
         // least one frequency bin: NA/λ >= 1/tile.
         let cutoff = self.na / self.wavelength_nm;
@@ -348,6 +363,22 @@ mod tests {
         assert_eq!(cfg.dose(ProcessCorner::Min), 0.98);
         assert_eq!(cfg.defocus(ProcessCorner::Nominal), 0.0);
         assert_eq!(cfg.defocus(ProcessCorner::Min), 25.0);
+    }
+
+    #[test]
+    fn rejects_bad_energy_floor() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let cfg = LithoConfig {
+                kernel_energy_floor: bad,
+                ..LithoConfig::default()
+            };
+            assert!(cfg.validate().is_err(), "floor {bad} must be rejected");
+        }
+        let cfg = LithoConfig {
+            kernel_energy_floor: 0.75,
+            ..LithoConfig::default()
+        };
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -22,8 +22,9 @@
 //! pupil support first, then transformed once).
 
 use crate::config::{LithoError, NonFiniteTerm, ProcessCorner};
-use crate::simulator::{sigmoid, LithoSimulator};
+use crate::simulator::{sigmoid_sat, LithoSimulator};
 use cfaopc_fft::parallel::par_map;
+use cfaopc_fft::simd::{accumulate_norm_sqr, conj_mul_real};
 use cfaopc_fft::Complex;
 use cfaopc_grid::Grid2D;
 
@@ -134,45 +135,61 @@ pub fn loss_and_gradient_into(
     let cfg = sim.config();
     let theta = cfg.resist_steepness;
     let th = cfg.threshold;
+    let floor = cfg.kernel_energy_floor;
+
+    let corners = corner_plan(weights);
+    // Global forward task index: stack-major (corner order), kernel-
+    // ascending within a stack; `fwd_offsets[c]` is corner c's first task.
+    // Stacks are weight-sorted, so `active_count` truncates their tails
+    // when `kernel_energy_floor < 1.0`.
+    let mut fwd_offsets = [0usize; 4];
+    for (c, &(corner, _)) in corners.iter().enumerate() {
+        fwd_offsets[c + 1] = fwd_offsets[c] + sim.kernel_set(corner).active_count(floor);
+    }
+    let fwd_total = fwd_offsets[3];
+
+    // Forward: coherent fields for **all corners** in one flat parallel
+    // region (kept alive for the adjoint), so workers stay busy across
+    // corner boundaries. Each task's IFFT runs serially on its claimed
+    // thread in a pooled buffer; kernel spectra are band-limited, so the
+    // sparse inverse skips the all-zero rows. Plan errors are unreachable
+    // (plan and buffers share one config) but propagate as
+    // `LithoError::Fft`; pooled buffers from completed kernels are
+    // dropped rather than repooled on that cold path.
+    let fields: Vec<Vec<Complex>> = par_map(fwd_total, |t| -> Result<Vec<Complex>, LithoError> {
+        let c = fwd_offsets[1..4].iter().position(|&o| t < o).unwrap_or(2);
+        let set = sim.kernel_set(corners[c].0);
+        let k = t - fwd_offsets[c];
+        let mut field = sim.field_pool().take(n2);
+        set.apply(k, &spectrum, &mut field);
+        sim.plan().inverse_serial_sparse(&mut field)?;
+        Ok(field)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
 
     let mut values = LossValues::default();
-    // Spectral gradient accumulator (pupil support only is ever nonzero).
-    let mut acc = sim.field_pool().take_zeroed(n2);
-
-    for (corner, w_c) in corner_plan(weights) {
+    // Per-corner resist, loss value, and dL/dI. Every nonzero-weight
+    // corner's g_i buffer survives to feed the single batched adjoint
+    // region below.
+    let mut g_all: [Option<Vec<f64>>; 3] = [None, None, None];
+    for (c, &(corner, w_c)) in corners.iter().enumerate() {
         let set = sim.kernel_set(corner);
         let dose = cfg.dose(corner);
-        let k_count = set.kernels().len();
-
-        // Forward: coherent fields per kernel (kept for the adjoint). One
-        // flat parallel region; each task's IFFT runs serially on its
-        // claimed thread in a pooled buffer. Plan errors are unreachable
-        // (plan and buffers share one config) but propagate as
-        // `LithoError::Fft`; pooled buffers from completed kernels are
-        // dropped rather than repooled on that cold path.
-        let fields: Vec<Vec<Complex>> = par_map(k_count, |k| -> Result<Vec<Complex>, LithoError> {
-            let mut field = sim.field_pool().take(n2);
-            set.apply(k, &spectrum, &mut field);
-            sim.plan().inverse_serial(&mut field)?;
-            Ok(field)
-        })
-        .into_iter()
-        .collect::<Result<_, _>>()?;
+        let active = fwd_offsets[c + 1] - fwd_offsets[c];
 
         let mut intensity = sim.real_pool().take_zeroed(n2);
-        for (k, field) in fields.iter().enumerate() {
+        for k in 0..active {
             let w = set.kernels()[k].weight * dose;
-            for (acc_i, z) in intensity.iter_mut().zip(field) {
-                *acc_i += w * z.norm_sqr();
-            }
+            accumulate_norm_sqr(&mut intensity, &fields[fwd_offsets[c] + k], w);
         }
 
-        // Relaxed resist, loss value, and dL/dI (g_i is fully
-        // overwritten, so unspecified pool contents are fine).
+        // g_i is fully overwritten, so unspecified pool contents are
+        // fine.
         let mut corner_loss = 0.0;
         let mut g_i = sim.real_pool().take(n2);
         for i in 0..n2 {
-            let z = sigmoid(theta * (intensity[i] - th));
+            let z = sigmoid_sat(theta * (intensity[i] - th));
             let diff = z - target.as_slice()[i];
             corner_loss += diff * diff;
             g_i[i] = w_c * 2.0 * diff * theta * z * (1.0 - z);
@@ -183,22 +200,52 @@ pub fn loss_and_gradient_into(
             _ => values.pvb += corner_loss,
         }
         if w_c == 0.0 {
-            for field in fields {
-                sim.field_pool().put(field);
-            }
             sim.real_pool().put(g_i);
-            continue;
+        } else {
+            g_all[c] = Some(g_i);
         }
+    }
+    values.total = weights.l2 * values.l2 + weights.pvb * values.pvb;
 
+    // Adjoint task index over the corners that carry weight, in the same
+    // stack-major order as the forward pass.
+    let mut adj_offsets = [0usize; 4];
+    let mut adj_corner = [0usize; 3];
+    let mut adj_stacks = 0usize;
+    for (c, g) in g_all.iter().enumerate() {
+        if g.is_some() {
+            adj_corner[adj_stacks] = c;
+            adj_offsets[adj_stacks + 1] =
+                adj_offsets[adj_stacks] + (fwd_offsets[c + 1] - fwd_offsets[c]);
+            adj_stacks += 1;
+        }
+    }
+    let adj_total = adj_offsets[adj_stacks];
+
+    // Spectral gradient accumulator (pupil support only is ever nonzero).
+    let mut acc = sim.field_pool().take_zeroed(n2);
+    if adj_total > 0 {
         // Adjoint: per kernel, B = G ⊙ conj(A); contribute
-        // 2·μ·dose·H ⊙ IFFT(B) on the (sparse) pupil support.
+        // 2·μ·dose·H ⊙ IFFT(B) on the (sparse) pupil support. Again one
+        // flat region spanning every weighted corner.
         let contributions: Vec<Vec<(u32, Complex)>> =
-            par_map(k_count, |k| -> Result<Vec<(u32, Complex)>, LithoError> {
+            par_map(adj_total, |t| -> Result<Vec<(u32, Complex)>, LithoError> {
+                let s = adj_offsets[1..=adj_stacks]
+                    .iter()
+                    .position(|&o| t < o)
+                    .unwrap_or(adj_stacks - 1);
+                let c = adj_corner[s];
+                let set = sim.kernel_set(corners[c].0);
+                let dose = cfg.dose(corners[c].0);
+                let k = t - adj_offsets[s];
+                let g_i = g_all[c].as_deref().unwrap_or(&[]);
                 let mut b = sim.field_pool().take(n2);
-                for (slot, (a, &g)) in b.iter_mut().zip(fields[k].iter().zip(&g_i)) {
-                    *slot = a.conj() * g;
-                }
-                sim.plan().inverse_serial(&mut b)?;
+                conj_mul_real(&mut b, &fields[fwd_offsets[c] + k], g_i);
+                // The transform's output is only sampled on the pupil
+                // support below, so the column pass can skip every
+                // column outside the kernel set's union support —
+                // sampled columns are bit-identical to the dense path.
+                sim.plan().inverse_serial_cols(&mut b, set.support_cols())?;
                 let scale = 2.0 * set.kernels()[k].weight * dose;
                 let contribution = set.kernels()[k]
                     .spectrum
@@ -210,30 +257,29 @@ pub fn loss_and_gradient_into(
             })
             .into_iter()
             .collect::<Result<_, _>>()?;
-        sim.real_pool().put(g_i);
-        // Serial, kernel-ordered accumulation keeps the gradient
+        // Serial, task-ordered accumulation — the same (corner, kernel)
+        // order as the old per-corner loop — keeps the gradient
         // bit-identical across thread counts.
         for contribution in contributions {
             for (idx, v) in contribution {
                 acc[idx as usize] += v;
             }
         }
-        for field in fields {
-            sim.field_pool().put(field);
-        }
+    }
+    for g_i in g_all.into_iter().flatten() {
+        sim.real_pool().put(g_i);
+    }
+    for field in fields {
+        sim.field_pool().put(field);
     }
 
-    values.total = weights.l2 * values.l2 + weights.pvb * values.pvb;
-
-    // One shared forward FFT turns the spectral accumulator into the
-    // pixel-space gradient.
-    sim.plan().forward(&mut acc)?;
+    // One shared half-spectrum transform turns the spectral accumulator
+    // into the pixel-space gradient `Re[FFT(acc)]` directly, without
+    // materialising the imaginary half.
     if grad.width() != n || grad.height() != n {
         *grad = Grid2D::new(n, n, 0.0);
     }
-    for (g, z) in grad.as_mut_slice().iter_mut().zip(&acc) {
-        *g = z.re;
-    }
+    sim.rplan().forward_re_into(&acc, grad.as_mut_slice())?;
     sim.field_pool().put(acc);
     sim.field_pool().put(spectrum);
     Ok(values)
@@ -267,7 +313,7 @@ pub fn loss_only(
         let img = images.get(corner);
         let mut corner_loss = 0.0;
         for (i, &v) in img.as_slice().iter().enumerate() {
-            let z = sigmoid(theta * (v - th));
+            let z = sigmoid_sat(theta * (v - th));
             let diff = z - target.as_slice()[i];
             corner_loss += diff * diff;
         }

@@ -33,6 +33,11 @@ pub struct KernelSet {
     size: usize,
     corner: ProcessCorner,
     kernels: Vec<Kernel>,
+    /// `support_cols[kx]` is true when any kernel's spectrum touches a
+    /// frequency bin in column `kx`. The adjoint pass samples its
+    /// inverse-FFT outputs only on the pupil support, so the column
+    /// transform can skip every column outside this mask.
+    support_cols: Vec<bool>,
 }
 
 impl KernelSet {
@@ -116,10 +121,24 @@ impl KernelSet {
                 spectrum,
             });
         }
+        // Descending singular-value weight, so energy truncation (the
+        // `kernel_energy_floor` knob) can drop a suffix. The sort is
+        // stable and the Abbe weights are uniform, so today's generation
+        // order — and therefore every accumulation order downstream — is
+        // unchanged bit for bit; the sort only matters for kernel sets
+        // with genuinely decaying spectra.
+        kernels.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+        let mut support_cols = vec![false; n];
+        for kernel in &kernels {
+            for &(idx, _) in &kernel.spectrum {
+                support_cols[idx as usize % n] = true;
+            }
+        }
         Ok(KernelSet {
             size: n,
             corner,
             kernels,
+            support_cols,
         })
     }
 
@@ -135,10 +154,41 @@ impl KernelSet {
         self.corner
     }
 
-    /// The kernels.
+    /// The kernels, sorted by descending SOCS weight.
     #[inline]
     pub fn kernels(&self) -> &[Kernel] {
         &self.kernels
+    }
+
+    /// Column mask of the union pupil support: `support_cols()[kx]` is
+    /// true iff some kernel has a spectrum entry in frequency column
+    /// `kx`. Length is [`Self::size`]. Feed this to
+    /// [`cfaopc_fft::Fft2d::inverse_serial_cols`] when the transform's
+    /// output is only read back at pupil bins.
+    #[inline]
+    pub fn support_cols(&self) -> &[bool] {
+        &self.support_cols
+    }
+
+    /// Number of leading kernels needed to capture `energy_floor` of the
+    /// total SOCS weight (kernels are stored in descending weight order).
+    ///
+    /// `energy_floor >= 1.0` keeps every kernel — the exact model. The
+    /// result is never zero: at least the heaviest kernel always stays.
+    pub fn active_count(&self, energy_floor: f64) -> usize {
+        if energy_floor >= 1.0 || self.kernels.is_empty() {
+            return self.kernels.len();
+        }
+        let total: f64 = self.kernels.iter().map(|k| k.weight).sum();
+        let target = energy_floor * total;
+        let mut captured = 0.0;
+        for (i, kernel) in self.kernels.iter().enumerate() {
+            captured += kernel.weight;
+            if captured >= target {
+                return i + 1;
+            }
+        }
+        self.kernels.len()
     }
 
     /// Applies kernel `k` to a full mask spectrum: writes
@@ -190,6 +240,29 @@ mod tests {
         assert_eq!(set.kernels().len(), cfg.kernel_count);
         let total: f64 = set.kernels().iter().map(|k| k.weight).sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernels_sorted_by_descending_weight() {
+        let cfg = LithoConfig::fast_test();
+        let set = KernelSet::generate(&cfg, ProcessCorner::Min).unwrap();
+        for pair in set.kernels().windows(2) {
+            assert!(pair[0].weight >= pair[1].weight);
+        }
+    }
+
+    #[test]
+    fn active_count_respects_energy_floor() {
+        let cfg = LithoConfig::fast_test(); // 6 uniform-weight kernels
+        let set = KernelSet::generate(&cfg, ProcessCorner::Nominal).unwrap();
+        let k = set.kernels().len();
+        assert_eq!(set.active_count(1.0), k, "floor 1.0 keeps everything");
+        assert_eq!(set.active_count(1.5), k);
+        // Uniform weights: capturing a fraction f needs ~ceil(f·k)
+        // kernels (floors chosen off the rounding boundaries).
+        assert_eq!(set.active_count(0.49), k / 2);
+        assert_eq!(set.active_count(0.51), k / 2 + 1);
+        assert!(set.active_count(1e-9) >= 1, "never drops every kernel");
     }
 
     #[test]
@@ -258,6 +331,28 @@ mod tests {
         set.apply(0, &spectrum, &mut out);
         let nonzero = out.iter().filter(|z| z.abs() > 0.0).count();
         assert_eq!(nonzero, set.kernels()[0].spectrum.len());
+    }
+
+    #[test]
+    fn support_cols_cover_every_spectrum_entry() {
+        let cfg = LithoConfig::fast_test();
+        for corner in [
+            ProcessCorner::Nominal,
+            ProcessCorner::Max,
+            ProcessCorner::Min,
+        ] {
+            let set = KernelSet::generate(&cfg, corner).unwrap();
+            let cols = set.support_cols();
+            assert_eq!(cols.len(), cfg.size);
+            for kernel in set.kernels() {
+                for &(idx, _) in &kernel.spectrum {
+                    assert!(cols[idx as usize % cfg.size], "column {idx} unflagged");
+                }
+            }
+            // The pupil is band-limited: the mask must also exclude
+            // mid-band columns, otherwise sampling buys nothing.
+            assert!(cols.iter().any(|&c| !c), "mask is trivially all-true");
+        }
     }
 
     #[test]

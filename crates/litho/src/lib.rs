@@ -45,4 +45,4 @@ pub use process_window::{
     bossung_surface, cd_through_focus, measure_cd, standard_sweep, BossungPoint, BossungSurface,
     CdAxis, CdProbe,
 };
-pub use simulator::{sigmoid, CornerImages, LithoSimulator};
+pub use simulator::{sigmoid, sigmoid_sat, CornerImages, LithoSimulator, SIGMOID_SAT};

@@ -4,7 +4,8 @@
 use crate::config::{LithoConfig, LithoError, ProcessCorner};
 use crate::kernels::KernelSet;
 use cfaopc_fft::parallel::par_for;
-use cfaopc_fft::{BufferPool, Complex, Fft2d};
+use cfaopc_fft::simd::accumulate_norm_sqr;
+use cfaopc_fft::{BufferPool, Complex, Fft2d, Rfft2d};
 use cfaopc_grid::{BitGrid, Grid2D};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
@@ -56,6 +57,10 @@ impl CornerImages {
 pub struct LithoSimulator {
     config: LithoConfig,
     plan: Fft2d,
+    /// Real-input plan for the mask FFT and the gradient's final
+    /// `Re[FFT(·)]` — both touch only real data on one side, so the
+    /// Hermitian-symmetry plan halves their transform work.
+    rplan: Rfft2d,
     nominal: KernelSet,
     max: KernelSet,
     min: KernelSet,
@@ -78,11 +83,14 @@ impl LithoSimulator {
     pub fn new(config: LithoConfig) -> Result<Self, LithoError> {
         config.validate()?;
         let plan = Fft2d::square(config.size).map_err(|_| LithoError::BadGridSize(config.size))?;
+        let rplan =
+            Rfft2d::square(config.size).map_err(|_| LithoError::BadGridSize(config.size))?;
         Ok(LithoSimulator {
             nominal: KernelSet::generate(&config, ProcessCorner::Nominal)?,
             max: KernelSet::generate(&config, ProcessCorner::Max)?,
             min: KernelSet::generate(&config, ProcessCorner::Min)?,
             plan,
+            rplan,
             config,
             field_pool: BufferPool::new(),
             real_pool: BufferPool::new(),
@@ -116,6 +124,13 @@ impl LithoSimulator {
         &self.plan
     }
 
+    /// The real-input FFT plan (mask spectrum, gradient's final
+    /// `Re[FFT(·)]`).
+    #[inline]
+    pub fn rplan(&self) -> &Rfft2d {
+        &self.rplan
+    }
+
     /// The simulator's shared scratch pool for full-grid complex fields
     /// (used by the gradient's adjoint pass as well).
     #[inline]
@@ -140,7 +155,8 @@ impl LithoSimulator {
         Ok(())
     }
 
-    /// Forward FFT of a real-valued mask.
+    /// Forward FFT of a real-valued mask via the Hermitian-symmetry
+    /// real-input plan (half the row transforms of the complex plan).
     ///
     /// # Errors
     ///
@@ -148,12 +164,8 @@ impl LithoSimulator {
     /// from the simulator grid.
     pub fn mask_spectrum(&self, mask: &Grid2D<f64>) -> Result<Vec<Complex>, LithoError> {
         self.check_mask(mask)?;
-        let mut spectrum: Vec<Complex> = mask
-            .as_slice()
-            .iter()
-            .map(|&v| Complex::from_re(v))
-            .collect();
-        self.plan.forward(&mut spectrum)?;
+        let mut spectrum = vec![Complex::ZERO; mask.as_slice().len()];
+        self.rplan.forward_into(mask.as_slice(), &mut spectrum)?;
         Ok(spectrum)
     }
 
@@ -165,10 +177,7 @@ impl LithoSimulator {
     ) -> Result<Vec<Complex>, LithoError> {
         self.check_mask(mask)?;
         let mut spectrum = self.field_pool.take(mask.as_slice().len());
-        for (slot, &v) in spectrum.iter_mut().zip(mask.as_slice()) {
-            *slot = Complex::from_re(v);
-        }
-        self.plan.forward(&mut spectrum)?;
+        self.rplan.forward_into(mask.as_slice(), &mut spectrum)?;
         Ok(spectrum)
     }
 
@@ -211,6 +220,28 @@ impl LithoSimulator {
         spectrum: &[Complex],
         scale: f64,
     ) -> Result<Vec<f64>, LithoError> {
+        let mut images = self.accumulate_intensity_multi(&[(set, scale)], spectrum)?;
+        Ok(images.pop().unwrap_or_default())
+    }
+
+    /// Batched variant of [`LithoSimulator::accumulate_intensity`]: all
+    /// corners' kernel applications share **one** flat parallel region.
+    ///
+    /// Task `t` maps to (stack `s`, kernel `k`) in stack-major,
+    /// kernel-ascending order, and the turnstile orders merges by the
+    /// global task index. Each per-stack accumulator therefore still sees
+    /// its own kernels strictly in ascending `k` — the same summation
+    /// order as three separate calls — so batching is bit-identical to
+    /// the per-corner path while keeping every worker busy across corner
+    /// boundaries.
+    ///
+    /// When `kernel_energy_floor < 1.0` the tail of each (weight-sorted)
+    /// stack is skipped per [`KernelSet::active_count`].
+    pub(crate) fn accumulate_intensity_multi(
+        &self,
+        stacks: &[(&KernelSet, f64)],
+        spectrum: &[Complex],
+    ) -> Result<Vec<Vec<f64>>, LithoError> {
         let n = self.config.size;
         let n2 = n * n;
         if spectrum.len() != n2 {
@@ -219,30 +250,46 @@ impl LithoSimulator {
                 spectrum.len(),
             )));
         }
-        let k_count = set.kernels().len();
-        // (next kernel allowed to merge, accumulator) under one lock.
-        let merge = Mutex::new((0usize, vec![0.0f64; n2]));
+        assert!(stacks.len() <= 3, "at most one stack per process corner");
+        let floor = self.config.kernel_energy_floor;
+        // offsets[s] is the first global task of stack s (prefix sums).
+        let mut offsets = [0usize; 4];
+        for (s, (set, _)) in stacks.iter().enumerate() {
+            offsets[s + 1] = offsets[s] + set.active_count(floor);
+        }
+        let total = offsets[stacks.len()];
+        let images: Vec<Vec<f64>> = stacks.iter().map(|_| vec![0.0f64; n2]).collect();
+        // (next task allowed to merge, per-stack accumulators) under one
+        // lock.
+        let merge = Mutex::new((0usize, images));
         let turnstile = Condvar::new();
-        par_for(k_count, |k| {
+        par_for(total, |t| {
+            let s = offsets[1..=stacks.len()]
+                .iter()
+                .position(|&o| t < o)
+                .unwrap_or(stacks.len() - 1);
+            let (set, scale) = stacks[s];
+            let k = t - offsets[s];
             // Catching here keeps a panicking kernel from wedging the
             // turnstile: the turn advances no matter how compute ends.
             let computed = catch_unwind(AssertUnwindSafe(|| {
                 let mut field = self.field_pool.take(n2);
                 set.apply(k, spectrum, &mut field);
+                // Kernel spectra are band-limited to the pupil, so most
+                // rows of the product are all-zero: the sparse inverse
+                // skips them.
                 self.plan
-                    .inverse_serial(&mut field)
+                    .inverse_serial_sparse(&mut field)
                     .expect("plan matches grid by construction");
                 field
             }));
             let w = set.kernels()[k].weight * scale;
             let mut guard = merge.lock().unwrap_or_else(|e| e.into_inner());
-            while guard.0 != k {
+            while guard.0 != t {
                 guard = turnstile.wait(guard).unwrap_or_else(|e| e.into_inner());
             }
             if let Ok(field) = &computed {
-                for (acc, z) in guard.1.iter_mut().zip(field.iter()) {
-                    *acc += w * z.norm_sqr();
-                }
+                accumulate_norm_sqr(&mut guard.1[s], field, w);
             }
             guard.0 += 1;
             turnstile.notify_all();
@@ -252,8 +299,8 @@ impl LithoSimulator {
                 Err(payload) => resume_unwind(payload),
             }
         });
-        let (_, intensity) = merge.into_inner().unwrap_or_else(|e| e.into_inner());
-        Ok(intensity)
+        let (_, images) = merge.into_inner().unwrap_or_else(|e| e.into_inner());
+        Ok(images)
     }
 
     /// Aerial image of a continuous mask at one corner.
@@ -270,18 +317,26 @@ impl LithoSimulator {
         self.aerial_from_spectrum(&spectrum, corner)
     }
 
-    /// Aerial images at all three corners, sharing one mask FFT.
+    /// Aerial images at all three corners, sharing one mask FFT and one
+    /// batched parallel region across every corner's kernels.
     ///
     /// # Errors
     ///
     /// Returns [`LithoError::ShapeMismatch`] on shape mismatch.
     pub fn aerial_corners(&self, mask: &Grid2D<f64>) -> Result<CornerImages, LithoError> {
-        let spectrum = self.mask_spectrum(mask)?;
-        Ok(CornerImages {
-            nominal: self.aerial_from_spectrum(&spectrum, ProcessCorner::Nominal)?,
-            max: self.aerial_from_spectrum(&spectrum, ProcessCorner::Max)?,
-            min: self.aerial_from_spectrum(&spectrum, ProcessCorner::Min)?,
-        })
+        let n = self.config.size;
+        let spectrum = self.mask_spectrum_pooled(mask)?;
+        let stacks = [
+            (&self.nominal, self.config.dose(ProcessCorner::Nominal)),
+            (&self.max, self.config.dose(ProcessCorner::Max)),
+            (&self.min, self.config.dose(ProcessCorner::Min)),
+        ];
+        let mut images = self.accumulate_intensity_multi(&stacks, &spectrum)?;
+        self.field_pool.put(spectrum);
+        let min = Grid2D::from_vec(n, n, images.pop().unwrap_or_default());
+        let max = Grid2D::from_vec(n, n, images.pop().unwrap_or_default());
+        let nominal = Grid2D::from_vec(n, n, images.pop().unwrap_or_default());
+        Ok(CornerImages { nominal, max, min })
     }
 
     /// Hard-threshold resist (paper Eq. 2): `Z = 1` where `I > I_th`.
@@ -294,7 +349,7 @@ impl LithoSimulator {
     pub fn resist_sigmoid(&self, aerial: &Grid2D<f64>) -> Grid2D<f64> {
         let th = self.config.threshold;
         let steep = self.config.resist_steepness;
-        aerial.map(|&i| sigmoid(steep * (i - th)))
+        aerial.map(|&i| sigmoid_sat(steep * (i - th)))
     }
 
     /// Prints a binary mask at one corner: aerial image + hard resist.
@@ -330,6 +385,29 @@ pub fn sigmoid(x: f64) -> f64 {
     } else {
         let e = x.exp();
         e / (1.0 + e)
+    }
+}
+
+/// Saturation threshold for [`sigmoid_sat`].
+///
+/// For `x ≥ 37`, `e^{-x} < 2^{-53} = ulp(1.0)/2`, so `1.0 + e^{-x}`
+/// rounds to exactly `1.0` and `sigmoid(x) == 1.0` bit-for-bit. 40 keeps
+/// a safety margin over that bound while still short-circuiting the vast
+/// majority of saturated resist pixels.
+pub const SIGMOID_SAT: f64 = 40.0;
+
+/// [`sigmoid`] with an exact saturation shortcut: for `x ≥`
+/// [`SIGMOID_SAT`] the `exp` call is skipped and `1.0` returned directly,
+/// which is bit-identical to evaluating the full expression (see the
+/// constant's docs for the rounding argument). Steep resist models push
+/// most in-feature pixels deep into saturation, so this removes the bulk
+/// of the `exp` calls from the loss path.
+#[inline]
+pub fn sigmoid_sat(x: f64) -> f64 {
+    if x >= SIGMOID_SAT {
+        1.0
+    } else {
+        sigmoid(x)
     }
 }
 
@@ -495,6 +573,43 @@ mod tests {
         assert!(sigmoid(-30.0) < 0.001);
         assert!((sigmoid(-700.0)).is_finite());
         assert!((sigmoid(700.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_sat_is_bit_identical_to_sigmoid() {
+        // Sweep across the saturation boundary (including well past it):
+        // the shortcut must never change a single bit.
+        for i in 0..4000 {
+            let x = f64::from(i).mul_add(0.05, -50.0);
+            assert_eq!(sigmoid_sat(x).to_bits(), sigmoid(x).to_bits(), "x = {x}");
+        }
+        assert_eq!(sigmoid_sat(f64::INFINITY).to_bits(), 1.0f64.to_bits());
+        assert_eq!(sigmoid_sat(SIGMOID_SAT).to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn batched_corners_match_per_corner_accumulation() {
+        // aerial_corners routes through the batched multi-stack region;
+        // aerial_from_spectrum through the single-stack path. They must
+        // agree bit-for-bit.
+        let s = sim();
+        let mask = square_mask(s.size(), 9).to_real();
+        let batched = s.aerial_corners(&mask).unwrap();
+        let spectrum = s.mask_spectrum(&mask).unwrap();
+        for corner in [
+            ProcessCorner::Nominal,
+            ProcessCorner::Max,
+            ProcessCorner::Min,
+        ] {
+            let single = s.aerial_from_spectrum(&spectrum, corner).unwrap();
+            let both = single
+                .as_slice()
+                .iter()
+                .zip(batched.get(corner).as_slice());
+            for (a, b) in both {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

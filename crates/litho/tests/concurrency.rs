@@ -9,7 +9,10 @@
 
 use cfaopc_fft::parallel::{with_worker_limit, worker_count};
 use cfaopc_grid::{fill_rect, BitGrid, Grid2D, Point, Rect};
-use cfaopc_litho::{bossung_surface, CdAxis, CdProbe, LithoConfig, LithoSimulator, ProcessCorner};
+use cfaopc_litho::{
+    bossung_surface, loss_and_gradient, CdAxis, CdProbe, LithoConfig, LithoSimulator, LossWeights,
+    ProcessCorner,
+};
 
 fn test_mask(n: usize) -> Grid2D<f64> {
     let values = (0..n * n)
@@ -61,6 +64,44 @@ fn aerial_images_are_bit_identical_serial_vs_parallel() {
         assert_eq!(
             pbits, sbits,
             "corner bundle at {corner:?} depends on thread count"
+        );
+    }
+}
+
+#[test]
+fn loss_and_gradient_is_bit_identical_serial_vs_parallel() {
+    // The batched multi-corner forward/adjoint regions merge through an
+    // ordered turnstile (intensity) and a task-ordered serial reduction
+    // (spectral gradient): no output bit may depend on worker count.
+    std::env::set_var("CFAOPC_THREADS", "4");
+    assert_eq!(worker_count(), 4, "CFAOPC_THREADS must win at pool setup");
+
+    let sim = LithoSimulator::new(LithoConfig::fast_test()).unwrap();
+    let n = sim.size();
+    let mask = test_mask(n);
+    let mut target = BitGrid::new(n, n);
+    fill_rect(
+        &mut target,
+        Rect::new(n as i32 / 4, n as i32 / 4, 3 * n as i32 / 4, 3 * n as i32 / 4),
+    );
+    let target = target.to_real();
+
+    for weights in [
+        LossWeights::default(),
+        LossWeights { l2: 1.0, pvb: 0.0 },
+        LossWeights { l2: 0.0, pvb: 2.0 },
+    ] {
+        let (pv, pg) = loss_and_gradient(&sim, &mask, &target, weights).unwrap();
+        let (sv, sg) =
+            with_worker_limit(1, || loss_and_gradient(&sim, &mask, &target, weights).unwrap());
+        assert_eq!(pv.total.to_bits(), sv.total.to_bits());
+        assert_eq!(pv.l2.to_bits(), sv.l2.to_bits());
+        assert_eq!(pv.pvb.to_bits(), sv.pvb.to_bits());
+        let pbits: Vec<u64> = pg.as_slice().iter().map(|v| v.to_bits()).collect();
+        let sbits: Vec<u64> = sg.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            pbits, sbits,
+            "gradient with weights {weights:?} depends on thread count"
         );
     }
 }

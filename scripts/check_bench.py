@@ -90,8 +90,19 @@ def main() -> int:
                 f"note  {name}: {1 / ratio:.2f}x faster than baseline -- "
                 "consider refreshing eval/baselines/"
             )
-    for name in sorted(set(measured) - set(baseline)):
-        print(f"note  {name}: new case with no baseline (add it on refresh)")
+    unbaselined = sorted(set(measured) - set(baseline))
+    for name in unbaselined:
+        print(f"WARN  {name}: new case with no baseline")
+    if unbaselined:
+        # Loud but non-fatal: a brand-new case cannot regress yet, but an
+        # unrefreshed baseline means it is also not being gated — every
+        # run will nag until eval/baselines/ picks the case up.
+        print(
+            f"warning: {len(unbaselined)} measured case(s) have no baseline "
+            f"entry: {', '.join(unbaselined)} -- refresh "
+            f"{args.baseline} so they are gated",
+            file=sys.stderr,
+        )
     if removed:
         # A vanished benchmark usually means a case was renamed or its
         # code path deleted; name every missing case in one place so the
