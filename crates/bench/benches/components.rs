@@ -159,7 +159,9 @@ fn main() {
     let real_base512: Vec<f64> = (0..4 * N * N).map(|i| (i % 7) as f64).collect();
     let mut rfft_out512 = vec![Complex::ZERO; 4 * N * N];
     results.push(run_case("rfft2d_forward_512", || {
-        rplan512.forward_into(&real_base512, &mut rfft_out512).unwrap();
+        rplan512
+            .forward_into(&real_base512, &mut rfft_out512)
+            .unwrap();
         black_box(rfft_out512[0]);
     }));
     drop((rfft_out, rfft_out512, real_base512));

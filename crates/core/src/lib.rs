@@ -61,8 +61,8 @@ mod ste;
 pub use compose::{compose, compose_serial, ComposeConfig, ComposeWorkspace, Composite, TILE};
 pub use optimize::Composition;
 pub use optimize::{
-    run_circleopt, run_circleopt_from, run_circleopt_from_traced, run_circleopt_traced,
-    CircleOptConfig, CircleOptResult, CircleOptTrace,
+    run_circleopt, run_circleopt_cancellable, run_circleopt_from, run_circleopt_from_traced,
+    run_circleopt_traced, CircleOptConfig, CircleOptResult, CircleOptTrace,
 };
 pub use repr::{CircleParams, SparseCircles};
 pub use soft::{compose_soft, compose_soft_serial, SoftComposite, SoftWorkspace};

@@ -28,9 +28,10 @@ use cfaopc_fracture::{circle_rule, CircleRuleConfig, CircularMask};
 use cfaopc_grid::{
     disk_area, open, remove_small_regions, BitGrid, Connectivity, Grid2D, Structuring,
 };
-use cfaopc_ilt::{run_pixel_ilt_with_init_traced, IltEngine, Optimizer, OptimizerKind};
+use cfaopc_ilt::{run_pixel_ilt_cancellable, IltEngine, Optimizer, OptimizerKind};
 use cfaopc_litho::{
-    loss_and_gradient_into, LithoError, LithoSimulator, LossValues, LossWeights, NonFiniteTerm,
+    loss_and_gradient_into, CancelToken, LithoError, LithoSimulator, LossValues, LossWeights,
+    NonFiniteTerm,
 };
 use cfaopc_trace::{grad_norms, IterationRecord, Stage, TelemetrySink};
 use serde::{Deserialize, Serialize};
@@ -178,7 +179,7 @@ pub fn run_circleopt(
     target: &BitGrid,
     config: &CircleOptConfig,
 ) -> Result<CircleOptResult, LithoError> {
-    run_circleopt_impl(sim, target, config, None, None)
+    run_circleopt_impl(sim, target, config, None, None, None)
 }
 
 /// [`run_circleopt`] with a [`TelemetrySink`] receiving one
@@ -201,7 +202,32 @@ pub fn run_circleopt_traced(
     config: &CircleOptConfig,
     sink: &mut dyn TelemetrySink,
 ) -> Result<CircleOptResult, LithoError> {
-    run_circleopt_impl(sim, target, config, None, Some(sink))
+    run_circleopt_impl(sim, target, config, None, Some(sink), None)
+}
+
+/// [`run_circleopt_traced`] plus cooperative cancellation: the token is
+/// polled at the top of every stage-1 pixel iteration and every stage-2
+/// circle iteration, aborting with [`LithoError::Cancelled`] before any
+/// further simulation work.
+///
+/// Cancellation takes the same mid-run exit as the
+/// [`LithoError::NonFinite`] health guard, so an aborted run leaves the
+/// simulator's shared state (kernels, FFT plans, buffer pools) and the
+/// worker pool fully reusable by the next run — this is what lets a
+/// daemon cancel one job and keep serving (see `cfaopc-serve`).
+///
+/// # Errors
+///
+/// As [`run_circleopt_traced`], plus [`LithoError::Cancelled`] when
+/// `cancel` fires mid-run.
+pub fn run_circleopt_cancellable(
+    sim: &LithoSimulator,
+    target: &BitGrid,
+    config: &CircleOptConfig,
+    sink: &mut dyn TelemetrySink,
+    cancel: &CancelToken,
+) -> Result<CircleOptResult, LithoError> {
+    run_circleopt_impl(sim, target, config, None, Some(sink), Some(cancel))
 }
 
 /// Runs only the circle-level stage from an existing sparse circular
@@ -219,7 +245,7 @@ pub fn run_circleopt_from(
     config: &CircleOptConfig,
     circles: SparseCircles,
 ) -> Result<CircleOptResult, LithoError> {
-    run_circleopt_impl(sim, target, config, Some(circles), None)
+    run_circleopt_impl(sim, target, config, Some(circles), None, None)
 }
 
 /// [`run_circleopt_from`] with a [`TelemetrySink`] — a traced warm
@@ -236,7 +262,7 @@ pub fn run_circleopt_from_traced(
     circles: SparseCircles,
     sink: &mut dyn TelemetrySink,
 ) -> Result<CircleOptResult, LithoError> {
-    run_circleopt_impl(sim, target, config, Some(circles), Some(sink))
+    run_circleopt_impl(sim, target, config, Some(circles), Some(sink), None)
 }
 
 fn run_circleopt_impl(
@@ -245,6 +271,7 @@ fn run_circleopt_impl(
     config: &CircleOptConfig,
     warm_start: Option<SparseCircles>,
     mut sink: Option<&mut (dyn TelemetrySink + '_)>,
+    cancel: Option<&CancelToken>,
 ) -> Result<CircleOptResult, LithoError> {
     let _span = cfaopc_trace::span("core.circleopt");
     let n = sim.size();
@@ -257,8 +284,14 @@ fn run_circleopt_impl(
             // Stage 1: pixel-level initialization (MOSAIC, a few steps).
             let mut init_cfg = IltEngine::Mosaic.config(config.init_iterations);
             init_cfg.weights = config.weights;
-            let init =
-                run_pixel_ilt_with_init_traced(sim, target, &init_cfg, None, sink.as_deref_mut())?;
+            let init = run_pixel_ilt_cancellable(
+                sim,
+                target,
+                &init_cfg,
+                None,
+                sink.as_deref_mut(),
+                cancel,
+            )?;
             let init_mask = if config.cleanup_init {
                 // Writability hygiene: 1-px opening, then drop regions
                 // smaller than the minimum writable shot — they cannot
@@ -307,6 +340,9 @@ fn run_circleopt_impl(
     let mut grad_mask = Grid2D::new(n, n, 0.0);
     let mut grads: Vec<f64> = Vec::new();
     for it in 0..config.circle_iterations {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(LithoError::Cancelled { iteration: it });
+        }
         circles.set_from_flat(&flat);
         let loss = match config.composition {
             Composition::Max => {

@@ -11,11 +11,15 @@
 //! *testcase* level: one `par_map` region over the case list on the
 //! persistent worker pool. Each case then runs its inner parallel
 //! regions (FFTs, aerial images, tiled composition) under
-//! [`with_worker_limit`] set to its share of the pool,
-//! `workers / min(cases, workers)`, so nested parallelism never
-//! oversubscribes: with 4 workers and 12 cases each case computes
-//! serially while 4 cases run concurrently; with 16 workers and 4 cases
-//! each case gets 4-way inner parallelism.
+//! [`with_worker_limit`] set to its share of the pool from
+//! [`worker_shares`]`(workers, min(cases, workers))`, which distributes
+//! the remainder instead of leaving workers idle: with 4 workers and 12
+//! cases each case computes serially while 4 cases run concurrently;
+//! with 4 workers and 3 cases the shares are `[2, 1, 1]` (the old
+//! `workers / slots` split idled a worker); with 16 workers and 4 cases
+//! each case gets 4-way inner parallelism. Shares are assigned by case
+//! index (`shares[i % slots]`), not by claim order, so the schedule —
+//! and therefore the report — is independent of thread timing.
 //!
 //! # Determinism
 //!
@@ -29,7 +33,7 @@
 
 use crate::suite::{CaseSource, SuiteSpec};
 use cfaopc_core::run_circleopt_traced;
-use cfaopc_fft::parallel::{par_map, with_worker_limit, worker_count};
+use cfaopc_fft::parallel::{par_map, with_worker_limit, worker_count, worker_shares};
 use cfaopc_fracture::circle_rule;
 use cfaopc_grid::{BitGrid, Point};
 use cfaopc_ilt::{run_engine, IltEngine};
@@ -192,13 +196,17 @@ fn run_suite_impl(spec: &SuiteSpec, timing: bool) -> Result<EvalReport, EvalErro
 
     // Coarse-grained outer parallelism: whole testcases are claimed from
     // the pool; each one caps its inner regions at its share so nested
-    // parallelism does not oversubscribe the pool.
+    // parallelism does not oversubscribe the pool. Shares distribute the
+    // remainder (4 workers / 3 cases → [2, 1, 1]) and are keyed off the
+    // case index so the assignment is timing-independent.
     let workers = worker_count();
     let concurrent = workers.min(layouts.len()).max(1);
-    let share = (workers / concurrent).max(1);
+    let shares = worker_shares(workers, concurrent);
 
     let results: Vec<Result<CaseRecord, EvalError>> = par_map(layouts.len(), |i| {
-        with_worker_limit(share, || run_case(spec, &layouts[i], timing))
+        with_worker_limit(shares[i % concurrent], || {
+            run_case(spec, &layouts[i], timing)
+        })
     });
 
     let cases = results.into_iter().collect::<Result<Vec<_>, _>>()?;

@@ -6,7 +6,7 @@
 //! the tiny suite sharded, re-runs it, and runs it fully serial, then
 //! compares the serialized bytes — plus the golden round trip on top.
 
-use cfaopc_eval::{compare_reports, run_suite, EvalReport, SuiteSpec, Tolerance};
+use cfaopc_eval::{compare_reports, run_suite, CaseSource, EvalReport, SuiteSpec, Tolerance};
 use cfaopc_fft::parallel::{with_worker_limit, worker_count};
 
 #[test]
@@ -49,4 +49,24 @@ fn tiny_suite_results_are_byte_identical_and_golden_checkable() {
     let mut truncated = golden.clone();
     truncated.cases.pop();
     assert!(!compare_reports(&truncated, &second, &tol).is_empty());
+
+    // Ragged sharding: 3 cases over the 4-worker pool exercises the
+    // remainder-distributing share table ([2, 1, 1] — the old
+    // `workers / slots` split ran every case 1-way and idled a worker).
+    // The uneven shares must not leak into the report bytes.
+    let mut ragged = spec.clone();
+    ragged.name = "tiny-ragged".into();
+    ragged.cases = vec![
+        CaseSource::Benchmark(4),
+        CaseSource::Generated(7),
+        CaseSource::Benchmark(2),
+    ];
+    assert_eq!(ragged.cases.len() % worker_count(), 3, "ragged by design");
+    let sharded = run_suite(&ragged).unwrap();
+    let serial_ragged = with_worker_limit(1, || run_suite(&ragged).unwrap());
+    assert_eq!(
+        sharded.to_json_string(),
+        serial_ragged.to_json_string(),
+        "remainder shares changed RESULTS.json bytes"
+    );
 }

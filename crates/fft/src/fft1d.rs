@@ -285,7 +285,7 @@ unsafe fn butterflies_avx2(data: &mut [Complex], tw: &[Complex]) {
             let v_hi = _mm256_loadu_pd(p.add(2 * i + 4)); // a1 b1
             let a = _mm256_permute2f128_pd(v_lo, v_hi, 0x20); // a0 a1
             let b = _mm256_permute2f128_pd(v_lo, v_hi, 0x31); // b0 b1
-            // b·w via mul/addsub (see the bit-identity argument above).
+                                                              // b·w via mul/addsub (see the bit-identity argument above).
             let b_swap = _mm256_permute_pd(b, 0b0101);
             let bw = _mm256_addsub_pd(_mm256_mul_pd(b, w_re), _mm256_mul_pd(b_swap, w_im));
             let s = _mm256_add_pd(a, bw);
@@ -316,8 +316,7 @@ unsafe fn butterflies_avx2(data: &mut [Complex], tw: &[Complex]) {
                     let w_re = _mm256_movedup_pd(w); // w0.re w0.re w1.re w1.re
                     let w_im = _mm256_permute_pd(w, 0b1111); // w0.im w0.im w1.im w1.im
                     let b_swap = _mm256_permute_pd(b, 0b0101);
-                    let bw =
-                        _mm256_addsub_pd(_mm256_mul_pd(b, w_re), _mm256_mul_pd(b_swap, w_im));
+                    let bw = _mm256_addsub_pd(_mm256_mul_pd(b, w_re), _mm256_mul_pd(b_swap, w_im));
                     _mm256_storeu_pd(p.add(2 * (start + j)), _mm256_add_pd(a, bw));
                     _mm256_storeu_pd(p.add(2 * (start + j + m)), _mm256_sub_pd(a, bw));
                 }

@@ -102,6 +102,28 @@ fn effective_workers() -> usize {
     worker_count().min(WORKER_LIMIT.with(|l| l.get()))
 }
 
+/// Splits `workers` threads across `slots` concurrent coarse-grained
+/// tasks, distributing the remainder so no worker sits idle: slot `i`
+/// gets `workers / slots`, plus one if `i < workers % slots`, and always
+/// at least 1 (oversubscribed slots run serially rather than starve).
+///
+/// This is the share table for two-level scheduling — an outer claim of
+/// whole tasks (eval cases, daemon jobs) where each task caps its inner
+/// regions at its share via [`with_worker_limit`]. `4` workers over `3`
+/// slots yields `[2, 1, 1]`, not the `[1, 1, 1]`-plus-idle-worker split
+/// a plain `workers / slots` produces. Because inner regions are
+/// bit-identical at any worker limit, the uneven shares never change
+/// results — only how fully the pool is used.
+pub fn worker_shares(workers: usize, slots: usize) -> Vec<usize> {
+    let slots = slots.max(1);
+    let workers = workers.max(1);
+    let base = workers / slots;
+    let rem = workers % slots;
+    (0..slots)
+        .map(|i| (base + usize::from(i < rem)).max(1))
+        .collect()
+}
+
 /// Number of OS threads the persistent pool has spawned so far (0 until the
 /// first parallel region runs, then constant). Exposed for benchmarks and
 /// the steady-state "zero new threads" test.
@@ -602,6 +624,37 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn worker_shares_distributes_remainder() {
+        assert_eq!(worker_shares(4, 3), vec![2, 1, 1]);
+        assert_eq!(worker_shares(4, 2), vec![2, 2]);
+        assert_eq!(worker_shares(7, 3), vec![3, 2, 2]);
+        assert_eq!(worker_shares(4, 4), vec![1, 1, 1, 1]);
+        // More slots than workers: everyone runs serially, nobody starves.
+        assert_eq!(worker_shares(2, 5), vec![1, 1, 1, 1, 1]);
+        // Degenerate inputs clamp instead of panicking.
+        assert_eq!(worker_shares(0, 0), vec![1]);
+        assert_eq!(worker_shares(8, 1), vec![8]);
+    }
+
+    #[test]
+    fn worker_shares_sum_covers_pool_when_slots_divide() {
+        for workers in 1..=16 {
+            for slots in 1..=workers {
+                let shares = worker_shares(workers, slots);
+                assert_eq!(shares.len(), slots);
+                assert_eq!(
+                    shares.iter().sum::<usize>(),
+                    workers,
+                    "workers={workers} slots={slots}: no idle workers"
+                );
+                // Shares are monotonically non-increasing so slot 0 (the
+                // first case claimed) gets the extra threads.
+                assert!(shares.windows(2).all(|w| w[0] >= w[1]));
+            }
+        }
+    }
 
     #[test]
     fn par_chunks_mut_touches_every_element_once() {

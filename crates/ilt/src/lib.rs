@@ -42,6 +42,6 @@ pub use engines::{downsample_majority, run_engine, upsample_nearest, IltEngine};
 pub use levelset::{run_levelset_ilt, signed_distance, LevelSetConfig};
 pub use optimizer::{Optimizer, OptimizerKind};
 pub use pixel::{
-    run_pixel_ilt, run_pixel_ilt_traced, run_pixel_ilt_with_init, run_pixel_ilt_with_init_traced,
-    IltResult, PixelIltConfig, UpdateDomain,
+    run_pixel_ilt, run_pixel_ilt_cancellable, run_pixel_ilt_traced, run_pixel_ilt_with_init,
+    run_pixel_ilt_with_init_traced, IltResult, PixelIltConfig, UpdateDomain,
 };

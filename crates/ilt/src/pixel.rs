@@ -8,7 +8,8 @@
 use crate::optimizer::{Optimizer, OptimizerKind};
 use cfaopc_grid::{dilate, BitGrid, Grid2D, Structuring};
 use cfaopc_litho::{
-    loss_and_gradient, sigmoid, LithoError, LithoSimulator, LossValues, LossWeights, NonFiniteTerm,
+    loss_and_gradient, sigmoid, CancelToken, LithoError, LithoSimulator, LossValues, LossWeights,
+    NonFiniteTerm,
 };
 use cfaopc_trace::{grad_norms, IterationRecord, Stage, TelemetrySink};
 
@@ -148,7 +149,30 @@ pub fn run_pixel_ilt_with_init_traced(
     target: &BitGrid,
     config: &PixelIltConfig,
     init_latent: Option<&Grid2D<f64>>,
+    sink: Option<&mut (dyn TelemetrySink + '_)>,
+) -> Result<IltResult, LithoError> {
+    run_pixel_ilt_cancellable(sim, target, config, init_latent, sink, None)
+}
+
+/// [`run_pixel_ilt_with_init_traced`] plus cooperative cancellation.
+///
+/// The token is polled once at the top of every iteration; a cancelled
+/// token aborts with [`LithoError::Cancelled`] before any further
+/// simulation work, leaving the simulator's shared state (kernels, FFT
+/// plans, buffer pools) and the worker pool fully reusable — the same
+/// exit discipline as the [`LithoError::NonFinite`] health guard.
+///
+/// # Errors
+///
+/// As [`run_pixel_ilt_with_init_traced`], plus [`LithoError::Cancelled`]
+/// when `cancel` fires mid-run.
+pub fn run_pixel_ilt_cancellable(
+    sim: &LithoSimulator,
+    target: &BitGrid,
+    config: &PixelIltConfig,
+    init_latent: Option<&Grid2D<f64>>,
     mut sink: Option<&mut (dyn TelemetrySink + '_)>,
+    cancel: Option<&CancelToken>,
 ) -> Result<IltResult, LithoError> {
     let _span = cfaopc_trace::span("ilt.pixel");
     let n = sim.size();
@@ -204,6 +228,9 @@ pub fn run_pixel_ilt_with_init_traced(
     let mut grad_p = vec![0.0f64; latent.len()];
 
     for it in 0..config.iterations {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(LithoError::Cancelled { iteration: it });
+        }
         let mask = mask_from_latent(&latent, n, theta);
         let (values, mut grad_m) = loss_and_gradient(sim, &mask, &target_real, config.weights)?;
         history.push(values);

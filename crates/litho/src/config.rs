@@ -2,6 +2,39 @@
 
 use cfaopc_fft::FftError;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Cooperative cancellation handle for the optimizer entry points.
+///
+/// Clones share one flag; any clone may [`cancel`](CancelToken::cancel)
+/// (e.g. a daemon's client handler or timeout watchdog) and the
+/// optimizer observes it at the top of each iteration, returning
+/// [`LithoError::Cancelled`]. The flag is a plain relaxed load/store —
+/// cancellation needs no ordering beyond "eventually seen", and the
+/// observing iteration boundary is a deterministic function of when the
+/// store lands, never of thread scheduling within an iteration.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; there is no un-cancel.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
 
 /// Error raised for invalid lithography configurations.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +68,17 @@ pub enum LithoError {
     /// come from the same [`LithoConfig`], but propagated as a typed error
     /// instead of panicking so the library surface stays panic-free.
     Fft(FftError),
+    /// The run observed its [`CancelToken`] and stopped early.
+    ///
+    /// Raised by the cancellable optimizer entry points at the top of an
+    /// iteration — the same clean mid-run exit the [`LithoError::NonFinite`]
+    /// health guard takes, so a cancelled run leaves shared simulator
+    /// state (kernels, FFT plans, buffer pools, the worker pool) fully
+    /// reusable by the next run.
+    Cancelled {
+        /// Zero-based iteration at which the cancellation was observed.
+        iteration: usize,
+    },
 }
 
 impl From<FftError> for LithoError {
@@ -86,6 +130,9 @@ impl fmt::Display for LithoError {
                 "non-finite {term} at iteration {iteration}; run aborted by the numerical-health guard"
             ),
             LithoError::Fft(err) => write!(f, "fft plan rejected a buffer: {err}"),
+            LithoError::Cancelled { iteration } => {
+                write!(f, "run cancelled at iteration {iteration}")
+            }
         }
     }
 }

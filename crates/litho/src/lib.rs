@@ -38,7 +38,7 @@ mod kernels;
 mod process_window;
 mod simulator;
 
-pub use config::{LithoConfig, LithoError, NonFiniteTerm, ProcessCorner};
+pub use config::{CancelToken, LithoConfig, LithoError, NonFiniteTerm, ProcessCorner};
 pub use gradient::{loss_and_gradient, loss_and_gradient_into, loss_only, LossValues, LossWeights};
 pub use kernels::{Kernel, KernelSet};
 pub use process_window::{

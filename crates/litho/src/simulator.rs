@@ -602,10 +602,7 @@ mod tests {
             ProcessCorner::Min,
         ] {
             let single = s.aerial_from_spectrum(&spectrum, corner).unwrap();
-            let both = single
-                .as_slice()
-                .iter()
-                .zip(batched.get(corner).as_slice());
+            let both = single.as_slice().iter().zip(batched.get(corner).as_slice());
             for (a, b) in both {
                 assert_eq!(a.to_bits(), b.to_bits());
             }

@@ -82,7 +82,12 @@ fn loss_and_gradient_is_bit_identical_serial_vs_parallel() {
     let mut target = BitGrid::new(n, n);
     fill_rect(
         &mut target,
-        Rect::new(n as i32 / 4, n as i32 / 4, 3 * n as i32 / 4, 3 * n as i32 / 4),
+        Rect::new(
+            n as i32 / 4,
+            n as i32 / 4,
+            3 * n as i32 / 4,
+            3 * n as i32 / 4,
+        ),
     );
     let target = target.to_real();
 
@@ -92,8 +97,9 @@ fn loss_and_gradient_is_bit_identical_serial_vs_parallel() {
         LossWeights { l2: 0.0, pvb: 2.0 },
     ] {
         let (pv, pg) = loss_and_gradient(&sim, &mask, &target, weights).unwrap();
-        let (sv, sg) =
-            with_worker_limit(1, || loss_and_gradient(&sim, &mask, &target, weights).unwrap());
+        let (sv, sg) = with_worker_limit(1, || {
+            loss_and_gradient(&sim, &mask, &target, weights).unwrap()
+        });
         assert_eq!(pv.total.to_bits(), sv.total.to_bits());
         assert_eq!(pv.l2.to_bits(), sv.l2.to_bits());
         assert_eq!(pv.pvb.to_bits(), sv.pvb.to_bits());

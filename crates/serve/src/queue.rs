@@ -1,0 +1,214 @@
+//! A bounded, priority-aware job queue with visible backpressure.
+//!
+//! The daemon must never buffer work unboundedly: a full queue fails the
+//! push so the submitter can tell the client "rejected" immediately,
+//! instead of accepting a job that will time out in line. Ordering is
+//! highest priority first, FIFO within a priority (a monotone sequence
+//! number breaks ties), implemented as a linear scan over a `Vec` —
+//! deterministic, allocation-light, and plenty for a queue bounded in
+//! the tens.
+
+use std::sync::{Condvar, Mutex};
+
+/// Why a [`JobQueue::push`] was refused; the job is handed back.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — backpressure; retry later.
+    Full(T),
+    /// The queue was closed (daemon shutting down).
+    Closed(T),
+}
+
+struct Inner<T> {
+    /// `(priority, sequence, job)`; popped by max priority, min sequence.
+    items: Vec<(i64, u64, T)>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// Bounded MPMC queue: producers are connection threads, consumers are
+/// the runner threads. `pop` blocks until an item or close.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// An empty queue holding at most `capacity` jobs (min 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: Vec::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item` at `priority` (higher pops sooner). Returns the
+    /// queue depth after insertion, or the item back on a full or
+    /// closed queue.
+    pub fn push(&self, priority: i64, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.items.push((priority, seq, item));
+        let depth = inner.items.len();
+        drop(inner);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available (highest priority, FIFO within a
+    /// priority) or the queue is closed and drained — then `None`.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(best) = Self::best_index(&inner.items) {
+                let (_, _, item) = inner.items.remove(best);
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Index of the next item to pop: max priority, then min sequence.
+    fn best_index(items: &[(i64, u64, T)]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, (prio, seq, _)) in items.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let (bp, bs, _) = &items[b];
+                    *prio > *bp || (*prio == *bp && *seq < *bs)
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    /// Closes the queue and returns every still-queued job (so the
+    /// daemon can notify their clients); wakes all blocked consumers.
+    pub fn close_and_drain(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        let drained = std::mem::take(&mut inner.items);
+        drop(inner);
+        self.available.notify_all();
+        drained.into_iter().map(|(_, _, item)| item).collect()
+    }
+
+    /// Whether [`JobQueue::close_and_drain`] has run.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed
+    }
+
+    /// Jobs currently waiting (not the ones running).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes a queued job matching `pred` (e.g. cancel-before-start),
+    /// returning it if it was still waiting.
+    pub fn remove_if(&self, pred: impl Fn(&T) -> bool) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let idx = inner.items.iter().position(|(_, _, item)| pred(item))?;
+        let (_, _, item) = inner.items.remove(idx);
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = JobQueue::new(8);
+        q.push(0, "a").unwrap();
+        q.push(5, "urgent").unwrap();
+        q.push(0, "b").unwrap();
+        q.push(5, "urgent2").unwrap();
+        assert_eq!(q.pop(), Some("urgent"));
+        assert_eq!(q.pop(), Some("urgent2"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_the_item() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.push(0, 1).unwrap(), 1);
+        assert_eq!(q.push(0, 2).unwrap(), 2);
+        match q.push(0, 3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(0, 3).unwrap(), 2, "popping frees capacity");
+    }
+
+    #[test]
+    fn close_drains_and_unblocks() {
+        let q = Arc::new(JobQueue::new(4));
+        q.push(1, "queued").unwrap();
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                // First pop gets the queued item; second blocks until close.
+                let first = q.pop();
+                let second = q.pop();
+                (first, second)
+            })
+        };
+        // Give the waiter a chance to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let drained = q.close_and_drain();
+        let (first, second) = waiter.join().unwrap();
+        assert_eq!(first, Some("queued"));
+        assert_eq!(second, None);
+        assert!(drained.is_empty());
+        match q.push(0, "late") {
+            Err(PushError::Closed(item)) => assert_eq!(item, "late"),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_if_pulls_only_queued_jobs() {
+        let q = JobQueue::new(4);
+        q.push(0, 10).unwrap();
+        q.push(0, 20).unwrap();
+        assert_eq!(q.remove_if(|&v| v == 20), Some(20));
+        assert_eq!(q.remove_if(|&v| v == 20), None);
+        assert_eq!(q.len(), 1);
+    }
+}

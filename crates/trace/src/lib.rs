@@ -311,19 +311,25 @@ pub fn grad_norms(grad: &[f64]) -> (f64, f64) {
     (sum_sq.sqrt(), linf)
 }
 
+/// Counters and spans are process-global; tests that reset or assert on
+/// them serialize through this lock (shared with the sink tests).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::{Mutex, OnceLock};
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::{Mutex, MutexGuard, OnceLock};
+    use std::sync::MutexGuard;
 
-    /// Counters and spans are process-global; serialize the tests that
-    /// reset or assert on them.
     fn lock() -> MutexGuard<'static, ()> {
-        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
-        GUARD
-            .get_or_init(|| Mutex::new(()))
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
+        crate::test_lock()
     }
 
     #[test]

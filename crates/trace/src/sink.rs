@@ -112,10 +112,18 @@ impl TelemetrySink for MemorySink {
 /// A reusable `String` buffer formats each line, so steady-state
 /// recording allocates nothing beyond what the underlying writer does.
 /// Non-finite floats serialize as `null` to stay valid JSON.
+///
+/// Recording never aborts an optimization, but write failures are not
+/// lost either: the first `io::Error` is latched, further records are
+/// dropped, and the error surfaces from [`JsonlSink::flush`],
+/// [`JsonlSink::write_summary`], [`JsonlSink::write_error`] and
+/// [`JsonlSink::take_error`]. This is how a long-running service detects
+/// that a progress-streaming client has gone away.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     out: W,
     buf: String,
+    error: Option<io::Error>,
 }
 
 fn push_f64(buf: &mut String, v: f64) {
@@ -126,38 +134,105 @@ fn push_f64(buf: &mut String, v: f64) {
     }
 }
 
+/// Appends `s` to `buf` with JSON string escaping (`"`/`\`, common
+/// control characters, `\u00XX` for the rest of C0). Shared by the
+/// record and summary paths so no name interpolation can emit an
+/// invalid line.
+fn push_escaped(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// `io::Error` is not `Clone`; reconstruct a same-kind, same-message
+/// error so a latched failure can be reported more than once.
+fn copy_error(e: &io::Error) -> io::Error {
+    io::Error::new(e.kind(), e.to_string())
+}
+
 impl<W: Write> JsonlSink<W> {
     /// Wraps `out`; each record becomes one JSON line.
     pub fn new(out: W) -> Self {
         JsonlSink {
             out,
             buf: String::with_capacity(256),
+            error: None,
         }
+    }
+
+    /// The first write error seen, if any. The sink stops writing once
+    /// an error is latched; callers polling between records (e.g. a
+    /// streaming daemon) use this to detect a dead client without
+    /// consuming the error.
+    pub fn write_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Takes the latched write error, resetting the sink to a writable
+    /// state (subsequent records go to the writer again).
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
     }
 
     /// Writes one `{"kind":"counters",...}` line with the current
     /// counter values and one `{"kind":"span",...}` line per span node
     /// (preorder). Call after a run to append the aggregate picture.
+    ///
+    /// Returns the latched record-path error, if one occurred, without
+    /// attempting further writes.
     pub fn write_summary(&mut self) -> io::Result<()> {
+        if let Some(e) = &self.error {
+            return Err(copy_error(e));
+        }
         self.buf.clear();
         self.buf.push_str("{\"kind\":\"counters\"");
         for (name, value) in counter_snapshot() {
-            let _ = write!(self.buf, ",\"{name}\":{value}");
+            self.buf.push_str(",\"");
+            push_escaped(&mut self.buf, name);
+            let _ = write!(self.buf, "\":{value}");
         }
         self.buf.push_str("}\n");
         for s in span_snapshot() {
+            self.buf.push_str("{\"kind\":\"span\",\"name\":\"");
+            push_escaped(&mut self.buf, s.name);
             let _ = writeln!(
                 self.buf,
-                "{{\"kind\":\"span\",\"name\":\"{}\",\"depth\":{},\"calls\":{},\"total_ns\":{}}}",
-                s.name, s.depth, s.calls, s.total_ns
+                "\",\"depth\":{},\"calls\":{},\"total_ns\":{}}}",
+                s.depth, s.calls, s.total_ns
             );
         }
-        self.out.write_all(self.buf.as_bytes())
+        match self.out.write_all(self.buf.as_bytes()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.error = Some(copy_error(&e));
+                Err(e)
+            }
+        }
     }
 
-    /// Flushes the underlying writer.
+    /// Flushes the underlying writer; returns the latched record-path
+    /// error first if one occurred.
     pub fn flush(&mut self) -> io::Result<()> {
-        self.out.flush()
+        if let Some(e) = &self.error {
+            return Err(copy_error(e));
+        }
+        match self.out.flush() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.error = Some(copy_error(&e));
+                Err(e)
+            }
+        }
     }
 
     /// Consumes the sink, returning the writer.
@@ -168,13 +243,16 @@ impl<W: Write> JsonlSink<W> {
 
 impl<W: Write> TelemetrySink for JsonlSink<W> {
     fn record(&mut self, rec: &IterationRecord) {
+        // Telemetry must never abort an optimization: the first I/O
+        // error is latched (dropping this and later records) and
+        // surfaces through `flush`/`write_summary`/`take_error`.
+        if self.error.is_some() {
+            return;
+        }
         self.buf.clear();
-        let _ = write!(
-            self.buf,
-            "{{\"kind\":\"iter\",\"stage\":\"{}\",\"iteration\":{}",
-            rec.stage.as_str(),
-            rec.iteration
-        );
+        self.buf.push_str("{\"kind\":\"iter\",\"stage\":\"");
+        push_escaped(&mut self.buf, rec.stage.as_str());
+        let _ = write!(self.buf, "\",\"iteration\":{}", rec.iteration);
         for (key, v) in [
             ("loss_l2", rec.loss_l2),
             ("loss_pvb", rec.loss_pvb),
@@ -190,9 +268,9 @@ impl<W: Write> TelemetrySink for JsonlSink<W> {
         self.buf.push_str(",\"grad_linf\":");
         push_f64(&mut self.buf, rec.grad_linf);
         self.buf.push_str("}\n");
-        // Telemetry must never abort an optimization; I/O errors surface
-        // at `flush` time instead.
-        let _ = self.out.write_all(self.buf.as_bytes());
+        if let Err(e) = self.out.write_all(self.buf.as_bytes()) {
+            self.error = Some(e);
+        }
     }
 }
 
@@ -254,10 +332,122 @@ mod tests {
 
     #[test]
     fn summary_lines_are_emitted() {
+        let _g = crate::test_lock();
         let mut sink = JsonlSink::new(Vec::new());
         sink.write_summary().unwrap();
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert!(text.starts_with("{\"kind\":\"counters\""));
         assert!(text.contains("\"fft_2d\":"));
+    }
+
+    /// A writer that fails every call after the first `ok_writes`.
+    struct FailAfter {
+        ok_writes: usize,
+        written: Vec<u8>,
+        attempts: usize,
+    }
+
+    impl Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.attempts += 1;
+            if self.attempts > self.ok_writes {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "client gone"));
+            }
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_errors_latch_and_surface() {
+        let mut sink = JsonlSink::new(FailAfter {
+            ok_writes: 1,
+            written: Vec::new(),
+            attempts: 0,
+        });
+        sink.record(&rec(0));
+        assert!(sink.write_error().is_none(), "first write succeeds");
+        sink.record(&rec(1));
+        let err = sink.write_error().expect("second write must latch");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // Latched: later records are dropped without touching the writer,
+        // and flush/write_summary report the original failure.
+        sink.record(&rec(2));
+        assert_eq!(sink.flush().unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(
+            sink.write_summary().unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+        let taken = sink.take_error().expect("take_error returns the error");
+        assert_eq!(taken.kind(), io::ErrorKind::BrokenPipe);
+        assert!(sink.write_error().is_none(), "take_error clears the latch");
+        let out = sink.into_inner();
+        assert_eq!(out.attempts, 2, "no writes attempted after the latch");
+        let text = String::from_utf8(out.written).unwrap();
+        assert_eq!(text.lines().count(), 1, "only the successful record landed");
+        assert!(text.contains("\"iteration\":0"));
+    }
+
+    #[test]
+    fn flush_errors_latch_too() {
+        struct BadFlush;
+        impl Write for BadFlush {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "nope"))
+            }
+        }
+        let mut sink = JsonlSink::new(BadFlush);
+        assert_eq!(sink.flush().unwrap_err().kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(
+            sink.write_error().map(io::Error::kind),
+            Some(io::ErrorKind::WouldBlock)
+        );
+    }
+
+    #[test]
+    fn summary_escapes_counter_and_span_names() {
+        let _g = crate::test_lock();
+        crate::reset();
+        crate::set_enabled(true);
+        {
+            let _evil = crate::span("evil \"name\"\\with\n\tstuff");
+        }
+        crate::set_enabled(false);
+        let mut sink = JsonlSink::new(Vec::new());
+        let result = sink.write_summary();
+        crate::reset();
+        result.unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.contains("evil"))
+            .expect("span line present");
+        assert!(
+            line.contains("\"name\":\"evil \\\"name\\\"\\\\with\\n\\tstuff\""),
+            "escaped span name, got: {line}"
+        );
+        // Every emitted line must round-trip as JSON-shaped: balanced
+        // quotes outside escapes is the property the bug violated.
+        let quote_count = line
+            .as_bytes()
+            .iter()
+            .enumerate()
+            .filter(|&(i, &b)| b == b'"' && (i == 0 || line.as_bytes()[i - 1] != b'\\'))
+            .count();
+        assert_eq!(quote_count % 2, 0, "unescaped quote broke the line: {line}");
+    }
+
+    #[test]
+    fn record_stage_goes_through_escape_helper() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&rec(3));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.contains("\"stage\":\"circleopt\""));
     }
 }

@@ -32,9 +32,18 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("cases") => cmd_cases(),
-        Some("fracture") => cmd_fracture(&parse_flags(&args[1..])),
-        Some("evaluate") => cmd_evaluate(&parse_flags(&args[1..])),
-        Some("eval") => cmd_eval(&parse_flags(&args[1..])),
+        Some("fracture") => parse_flags(&args[1..], FRACTURE_FLAGS)
+            .map_err(Into::into)
+            .and_then(|f| cmd_fracture(&f)),
+        Some("evaluate") => parse_flags(&args[1..], EVALUATE_FLAGS)
+            .map_err(Into::into)
+            .and_then(|f| cmd_evaluate(&f)),
+        Some("eval") => parse_flags(&args[1..], EVAL_FLAGS)
+            .map_err(Into::into)
+            .and_then(|f| cmd_eval(&f)),
+        Some("serve") => parse_flags(&args[1..], SERVE_FLAGS)
+            .map_err(Into::into)
+            .and_then(|f| cmd_serve(&f)),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -58,27 +67,113 @@ fn print_usage() {
          [--trace FILE.jsonl]\n  \
          cfaopc evaluate --shots FILE.cshot (--case <1-10> | --glp FILE)\n  \
          cfaopc eval [--suite tiny|small|paper] [--out RESULTS.json] [--md FILE] \
-         [--check GOLDEN.json] [--tol REL] [--tol-abs ABS] [--timing]\n"
+         [--check GOLDEN.json] [--tol REL] [--tol-abs ABS] [--timing]\n  \
+         cfaopc serve [--addr HOST:PORT] [--queue N] [--jobs N] [--timeout-ms MS]\n"
     );
 }
 
 type Flags = HashMap<String, String>;
 
-fn parse_flags(args: &[String]) -> Flags {
+/// One allowed flag for a subcommand: its name (without `--`) and
+/// whether it consumes a value.
+struct FlagSpec {
+    name: &'static str,
+    takes_value: bool,
+}
+
+const fn flag(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: true,
+    }
+}
+
+const fn switch(name: &'static str) -> FlagSpec {
+    FlagSpec {
+        name,
+        takes_value: false,
+    }
+}
+
+const FRACTURE_FLAGS: &[FlagSpec] = &[
+    flag("case"),
+    flag("glp"),
+    flag("size"),
+    flag("method"),
+    flag("iters"),
+    flag("out"),
+    flag("svg"),
+    flag("trace"),
+];
+const EVALUATE_FLAGS: &[FlagSpec] = &[flag("shots"), flag("case"), flag("glp")];
+const EVAL_FLAGS: &[FlagSpec] = &[
+    flag("suite"),
+    flag("out"),
+    flag("md"),
+    flag("check"),
+    flag("tol"),
+    flag("tol-abs"),
+    switch("timing"),
+];
+const SERVE_FLAGS: &[FlagSpec] = &[
+    flag("addr"),
+    flag("queue"),
+    flag("jobs"),
+    flag("timeout-ms"),
+];
+
+/// Strict flag parser: every token must be a `--flag` from `allowed`
+/// (or its value). Unknown flags, stray positionals, missing values,
+/// values handed to switches, and duplicated valued flags are all
+/// errors naming the offending token — a typo'd run fails loudly
+/// instead of silently dropping the option (the old parser accepted
+/// anything and ignored what no subcommand read).
+///
+/// Accepted shapes: `--flag value`, `--flag=value`, bare `--switch`
+/// (repeating a switch is idempotent, not an error).
+fn parse_flags(args: &[String], allowed: &[FlagSpec]) -> Result<Flags, String> {
+    let known = || {
+        allowed
+            .iter()
+            .map(|s| format!("--{}", s.name))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
     let mut flags = Flags::new();
     let mut it = args.iter().peekable();
-    while let Some(a) = it.next() {
-        if let Some(key) = a.strip_prefix("--") {
-            // A following token that is itself a flag means this one is
-            // boolean (e.g. `--timing --check g.json`).
-            let value = match it.peek() {
-                Some(next) if !next.starts_with("--") => it.next().cloned().unwrap_or_default(),
-                _ => String::new(),
-            };
-            flags.insert(key.to_string(), value);
+    while let Some(arg) = it.next() {
+        let Some(body) = arg.strip_prefix("--") else {
+            return Err(format!(
+                "unexpected argument {arg:?} (flags are {})",
+                known()
+            ));
+        };
+        let (key, inline_value) = match body.split_once('=') {
+            Some((k, v)) => (k, Some(v.to_string())),
+            None => (body, None),
+        };
+        let Some(spec) = allowed.iter().find(|s| s.name == key) else {
+            return Err(format!("unknown flag --{key} (flags are {})", known()));
+        };
+        let value = if spec.takes_value {
+            match inline_value {
+                Some(v) => v,
+                None => match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next().cloned().unwrap_or_default(),
+                    _ => return Err(format!("flag --{key} requires a value")),
+                },
+            }
+        } else {
+            if inline_value.is_some() {
+                return Err(format!("flag --{key} does not take a value"));
+            }
+            String::new()
+        };
+        if flags.insert(key.to_string(), value).is_some() && spec.takes_value {
+            return Err(format!("duplicate flag --{key}"));
         }
     }
-    flags
+    Ok(flags)
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
@@ -276,6 +371,35 @@ fn cmd_eval(flags: &Flags) -> CliResult {
     Ok(())
 }
 
+fn cmd_serve(flags: &Flags) -> CliResult {
+    let config = cfaopc::serve::ServeConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        queue_capacity: flags
+            .get("queue")
+            .map(|s| s.parse())
+            .transpose()?
+            .unwrap_or(32),
+        runners: flags
+            .get("jobs")
+            .map(|s| s.parse())
+            .transpose()?
+            .unwrap_or(0),
+        default_timeout_ms: flags.get("timeout-ms").map(|s| s.parse()).transpose()?,
+    };
+    let server = cfaopc::serve::Server::bind(config)?;
+    // Flush explicitly: when stdout is a pipe (scripts waiting for the
+    // address), line buffering alone would sit on this until exit.
+    use std::io::Write as _;
+    println!("cfaopc serve: listening on {}", server.local_addr());
+    std::io::stdout().flush()?;
+    server.run()?;
+    println!("cfaopc serve: shut down");
+    Ok(())
+}
+
 fn cmd_evaluate(flags: &Flags) -> CliResult {
     let shots_path = flags.get("shots").ok_or("need --shots FILE.cshot")?;
     let list = ShotList::from_text(&std::fs::read_to_string(shots_path)?)?;
@@ -304,4 +428,74 @@ fn cmd_evaluate(flags: &Flags) -> CliResult {
         shots_path, layout.name, metrics.l2, metrics.pvb, metrics.epe, metrics.shots, relaxed.total
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_space_and_equals_forms() {
+        let flags = parse_flags(
+            &args(&["--case", "3", "--size=256", "--method", "opt"]),
+            FRACTURE_FLAGS,
+        )
+        .unwrap();
+        assert_eq!(flags.get("case").map(String::as_str), Some("3"));
+        assert_eq!(flags.get("size").map(String::as_str), Some("256"));
+        assert_eq!(flags.get("method").map(String::as_str), Some("opt"));
+    }
+
+    #[test]
+    fn unknown_flags_error_and_name_the_allowlist() {
+        let err = parse_flags(&args(&["--sizr", "256"]), FRACTURE_FLAGS).unwrap_err();
+        assert!(err.contains("--sizr"), "{err}");
+        assert!(
+            err.contains("--size"),
+            "error should list valid flags: {err}"
+        );
+        // A flag valid for one subcommand is still unknown for another.
+        let err = parse_flags(&args(&["--timing"]), FRACTURE_FLAGS).unwrap_err();
+        assert!(err.contains("--timing"), "{err}");
+    }
+
+    #[test]
+    fn stray_positionals_error() {
+        let err = parse_flags(&args(&["RESULTS.json"]), EVAL_FLAGS).unwrap_err();
+        assert!(err.contains("RESULTS.json"), "{err}");
+    }
+
+    #[test]
+    fn switches_take_no_value_and_may_repeat() {
+        let flags = parse_flags(
+            &args(&["--timing", "--timing", "--check", "g.json"]),
+            EVAL_FLAGS,
+        )
+        .unwrap();
+        assert!(flags.contains_key("timing"));
+        assert_eq!(flags.get("check").map(String::as_str), Some("g.json"));
+        let err = parse_flags(&args(&["--timing=yes"]), EVAL_FLAGS).unwrap_err();
+        assert!(err.contains("does not take a value"), "{err}");
+    }
+
+    #[test]
+    fn valued_flags_require_values_and_reject_duplicates() {
+        let err = parse_flags(&args(&["--suite"]), EVAL_FLAGS).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        // A following flag token is not a value.
+        let err = parse_flags(&args(&["--suite", "--timing"]), EVAL_FLAGS).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        let err =
+            parse_flags(&args(&["--suite", "tiny", "--suite", "small"]), EVAL_FLAGS).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn empty_args_parse_to_no_flags() {
+        assert!(parse_flags(&[], SERVE_FLAGS).unwrap().is_empty());
+    }
 }

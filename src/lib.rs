@@ -64,6 +64,7 @@ pub use cfaopc_ilt as ilt;
 pub use cfaopc_layouts as layouts;
 pub use cfaopc_litho as litho;
 pub use cfaopc_metrics as metrics;
+pub use cfaopc_serve as serve;
 pub use cfaopc_trace as trace;
 pub use cfaopc_viz as viz;
 
