@@ -1,0 +1,195 @@
+//! Tile/halo geometry for full-chip decomposition.
+//!
+//! A chip raster of `tiles_x × tiles_y` tiles (each `tile_px` pixels
+//! square) is covered by overlapping simulation *windows*: tile
+//! `(tx, ty)` owns the interior `[tx·T, (tx+1)·T) × [ty·T, (ty+1)·T)`
+//! and simulates the window of edge `W = 2T` centred on it — a halo of
+//! `H = T/2` pixels on every side. Consecutive windows therefore overlap
+//! by `2H = T` pixels per axis, every chip pixel is *owned* by exactly
+//! one tile, and is *covered* by at most two windows per axis (its owner
+//! and one neighbour); windows keep a power-of-two edge whenever
+//! `tile_px` is a power of two, so the FFT stack applies unchanged.
+
+/// Decomposition geometry: the pure integer arithmetic every stitching
+/// and merging step agrees on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipGeometry {
+    /// Tile columns.
+    pub tiles_x: usize,
+    /// Tile rows.
+    pub tiles_y: usize,
+    /// Owned (interior) tile edge in pixels; the simulation window edge
+    /// is `2 · tile_px`.
+    pub tile_px: usize,
+}
+
+impl ChipGeometry {
+    /// Creates the geometry. `tile_px` must be even (the halo is half a
+    /// tile) and at least 4; both are clamped rather than panicking —
+    /// specs validate upstream via the litho configuration.
+    pub fn new(tiles_x: usize, tiles_y: usize, tile_px: usize) -> Self {
+        ChipGeometry {
+            tiles_x: tiles_x.max(1),
+            tiles_y: tiles_y.max(1),
+            tile_px: (tile_px & !1).max(4),
+        }
+    }
+
+    /// Simulation window edge in pixels (`2 · tile_px`).
+    pub fn window_px(&self) -> usize {
+        2 * self.tile_px
+    }
+
+    /// Halo width in pixels on each window side (`tile_px / 2`).
+    pub fn halo_px(&self) -> usize {
+        self.tile_px / 2
+    }
+
+    /// Chip raster width in pixels.
+    pub fn chip_width_px(&self) -> usize {
+        self.tiles_x * self.tile_px
+    }
+
+    /// Chip raster height in pixels.
+    pub fn chip_height_px(&self) -> usize {
+        self.tiles_y * self.tile_px
+    }
+
+    /// Number of tiles.
+    pub fn tile_count(&self) -> usize {
+        self.tiles_x * self.tiles_y
+    }
+
+    /// `(tx, ty)` for a linear tile index in row-major order — the fixed
+    /// iteration order every merge and blend step uses.
+    pub fn tile_at(&self, index: usize) -> (usize, usize) {
+        (index % self.tiles_x, index / self.tiles_x)
+    }
+
+    /// Chip-pixel coordinates of the window's top-left corner (may be
+    /// negative: border windows hang over the chip edge and see empty
+    /// padding there).
+    pub fn window_origin(&self, tx: usize, ty: usize) -> (i32, i32) {
+        let h = self.halo_px() as i32;
+        (
+            (tx * self.tile_px) as i32 - h,
+            (ty * self.tile_px) as i32 - h,
+        )
+    }
+
+    /// Whether tile `(tx, ty)` owns chip pixel `(x, y)`.
+    pub fn owns(&self, tx: usize, ty: usize, x: i32, y: i32) -> bool {
+        let t = self.tile_px as i32;
+        let (ox, oy) = ((tx as i32) * t, (ty as i32) * t);
+        x >= ox && x < ox + t && y >= oy && y < oy + t
+    }
+
+    /// Blend-validity margin in pixels (`tile_px / 4`, i.e. half the
+    /// halo). A window's aerial intensity is only trustworthy at pixels
+    /// whose full optical neighbourhood lies inside the window; within
+    /// `margin` of the window edge, mask content just outside the window
+    /// is missing from the simulation, so those pixels must get zero
+    /// blend weight. In nanometres the margin is `(T/4)·(2048/T) =
+    /// 512 nm` at every tile size — comfortably beyond the ~λ/NA ≈
+    /// 143 nm optical interaction radius.
+    pub fn blend_margin_px(&self) -> usize {
+        self.tile_px / 4
+    }
+
+    /// The symmetric triangular ("tent") blend weight for window
+    /// coordinate `u ∈ [0, window_px)`: zero within
+    /// [`blend_margin_px`](Self::blend_margin_px) of either window edge
+    /// (where the window's intensity is contaminated by the cut), and
+    /// `min(u−m+1, W−m−u)` inside the valid span — small integers
+    /// exactly representable in `f64`. After dividing by the per-pixel
+    /// weight sum (see `stitch::normalize_blend`) the tile weights form
+    /// a partition of unity over the chip: every owned pixel keeps
+    /// weight ≥ `T/4 + 1` from its owner (the valid span `[m, W−m)`
+    /// strictly contains the interior `[T/2, 3T/2)`), the owner's weight
+    /// always exceeds any neighbour's, and weights ramp linearly across
+    /// the halo overlap.
+    pub fn tent_weight(&self, u: usize) -> f64 {
+        let w = self.window_px();
+        let m = self.blend_margin_px();
+        if u < m || u >= w - m {
+            return 0.0;
+        }
+        ((u - m + 1).min(w - m - u)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_and_halo_sizes() {
+        let g = ChipGeometry::new(4, 3, 32);
+        assert_eq!(g.window_px(), 64);
+        assert_eq!(g.halo_px(), 16);
+        assert_eq!(g.chip_width_px(), 128);
+        assert_eq!(g.chip_height_px(), 96);
+        assert_eq!(g.tile_count(), 12);
+        assert_eq!(g.tile_at(0), (0, 0));
+        assert_eq!(g.tile_at(5), (1, 1));
+    }
+
+    #[test]
+    fn every_chip_pixel_has_exactly_one_owner() {
+        let g = ChipGeometry::new(3, 2, 8);
+        for y in 0..g.chip_height_px() as i32 {
+            for x in 0..g.chip_width_px() as i32 {
+                let owners = (0..g.tile_count())
+                    .filter(|&i| {
+                        let (tx, ty) = g.tile_at(i);
+                        g.owns(tx, ty, x, y)
+                    })
+                    .count();
+                assert_eq!(owners, 1, "pixel ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn owner_weight_dominates_any_neighbour() {
+        let g = ChipGeometry::new(2, 1, 16);
+        // A pixel at interior offset d is seen by its owner at window
+        // coordinate d + H and by an overlapping neighbour (if any) in
+        // the neighbour's halo, at window coordinate < H or ≥ W − H.
+        let h = g.halo_px();
+        let w = g.window_px();
+        for d in 0..g.tile_px {
+            let own = g.tent_weight(d + h);
+            let halo_max = g.tent_weight(h - 1).max(g.tent_weight(w - h));
+            assert!(own > halo_max, "offset {d}: {own} vs {halo_max}");
+        }
+    }
+
+    #[test]
+    fn weights_vanish_inside_the_validity_margin() {
+        let g = ChipGeometry::new(2, 2, 32);
+        let (w, m) = (g.window_px(), g.blend_margin_px());
+        assert_eq!(m, 8);
+        for u in 0..w {
+            let weight = g.tent_weight(u);
+            if u < m || u >= w - m {
+                assert_eq!(weight, 0.0, "contaminated pixel {u} got weight");
+            } else {
+                assert!(weight >= 1.0, "valid pixel {u} lost coverage");
+            }
+        }
+        // Owned pixels always keep nonzero owner weight: the valid span
+        // [m, W−m) strictly contains the interior [T/2, 3T/2).
+        for u in g.halo_px()..g.halo_px() + g.tile_px {
+            assert!(g.tent_weight(u) > g.blend_margin_px() as f64);
+        }
+    }
+
+    #[test]
+    fn window_origins_hang_over_the_chip_border() {
+        let g = ChipGeometry::new(2, 2, 32);
+        assert_eq!(g.window_origin(0, 0), (-16, -16));
+        assert_eq!(g.window_origin(1, 0), (16, -16));
+        assert_eq!(g.window_origin(1, 1), (16, 16));
+    }
+}

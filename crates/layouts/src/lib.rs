@@ -26,8 +26,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chip;
 mod generator;
 
+pub use chip::{generate_chip, ChipGeneratorConfig, ChipLayout};
 pub use generator::{generate_layout, GeneratorConfig};
 
 use cfaopc_grid::{fill_rect, BitGrid, Rect};

@@ -4,6 +4,7 @@
 Sources:
   * target/experiments/*.csv|*.out  -- the cfaopc-bench experiment binaries
   * RESULTS.json                    -- `cfaopc eval` (schema cfaopc-eval/1)
+  * CHIP_RESULTS.json               -- `cfaopc chip` (schema cfaopc-chip/1)
   * BENCH_circleopt_telemetry.jsonl -- tracing-enabled bench run
 
 Missing artifacts are skipped (their placeholder stays in place so a
@@ -12,6 +13,7 @@ a hard error and the script exits non-zero without touching
 EXPERIMENTS.md.
 
 Usage: scripts/fill_experiments.py [--results RESULTS.json]
+                                   [--chip-results CHIP_RESULTS.json]
 """
 
 import argparse
@@ -25,6 +27,7 @@ EXP = ROOT / "target" / "experiments"
 MD = ROOT / "EXPERIMENTS.md"
 
 EVAL_SCHEMA = "cfaopc-eval/1"
+CHIP_SCHEMA = "cfaopc-chip/1"
 
 
 class ArtifactError(Exception):
@@ -109,6 +112,59 @@ def eval_table(path: Path) -> str:
     return "\n".join(rows) + meta
 
 
+def chip_table(path: Path) -> str:
+    """Render the `cfaopc chip` table from CHIP_RESULTS.json.
+
+    Mirrors ChipReport::markdown_table; validates the schema tag and
+    every consumed field, so a truncated or mis-schemed file fails
+    loudly and EXPERIMENTS.md is left untouched.
+    """
+    try:
+        doc = json.loads(path.read_text())
+    except ValueError as e:
+        raise ArtifactError(f"{path}: not valid JSON ({e})") from e
+    if not isinstance(doc, dict) or doc.get("schema") != CHIP_SCHEMA:
+        raise ArtifactError(
+            f"{path}: schema {doc.get('schema')!r} (expected {CHIP_SCHEMA!r})"
+        )
+    chips = doc.get("chips")
+    if not isinstance(chips, list) or not chips:
+        raise ArtifactError(f"{path}: missing or empty 'chips' array")
+
+    header = (
+        "| Chip | Tiles | Area (nm²) | L2 (CR) | PVB (CR) | EPE (CR) | #Shot (CR) "
+        "| xMRC (CR) | L2 (CO) | PVB (CO) | EPE (CO) | #Shot (CO) | xMRC (CO) |"
+    )
+    rows = [header, "|---|---|---|---|---|---|---|---|---|---|---|---|---|"]
+    for chip in chips:
+        try:
+            cells = [
+                str(chip["chip"]),
+                f"{int(chip['tiles_x'])}×{int(chip['tiles_y'])}",
+                f"{int(chip['area_nm2'])}",
+            ]
+            for method in ("rule", "opt"):
+                m = chip[method]
+                cells += [
+                    f"{m['l2']:.0f}",
+                    f"{m['pvb']:.0f}",
+                    f"{m['epe']}",
+                    f"{m['shots']}",
+                    f"{m['cross_seam_violations']}",
+                ]
+        except (KeyError, TypeError, ValueError) as e:
+            raise ArtifactError(f"{path}: malformed chip record ({e!r})") from e
+        rows.append("| " + " | ".join(cells) + " |")
+    meta = (
+        f"\nSuite `{doc.get('suite')}`: {doc.get('tile_px')} px tiles, "
+        f"{doc.get('window_px')} px windows ({doc.get('halo_px')} px halo), "
+        f"{doc.get('kernel_count')} kernels per corner "
+        f"(CR = MultiILT+CircleRule, CO = CircleOpt, xMRC = cross-seam "
+        f"spacing violations)."
+    )
+    return "\n".join(rows) + meta
+
+
 def telemetry_summary(path: Path) -> str:
     iters, counters, spans = [], None, []
     for lineno, line in enumerate(path.read_text().splitlines(), start=1):
@@ -157,6 +213,12 @@ def main() -> int:
         default=ROOT / "RESULTS.json",
         help="path to the `cfaopc eval` RESULTS.json (default: repo root)",
     )
+    ap.add_argument(
+        "--chip-results",
+        type=Path,
+        default=ROOT / "CHIP_RESULTS.json",
+        help="path to the `cfaopc chip` CHIP_RESULTS.json (default: repo root)",
+    )
     args = ap.parse_args()
 
     md = MD.read_text()
@@ -191,6 +253,10 @@ def main() -> int:
         if args.results.exists():
             md = fill(md, "<!-- EVAL_MEASURED -->", eval_table(args.results))
             filled.append("eval")
+
+        if args.chip_results.exists():
+            md = fill(md, "<!-- CHIP_MEASURED -->", chip_table(args.chip_results))
+            filled.append("chip")
 
         tel = ROOT / "BENCH_circleopt_telemetry.jsonl"
         if tel.exists():

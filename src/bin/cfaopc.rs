@@ -8,6 +8,9 @@
 //! cfaopc eval [--suite small] [--out RESULTS.json] [--md table.md]
 //!             [--check eval/golden.json] [--tol 0.02] [--tol-abs 0.5]
 //!             [--timing]
+//! cfaopc chip [--suite chip-tiny] [--out CHIP_RESULTS.json] [--md table.md]
+//!             [--check eval/golden_chip.json] [--tol 0.02] [--tol-abs 0.5]
+//!             [--shots-dir DIR]
 //! ```
 //!
 //! `--trace FILE.jsonl` (with `--method opt`) enables the observability
@@ -21,6 +24,14 @@
 //! and `CFAOPC_THREADS` values unless `--timing` is given. With
 //! `--check` it compares every metric against a golden file and exits
 //! non-zero on drift beyond tolerance.
+//!
+//! `chip` runs a full-chip decomposition suite: each chip splits into
+//! overlapping halo windows, every window runs the per-tile pipeline in
+//! parallel, interior-owned shots merge into one chip-level CSHOT list
+//! (written per chip and method with `--shots-dir`), and seams blend
+//! under partition-of-unity weights into chip-level L2/PVB/EPE plus
+//! cross-seam MRC counts. `CHIP_RESULTS.json` is byte-identical across
+//! runs and `CFAOPC_THREADS` values; `--check` works as for `eval`.
 
 use cfaopc::fracture::ShotList;
 use cfaopc::litho::loss_only;
@@ -41,6 +52,9 @@ fn main() -> ExitCode {
         Some("eval") => parse_flags(&args[1..], EVAL_FLAGS)
             .map_err(Into::into)
             .and_then(|f| cmd_eval(&f)),
+        Some("chip") => parse_flags(&args[1..], CHIP_FLAGS)
+            .map_err(Into::into)
+            .and_then(|f| cmd_chip(&f)),
         Some("serve") => parse_flags(&args[1..], SERVE_FLAGS)
             .map_err(Into::into)
             .and_then(|f| cmd_serve(&f)),
@@ -68,6 +82,8 @@ fn print_usage() {
          cfaopc evaluate --shots FILE.cshot (--case <1-10> | --glp FILE)\n  \
          cfaopc eval [--suite tiny|small|paper] [--out RESULTS.json] [--md FILE] \
          [--check GOLDEN.json] [--tol REL] [--tol-abs ABS] [--timing]\n  \
+         cfaopc chip [--suite chip-tiny|chip-small] [--out CHIP_RESULTS.json] [--md FILE] \
+         [--check GOLDEN.json] [--tol REL] [--tol-abs ABS] [--shots-dir DIR]\n  \
          cfaopc serve [--addr HOST:PORT] [--queue N] [--jobs N] [--timeout-ms MS]\n"
     );
 }
@@ -114,6 +130,15 @@ const EVAL_FLAGS: &[FlagSpec] = &[
     flag("tol"),
     flag("tol-abs"),
     switch("timing"),
+];
+const CHIP_FLAGS: &[FlagSpec] = &[
+    flag("suite"),
+    flag("out"),
+    flag("md"),
+    flag("check"),
+    flag("tol"),
+    flag("tol-abs"),
+    flag("shots-dir"),
 ];
 const SERVE_FLAGS: &[FlagSpec] = &[
     flag("addr"),
@@ -338,18 +363,7 @@ fn cmd_eval(flags: &Flags) -> CliResult {
         println!("wrote {md}");
     }
     if let Some(golden_path) = flags.get("check") {
-        let tol = Tolerance {
-            rel: flags
-                .get("tol")
-                .map(|s| s.parse())
-                .transpose()?
-                .unwrap_or(Tolerance::default().rel),
-            abs: flags
-                .get("tol-abs")
-                .map(|s| s.parse())
-                .transpose()?
-                .unwrap_or(Tolerance::default().abs),
-        };
+        let tol = parse_tolerance(flags)?;
         let golden = EvalReport::from_json_str(&std::fs::read_to_string(golden_path)?)
             .map_err(|e| format!("cannot load golden file {golden_path}: {e}"))?;
         let drifts = compare_reports(&golden, &report, &tol);
@@ -357,6 +371,126 @@ fn cmd_eval(flags: &Flags) -> CliResult {
             println!(
                 "golden check OK: {} cases within tolerance (rel {}, abs {}) of {golden_path}",
                 report.cases.len(),
+                tol.rel,
+                tol.abs
+            );
+        } else {
+            eprintln!("golden check FAILED against {golden_path}:");
+            for d in &drifts {
+                eprintln!("  {d}");
+            }
+            return Err(format!("{} metric(s) drifted beyond tolerance", drifts.len()).into());
+        }
+    }
+    Ok(())
+}
+
+/// `--tol` / `--tol-abs` with the library defaults, shared by the
+/// `eval` and `chip` golden checks.
+fn parse_tolerance(flags: &Flags) -> Result<Tolerance, Box<dyn std::error::Error>> {
+    Ok(Tolerance {
+        rel: flags
+            .get("tol")
+            .map(|s| s.parse())
+            .transpose()?
+            .unwrap_or(Tolerance::default().rel),
+        abs: flags
+            .get("tol-abs")
+            .map(|s| s.parse())
+            .transpose()?
+            .unwrap_or(Tolerance::default().abs),
+    })
+}
+
+fn cmd_chip(flags: &Flags) -> CliResult {
+    let suite_name = flags
+        .get("suite")
+        .map(String::as_str)
+        .unwrap_or("chip-tiny");
+    let spec = ChipSpec::named(suite_name).ok_or_else(|| {
+        format!(
+            "unknown chip suite {suite_name:?} (available: {})",
+            ChipSpec::NAMES.join(", ")
+        )
+    })?;
+    println!(
+        "running chip suite {:?}: {} chips at {} px tiles ({} px windows, {} px halo), {} workers",
+        spec.name,
+        spec.chips.len(),
+        spec.tile_px,
+        2 * spec.tile_px,
+        spec.tile_px / 2,
+        cfaopc::fft::parallel::worker_count()
+    );
+    let sim = LithoSimulator::new(spec.litho_config())?;
+    let shots_dir = flags.get("shots-dir");
+    if let Some(dir) = shots_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+
+    let mut records = Vec::with_capacity(spec.chips.len());
+    for source in &spec.chips {
+        let chip = source.chip();
+        let outcome = run_chip_case_full(&spec, &sim, &chip)?;
+        let r = &outcome.record;
+        println!(
+            "{:<14} {}x{} tiles | rule: L2 {:>9.0} PVB {:>9.0} EPE {:>3} #Shot {:>5} xMRC {:>2} | \
+             opt: L2 {:>9.0} PVB {:>9.0} EPE {:>3} #Shot {:>5} xMRC {:>2}",
+            r.name,
+            r.tiles_x,
+            r.tiles_y,
+            r.rule.l2,
+            r.rule.pvb,
+            r.rule.epe,
+            r.rule.shots,
+            r.rule.cross_seam_violations,
+            r.opt.l2,
+            r.opt.pvb,
+            r.opt.epe,
+            r.opt.shots,
+            r.opt.cross_seam_violations,
+        );
+        if let Some(dir) = shots_dir {
+            let geom = spec.geometry(&chip);
+            let (cw, ch) = (geom.chip_width_px(), geom.chip_height_px());
+            for (mask, tag) in [(&outcome.rule_mask, "rule"), (&outcome.opt_mask, "opt")] {
+                let path = format!("{dir}/{}_{tag}.cshot", chip.name);
+                let list = ShotList::new(mask.clone(), cw, ch, spec.pixel_nm());
+                std::fs::write(&path, list.to_text())?;
+                println!("wrote {path}");
+            }
+        }
+        records.push(outcome.record);
+    }
+    let geom = ChipGeometry::new(1, 1, spec.tile_px);
+    let report = ChipReport {
+        suite: spec.name.clone(),
+        tile_px: spec.tile_px,
+        window_px: geom.window_px(),
+        halo_px: geom.halo_px(),
+        kernel_count: spec.kernel_count,
+        chips: records,
+    };
+
+    let out = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("CHIP_RESULTS.json");
+    std::fs::write(out, report.to_json_string())?;
+    println!("wrote {out}");
+    if let Some(md) = flags.get("md") {
+        std::fs::write(md, report.markdown_table())?;
+        println!("wrote {md}");
+    }
+    if let Some(golden_path) = flags.get("check") {
+        let tol = parse_tolerance(flags)?;
+        let golden = ChipReport::from_json_str(&std::fs::read_to_string(golden_path)?)
+            .map_err(|e| format!("cannot load golden file {golden_path}: {e}"))?;
+        let drifts = compare_chip_reports(&golden, &report, &tol);
+        if drifts.is_empty() {
+            println!(
+                "golden check OK: {} chips within tolerance (rel {}, abs {}) of {golden_path}",
+                report.chips.len(),
                 tol.rel,
                 tol.abs
             );
@@ -497,5 +631,27 @@ mod tests {
     #[test]
     fn empty_args_parse_to_no_flags() {
         assert!(parse_flags(&[], SERVE_FLAGS).unwrap().is_empty());
+    }
+
+    #[test]
+    fn chip_flags_accept_the_ci_invocation() {
+        let flags = parse_flags(
+            &args(&[
+                "--suite",
+                "chip-tiny",
+                "--out=CHIP_RESULTS.json",
+                "--check",
+                "eval/golden_chip.json",
+                "--shots-dir",
+                "shots",
+            ]),
+            CHIP_FLAGS,
+        )
+        .unwrap();
+        assert_eq!(flags.get("suite").map(String::as_str), Some("chip-tiny"));
+        assert_eq!(flags.get("shots-dir").map(String::as_str), Some("shots"));
+        // `--timing` belongs to eval, not chip.
+        let err = parse_flags(&args(&["--timing"]), CHIP_FLAGS).unwrap_err();
+        assert!(err.contains("--timing"), "{err}");
     }
 }

@@ -17,6 +17,9 @@
 //! * [`metrics`] — L2 / PVB / EPE / shot count, result tables,
 //! * [`eval`] — the sharded end-to-end evaluation harness behind
 //!   `cfaopc eval` (suites, `RESULTS.json`, golden-file drift checks),
+//! * [`chip`] — full-chip multi-tile decomposition behind `cfaopc chip`
+//!   (halo windows, parallel per-tile pipelines, partition-of-unity seam
+//!   stitching, cross-seam MRC, `CHIP_RESULTS.json`),
 //! * [`viz`] — PGM/SVG rendering,
 //! * [`trace`] — opt-in observability: hierarchical spans, atomic
 //!   counters, and per-iteration [`trace::TelemetrySink`] records.
@@ -54,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use cfaopc_chip as chip;
 pub use cfaopc_core as circleopt;
 pub use cfaopc_ebeam as ebeam;
 pub use cfaopc_eval as eval;
@@ -70,6 +74,10 @@ pub use cfaopc_viz as viz;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use cfaopc_chip::{
+        compare_chip_reports, run_chip_case, run_chip_case_full, run_chip_suite, ChipGeometry,
+        ChipReport, ChipSpec,
+    };
     pub use cfaopc_core::{
         compose, compose_soft, run_circleopt, run_circleopt_from, run_circleopt_from_traced,
         run_circleopt_traced, ste, CircleOptConfig, CircleOptResult, CircleParams, ComposeConfig,
@@ -91,8 +99,8 @@ pub mod prelude {
         PixelIltConfig,
     };
     pub use cfaopc_layouts::{
-        all_cases, benchmark_case, generate_layout, GeneratorConfig, Layout, PAPER_AREAS_NM2,
-        TILE_NM,
+        all_cases, benchmark_case, generate_chip, generate_layout, ChipGeneratorConfig, ChipLayout,
+        GeneratorConfig, Layout, PAPER_AREAS_NM2, TILE_NM,
     };
     pub use cfaopc_litho::{
         bossung_surface, measure_cd, standard_sweep, CdAxis, CdProbe, LithoConfig, LithoSimulator,
