@@ -339,7 +339,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 while *pos < bytes.len() && (bytes[*pos] & 0xc0) == 0x80 {
                     *pos += 1;
                 }
-                out.push_str(std::str::from_utf8(&bytes[start..*pos]).unwrap());
+                match std::str::from_utf8(&bytes[start..*pos]) {
+                    Ok(scalar) => out.push_str(scalar),
+                    Err(_) => return Err(JsonError::at(start, "invalid UTF-8 in string")),
+                }
             }
         }
     }
@@ -355,7 +358,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, JsonError> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+    let text = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| JsonError::at(start, "non-ASCII byte in number"))?;
     text.parse::<f64>()
         .map_err(|_| JsonError::at(start, format!("bad number {text:?}")))
 }

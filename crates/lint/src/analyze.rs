@@ -307,7 +307,7 @@ fn item_extent(toks: &[Tok], start: usize) -> Option<(usize, usize)> {
 }
 
 /// Given the index of a `{` token, returns the index of its matching `}`.
-fn brace_match(toks: &[Tok], open: usize) -> Option<usize> {
+pub(crate) fn brace_match(toks: &[Tok], open: usize) -> Option<usize> {
     let mut depth = 0i32;
     for (i, tok) in toks.iter().enumerate().skip(open) {
         if tok.is_punct("{") {

@@ -239,17 +239,20 @@ fn block_comment(cur: &mut Cursor, start_line: u32) -> Tok {
     }
 }
 
-/// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` and raw
-/// identifiers `r#ident`. Returns `None` when the cursor is not at any of
-/// these, leaving it untouched.
+/// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`, the Rust 1.77
+/// C-string family `c"…"` / `cr"…"` / `cr#"…"#`, and raw identifiers
+/// `r#ident`. Returns `None` when the cursor is not at any of these,
+/// leaving it untouched.
 fn string_prefix(cur: &mut Cursor, start_line: u32) -> Option<Tok> {
     let c = cur.peek()?;
-    if c != 'r' && c != 'b' {
+    if c != 'r' && c != 'b' && c != 'c' {
         return None;
     }
     let (raw_at, byte) = match (c, cur.peek_at(1)) {
         ('r', Some('"' | '#')) => (1, false),
-        ('b', Some('"')) => (1, true),
+        // Plain byte and C strings share the plain-string scanner (the
+        // prefix changes the value type, not the delimiter grammar).
+        ('b' | 'c', Some('"')) => (1, true),
         ('b', Some('\'')) => {
             // Byte literal `b'x'`.
             cur.bump();
@@ -257,7 +260,7 @@ fn string_prefix(cur: &mut Cursor, start_line: u32) -> Option<Tok> {
             tok.kind = TokKind::Char;
             return Some(tok);
         }
-        ('b', Some('r')) if matches!(cur.peek_at(2), Some('"' | '#')) => (2, false),
+        ('b' | 'c', Some('r')) if matches!(cur.peek_at(2), Some('"' | '#')) => (2, false),
         _ => return None,
     };
     if byte {
@@ -591,8 +594,34 @@ mod tests {
     }
 
     #[test]
+    fn c_string_literals_are_single_tokens() {
+        // `c"…"`: one Str token whose text is the content, so a brace
+        // inside the literal can't desynchronize brace scoping.
+        let toks = kinds("c\"a{b\" }");
+        assert_eq!(toks[0], (TokKind::Str, "a{b".into()));
+        assert_eq!(toks[1], (TokKind::Punct, "}".into()));
+
+        let toks = kinds("cr\"no \\ escapes\"");
+        assert_eq!(toks[0], (TokKind::Str, "no \\ escapes".into()));
+
+        let toks = kinds("cr#\"quote \" inside\"# fn");
+        assert_eq!(toks[0], (TokKind::Str, "quote \" inside".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn c_prefix_without_quote_is_an_ident() {
+        let toks = kinds("c + cr * crate");
+        assert_eq!(toks[0], (TokKind::Ident, "c".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "cr".into()));
+        assert_eq!(toks[4], (TokKind::Ident, "crate".into()));
+    }
+
+    #[test]
     fn unterminated_inputs_do_not_panic() {
-        for src in ["\"abc", "/* open", "r#\"abc", "'", "b\"x", "r###\"y"] {
+        for src in [
+            "\"abc", "/* open", "r#\"abc", "'", "b\"x", "r###\"y", "c\"ab", "cr#\"ab", "cr\"",
+        ] {
             let _ = lex(src);
         }
     }

@@ -9,19 +9,29 @@
 //!
 //! * **L1** `unsafe` without an adjacent `// SAFETY:` comment
 //! * **L2** `unwrap`/`expect`/`panic!`-family in non-test library code
-//! * **L3** allocation in functions named by `lint/hotpaths.toml`
+//! * **L3** allocation anywhere in the call-graph closure of the fns
+//!   named by `lint/hotpaths.toml`
 //! * **L4** hash collections / bare float `==` in determinism crates
 //! * **L5** ad-hoc atomic counters bypassing `cfaopc-trace`
+//! * **L6** panic sites reachable from `[[panic_entry]]` runner fns
+//! * **L7** lock-order and held-guard-I/O discipline in `[locks]` crates
+//! * **L8** `+=` accumulation inside unordered parallel primitives
 //!
-//! Accepted legacy findings live in `lint/baseline.json` with one-line
-//! justifications; everything else fails the build. See DESIGN.md
-//! ("Static analysis") for the rule catalog and baseline policy.
+//! The graph rules run over a workspace-wide call graph built by a
+//! zero-dependency item [`parser`] on top of the total [`lexer`]
+//! (resolution policy in [`callgraph`]). Accepted legacy findings live in
+//! `lint/baseline.json` with one-line justifications; manifest entries
+//! naming fns that no longer exist are *stale drift* and map to exit
+//! code 2, like stale baseline entries. See DESIGN.md ("Static
+//! analysis") for the rule catalog and baseline policy.
 
 pub mod analyze;
 pub mod baseline;
+pub mod callgraph;
 pub mod json;
 pub mod lexer;
 pub mod manifest;
+pub mod parser;
 pub mod rules;
 
 use std::fmt::Write as _;
@@ -36,7 +46,8 @@ use json::Json;
 pub const EXIT_CLEAN: i32 = 0;
 /// At least one finding is not covered by the baseline.
 pub const EXIT_NEW_FINDINGS: i32 = 1;
-/// The baseline lists sites that no longer exist (prune it).
+/// The baseline or the manifest lists sites/fns that no longer exist
+/// (prune the baseline, or fix `lint/hotpaths.toml`).
 pub const EXIT_STALE_BASELINE: i32 = 2;
 /// I/O, manifest or baseline parse failure.
 pub const EXIT_INTERNAL: i32 = 3;
@@ -87,14 +98,19 @@ pub struct Report {
     pub raw_findings: Vec<rules::Finding>,
     /// The baseline that was applied.
     pub baseline: Baseline,
+    /// Manifest entries naming fns that no longer exist (exit code 2).
+    pub stale_manifest: Vec<rules::StaleManifest>,
+    /// The workspace call graph, for `--callgraph` export / CI artifact.
+    pub callgraph: Json,
 }
 
 impl Report {
-    /// The process exit code this report warrants.
+    /// The process exit code this report warrants. New findings dominate
+    /// staleness: fix the code first, then prune the metadata.
     pub fn exit_code(&self) -> i32 {
         if self.outcome.new_count > 0 {
             EXIT_NEW_FINDINGS
-        } else if !self.outcome.stale.is_empty() {
+        } else if !self.outcome.stale.is_empty() || !self.stale_manifest.is_empty() {
             EXIT_STALE_BASELINE
         } else {
             EXIT_CLEAN
@@ -141,11 +157,34 @@ impl Report {
                 ])
             })
             .collect();
+        let stale_manifest = self
+            .stale_manifest
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("section".to_string(), Json::Str(s.section.to_string())),
+                    ("file".to_string(), Json::Str(s.file.clone())),
+                    ("function".to_string(), Json::Str(s.function.clone())),
+                ])
+            })
+            .collect();
+        let rules_catalog = rules::CATALOG
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("id".to_string(), Json::Str(r.id.to_string())),
+                    ("name".to_string(), Json::Str(r.name.to_string())),
+                    ("rationale".to_string(), Json::Str(r.rationale.to_string())),
+                ])
+            })
+            .collect();
         Json::Obj(vec![
-            ("version".to_string(), Json::int(1)),
+            ("version".to_string(), Json::int(2)),
             ("files_scanned".to_string(), Json::int(self.files_scanned)),
+            ("rules".to_string(), Json::Arr(rules_catalog)),
             ("findings".to_string(), Json::Arr(findings)),
             ("stale_baseline".to_string(), Json::Arr(stale)),
+            ("stale_manifest".to_string(), Json::Arr(stale_manifest)),
             (
                 "summary".to_string(),
                 Json::Obj(vec![
@@ -156,6 +195,10 @@ impl Report {
                         Json::int(self.outcome.baselined_count),
                     ),
                     ("stale".to_string(), Json::int(self.outcome.stale.len())),
+                    (
+                        "stale_manifest".to_string(),
+                        Json::int(self.stale_manifest.len()),
+                    ),
                     (
                         "exit_code".to_string(),
                         Json::int(self.exit_code() as usize),
@@ -188,14 +231,22 @@ impl Report {
                 s.rule, s.file, s.snippet, s.expected, s.actual
             );
         }
+        for s in &self.stale_manifest {
+            let _ = writeln!(
+                out,
+                "stale manifest entry: [[{}]] {} names fn `{}` which no longer exists — update lint/hotpaths.toml",
+                s.section, s.file, s.function
+            );
+        }
         let _ = writeln!(
             out,
-            "cfaopc-lint: {} files, {} findings ({} new, {} baselined, {} stale baseline entries)",
+            "cfaopc-lint: {} files, {} findings ({} new, {} baselined, {} stale baseline, {} stale manifest entries)",
             self.files_scanned,
             self.outcome.findings.len(),
             self.outcome.new_count,
             self.outcome.baselined_count,
-            self.outcome.stale.len()
+            self.outcome.stale.len(),
+            self.stale_manifest.len()
         );
         out
     }
@@ -269,21 +320,29 @@ pub fn run(opts: &RunOptions) -> Result<Report, LintError> {
         Err(e) => return Err(LintError::Io(baseline_path, e)),
     };
 
+    // Pass 1: analyze every file, so the call graph sees the whole
+    // workspace before any rule runs.
     let files = collect_rs_files(&opts.root)?;
-    let mut findings = Vec::new();
+    let mut analyzed = Vec::with_capacity(files.len());
     for path in &files {
         let source = std::fs::read_to_string(path).map_err(|e| LintError::Io(path.clone(), e))?;
         let rel = rel_path(&opts.root, path);
-        let analyzed = analyze::SourceFile::analyze(&rel, &source);
-        findings.extend(rules::run_all(&analyzed, &manifest));
+        analyzed.push(analyze::SourceFile::analyze(&rel, &source));
     }
+    // Pass 2: build the workspace call graph and run all rules over it.
+    let ws = callgraph::Workspace::new(&analyzed);
+    let graph = callgraph::CallGraph::build(&ws);
+    let (mut findings, stale_manifest) = rules::run_workspace(&ws, &graph, &manifest);
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    let callgraph_json = graph.to_json();
     let outcome = baseline.apply(findings.clone());
     Ok(Report {
         outcome,
         files_scanned: files.len(),
         raw_findings: findings,
         baseline,
+        stale_manifest,
+        callgraph: callgraph_json,
     })
 }

@@ -1,31 +1,38 @@
 //! `cfaopc-lint` command-line interface.
 //!
 //! ```text
-//! cfaopc-lint [--check] [--root DIR] [--json FILE]
+//! cfaopc-lint [--check] [--root DIR] [--json FILE] [--callgraph FILE]
 //!             [--baseline FILE] [--hotpaths FILE] [--update-baseline]
+//!             [--explain RULE]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 new findings, 2 stale baseline, 3 internal
-//! error (I/O or config parse failure).
+//! Exit codes: 0 clean, 1 new findings, 2 stale baseline or stale
+//! manifest, 3 internal error (I/O or config parse failure).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use cfaopc_lint::rules::{rule_info, CATALOG};
 use cfaopc_lint::{run, RunOptions, EXIT_INTERNAL};
 
 struct Cli {
     opts: RunOptions,
     json_out: Option<PathBuf>,
+    callgraph_out: Option<PathBuf>,
+    explain: Option<String>,
     update_baseline: bool,
 }
 
 fn usage() -> &'static str {
     "usage: cfaopc-lint [--check] [--root DIR] [--json FILE] \
-     [--baseline FILE] [--hotpaths FILE] [--update-baseline]\n\
+     [--callgraph FILE] [--baseline FILE] [--hotpaths FILE] \
+     [--update-baseline] [--explain RULE]\n\
      \n\
-     Checks the workspace against the contract rules L1-L5 and the\n\
-     committed baseline (lint/baseline.json). Exit codes: 0 clean,\n\
-     1 new findings, 2 stale baseline, 3 internal error."
+     Checks the workspace against the contract rules L1-L8 and the\n\
+     committed baseline (lint/baseline.json). `--explain L3` (or a rule\n\
+     slug) prints a rule's rationale and fix; `--callgraph FILE` writes\n\
+     the resolved workspace call graph as JSON. Exit codes: 0 clean,\n\
+     1 new findings, 2 stale baseline or stale manifest, 3 internal error."
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -36,30 +43,57 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             baseline: None,
         },
         json_out: None,
+        callgraph_out: None,
+        explain: None,
         update_baseline: false,
     };
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
-        let value = |i: &mut usize| -> Result<PathBuf, String> {
+        let value = |i: &mut usize| -> Result<String, String> {
             *i += 1;
             args.get(*i)
-                .map(PathBuf::from)
+                .cloned()
                 .ok_or_else(|| format!("{arg} needs a value"))
         };
         match arg {
             "--check" => {} // enforcing is the default; kept for CI readability
             "--update-baseline" => cli.update_baseline = true,
-            "--root" => cli.opts.root = value(&mut i)?,
-            "--json" => cli.json_out = Some(value(&mut i)?),
-            "--baseline" => cli.opts.baseline = Some(value(&mut i)?),
-            "--hotpaths" => cli.opts.hotpaths = Some(value(&mut i)?),
+            "--root" => cli.opts.root = PathBuf::from(value(&mut i)?),
+            "--json" => cli.json_out = Some(PathBuf::from(value(&mut i)?)),
+            "--callgraph" => cli.callgraph_out = Some(PathBuf::from(value(&mut i)?)),
+            "--baseline" => cli.opts.baseline = Some(PathBuf::from(value(&mut i)?)),
+            "--hotpaths" => cli.opts.hotpaths = Some(PathBuf::from(value(&mut i)?)),
+            "--explain" => cli.explain = Some(value(&mut i)?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
         i += 1;
     }
     Ok(cli)
+}
+
+fn explain(query: &str) -> ExitCode {
+    match rule_info(query) {
+        Some(r) => {
+            println!("{} ({})", r.id, r.name);
+            println!("\n  why:     {}", r.rationale);
+            println!("\n  example: {}", r.example);
+            println!("\n  fix:     {}", r.fix);
+            ExitCode::SUCCESS
+        }
+        None => {
+            let known: Vec<String> = CATALOG
+                .iter()
+                .map(|r| format!("{} ({})", r.id, r.name))
+                .collect();
+            eprintln!(
+                "cfaopc-lint: unknown rule `{query}`; known rules:\n  {}",
+                known.join("\n  ")
+            );
+            exit(EXIT_INTERNAL)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -76,6 +110,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(query) = &cli.explain {
+        return explain(query);
+    }
+
     let report = match run(&cli.opts) {
         Ok(report) => report,
         Err(err) => {
@@ -86,6 +124,14 @@ fn main() -> ExitCode {
 
     if let Some(path) = &cli.json_out {
         let text = report.to_json().to_string_pretty();
+        if let Err(err) = std::fs::write(path, text) {
+            eprintln!("cfaopc-lint: writing {}: {err}", path.display());
+            return exit(EXIT_INTERNAL);
+        }
+    }
+
+    if let Some(path) = &cli.callgraph_out {
+        let text = report.callgraph.to_string_pretty();
         if let Err(err) = std::fs::write(path, text) {
             eprintln!("cfaopc-lint: writing {}: {err}", path.display());
             return exit(EXIT_INTERNAL);

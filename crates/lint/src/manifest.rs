@@ -18,17 +18,36 @@ pub struct Hotpath {
     pub functions: Vec<String>,
 }
 
+/// One `[[panic_entry]]` entry: a file and the runner entry-point fns
+/// from which rule L6 computes panic reachability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicEntry {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// Entry-point function names inside that file.
+    pub functions: Vec<String>,
+}
+
 /// The parsed manifest.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Manifest {
     /// All `[[hotpath]]` entries in file order.
     pub hotpaths: Vec<Hotpath>,
+    /// All `[[panic_entry]]` entries in file order (rule L6 seeds).
+    pub panic_entries: Vec<PanicEntry>,
     /// Crate names (directory names under `crates/`) whose `src/` trees
     /// are subject to the determinism rule L4.
     pub determinism_crates: Vec<String>,
     /// Crate names exempt from the telemetry rule L5 (the tracing crate
     /// itself implements the gated counters).
     pub telemetry_exempt: Vec<String>,
+    /// Crate names whose `src/` trees are subject to the lock-discipline
+    /// rule L7.
+    pub lock_crates: Vec<String>,
+    /// Function names exempt from rule L8 because they implement the
+    /// ordered-reduction pattern themselves (turnstiles, ascending
+    /// reductions).
+    pub ordered_functions: Vec<String>,
 }
 
 /// A manifest parse failure with its 1-based line number.
@@ -59,8 +78,11 @@ fn fail(line: u32, message: impl Into<String>) -> ManifestError {
 enum Section {
     None,
     Hotpath,
+    PanicEntry,
     Determinism,
     Telemetry,
+    Locks,
+    Ordered,
 }
 
 /// Parses the manifest text.
@@ -82,6 +104,14 @@ pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
             });
             continue;
         }
+        if line == "[[panic_entry]]" {
+            section = Section::PanicEntry;
+            manifest.panic_entries.push(PanicEntry {
+                file: String::new(),
+                functions: Vec::new(),
+            });
+            continue;
+        }
         if line.starts_with("[[") {
             return Err(fail(lineno, format!("unknown array-of-tables {line}")));
         }
@@ -89,6 +119,8 @@ pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
             section = match name.trim() {
                 "determinism" => Section::Determinism,
                 "telemetry" => Section::Telemetry,
+                "locks" => Section::Locks,
+                "ordered" => Section::Ordered,
                 other => return Err(fail(lineno, format!("unknown section [{other}]"))),
             };
             continue;
@@ -119,11 +151,29 @@ pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
                 };
                 entry.functions = parse_string_array(&value, lineno)?;
             }
+            (Section::PanicEntry, "file") => {
+                let Some(entry) = manifest.panic_entries.last_mut() else {
+                    return Err(fail(lineno, "file= outside [[panic_entry]]"));
+                };
+                entry.file = parse_string(&value, lineno)?;
+            }
+            (Section::PanicEntry, "functions") => {
+                let Some(entry) = manifest.panic_entries.last_mut() else {
+                    return Err(fail(lineno, "functions= outside [[panic_entry]]"));
+                };
+                entry.functions = parse_string_array(&value, lineno)?;
+            }
             (Section::Determinism, "crates") => {
                 manifest.determinism_crates = parse_string_array(&value, lineno)?;
             }
             (Section::Telemetry, "exempt") => {
                 manifest.telemetry_exempt = parse_string_array(&value, lineno)?;
+            }
+            (Section::Locks, "crates") => {
+                manifest.lock_crates = parse_string_array(&value, lineno)?;
+            }
+            (Section::Ordered, "functions") => {
+                manifest.ordered_functions = parse_string_array(&value, lineno)?;
             }
             _ => return Err(fail(lineno, format!("unexpected key `{key}` here"))),
         }
@@ -136,6 +186,20 @@ pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
             return Err(fail(
                 0,
                 format!("[[hotpath]] {} has no functions=", entry.file),
+            ));
+        }
+    }
+    for (i, entry) in manifest.panic_entries.iter().enumerate() {
+        if entry.file.is_empty() {
+            return Err(fail(
+                0,
+                format!("[[panic_entry]] entry {} has no file=", i + 1),
+            ));
+        }
+        if entry.functions.is_empty() {
+            return Err(fail(
+                0,
+                format!("[[panic_entry]] {} has no functions=", entry.file),
             ));
         }
     }
@@ -214,6 +278,37 @@ exempt = ["trace"]
         assert_eq!(m.hotpaths[1].functions, vec!["dispatch"]);
         assert_eq!(m.determinism_crates, vec!["eval", "metrics"]);
         assert_eq!(m.telemetry_exempt, vec!["trace"]);
+    }
+
+    #[test]
+    fn parses_graph_rule_sections() {
+        let text = r##"
+[[panic_entry]]
+file = "crates/serve/src/server.rs"
+functions = ["runner_loop", "handle_connection"]
+
+[locks]
+crates = ["serve"]
+
+[ordered]
+functions = ["accumulate_intensity"]
+"##;
+        let m = parse(text).expect("manifest parses");
+        assert_eq!(m.panic_entries.len(), 1);
+        assert_eq!(m.panic_entries[0].file, "crates/serve/src/server.rs");
+        assert_eq!(
+            m.panic_entries[0].functions,
+            vec!["runner_loop", "handle_connection"]
+        );
+        assert_eq!(m.lock_crates, vec!["serve"]);
+        assert_eq!(m.ordered_functions, vec!["accumulate_intensity"]);
+    }
+
+    #[test]
+    fn rejects_incomplete_panic_entry() {
+        assert!(parse("[[panic_entry]]\nfile = \"a.rs\"\n").is_err());
+        assert!(parse("[[panic_entry]]\nfunctions = [\"f\"]\n").is_err());
+        assert!(parse("[locks]\nexempt = [\"x\"]\n").is_err());
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! Rule L7: lock discipline in the `[locks]` crates.
+//!
+//! A lexical guard-liveness scan per fn body: a `let g = x.lock(…)…;`
+//! binding is live until its enclosing block closes (or `drop(g)`);
+//! an unbound `x.lock(…)` temporary dies at the end of its statement.
+//! While any guard is live, the rule flags
+//!
+//! * a nested `.lock()` on the *same* receiver (self-deadlock),
+//! * a nested `.lock()` whose (outer, inner) receiver order also occurs
+//!   reversed anywhere in the scoped crates (inconsistent order ⇒
+//!   deadlock under contention), and
+//! * blocking I/O calls (`write_all`, `flush`, `accept`, `connect`,
+//!   `sleep`, …) made while the guard is held.
+//!
+//! Receivers are compared textually (`self.inner`, `state.registry`);
+//! `Condvar::wait` is deliberately not a blocking call — it releases the
+//! lock while parked.
+
+use crate::analyze::SourceFile;
+use crate::callgraph::Workspace;
+use crate::lexer::TokKind;
+use crate::manifest::Manifest;
+use crate::parser::FnItem;
+
+use super::hotpath::own_ranges;
+use super::{push, Finding};
+
+/// Method (and `sleep`) names treated as blocking while a guard is live.
+const BLOCKING: &[&str] = &[
+    "accept",
+    "connect",
+    "flush",
+    "join",
+    "read_exact",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+    "recv",
+    "recv_timeout",
+    "send",
+    "sleep",
+    "write_all",
+    "write_fmt",
+    "write_line",
+];
+
+#[derive(Debug)]
+struct Guard {
+    /// Binding name for `let g = …` guards; `None` for temporaries.
+    name: Option<String>,
+    /// Textual receiver of the `.lock()` call.
+    recv: String,
+    /// Brace depth at acquisition (temporaries die at `;` on this depth;
+    /// named guards when the depth drops below it).
+    depth: i32,
+}
+
+/// One nested acquisition: `inner.lock()` while an `outer` guard is live.
+#[derive(Debug)]
+struct NestedPair {
+    outer: String,
+    inner: String,
+    file: String,
+    line: u32,
+}
+
+/// Runs the rule over the workspace.
+pub(crate) fn run(ws: &Workspace<'_>, manifest: &Manifest, findings: &mut Vec<Finding>) {
+    let mut pairs: Vec<NestedPair> = Vec::new();
+    for entry in &ws.files {
+        let file = entry.source;
+        if !file.role.library
+            || !manifest
+                .lock_crates
+                .iter()
+                .any(|c| c == &file.role.crate_name)
+        {
+            continue;
+        }
+        for (idx, item) in entry.parsed.fns.iter().enumerate() {
+            if item.in_test_scope {
+                continue;
+            }
+            scan_fn(file, &entry.parsed.fns, idx, findings, &mut pairs);
+        }
+    }
+    // Second pass: inconsistent acquisition order across the whole scope.
+    for p in &pairs {
+        if p.outer == p.inner {
+            continue; // flagged immediately as self-deadlock
+        }
+        if let Some(op) = pairs
+            .iter()
+            .find(|q| q.outer == p.inner && q.inner == p.outer)
+        {
+            findings.push(Finding {
+                rule: "L7",
+                name: "lock-discipline",
+                file: p.file.clone(),
+                line: p.line,
+                message: format!(
+                    "nested `.lock()`: `{}` acquired while `{}` guard is live, but the opposite order occurs at {}:{}; acquire locks in one global order",
+                    p.inner, p.outer, op.file, op.line
+                ),
+                snippet: snippet_of(ws, &p.file, p.line),
+            });
+        }
+    }
+}
+
+fn snippet_of(ws: &Workspace<'_>, rel: &str, line: u32) -> String {
+    ws.file(rel)
+        .map(|e| e.source.snippet(line))
+        .unwrap_or_default()
+}
+
+/// Previous non-comment token index before `i`.
+fn prev_idx(file: &SourceFile, i: usize) -> Option<usize> {
+    (0..i)
+        .rev()
+        .find(|&j| !matches!(file.toks[j].kind, TokKind::Comment { .. }))
+}
+
+/// Next non-comment token index after `i`.
+fn next_idx(file: &SourceFile, i: usize) -> Option<usize> {
+    (i + 1..file.toks.len()).find(|&j| !matches!(file.toks[j].kind, TokKind::Comment { .. }))
+}
+
+/// The textual receiver chain ending at the `.` before token `dot`:
+/// `state.registry.lock()` → `state.registry`. Unrecognizable receivers
+/// (call results, indexing) collapse to `<expr>`.
+fn receiver_chain(file: &SourceFile, dot: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut expect_name = true;
+    let mut j = dot;
+    while let Some(p) = prev_idx(file, j) {
+        let t = &file.toks[p];
+        if expect_name {
+            if t.kind == TokKind::Ident {
+                parts.push(t.text.clone());
+                expect_name = false;
+                j = p;
+                continue;
+            }
+            break;
+        }
+        if t.is_punct(".") || t.is_punct("::") {
+            expect_name = true;
+            j = p;
+            continue;
+        }
+        break;
+    }
+    if parts.is_empty() {
+        return "<expr>".to_string();
+    }
+    parts.reverse();
+    parts.join(".")
+}
+
+/// The `let` binding name for the statement containing token `i`, if the
+/// statement is a `let` (scanning back, bounded by `;`/`{`/`}`).
+fn let_binding(file: &SourceFile, i: usize) -> Option<String> {
+    let mut j = i;
+    while let Some(p) = prev_idx(file, j) {
+        let t = &file.toks[p];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            return None;
+        }
+        if t.is_ident("let") {
+            let mut n = next_idx(file, p)?;
+            if file.toks[n].is_ident("mut") {
+                n = next_idx(file, n)?;
+            }
+            let name = &file.toks[n];
+            return (name.kind == TokKind::Ident).then(|| name.text.clone());
+        }
+        j = p;
+    }
+    None
+}
+
+fn scan_fn(
+    file: &SourceFile,
+    fns: &[FnItem],
+    idx: usize,
+    findings: &mut Vec<Finding>,
+    pairs: &mut Vec<NestedPair>,
+) {
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    for (a, b) in own_ranges(fns, idx) {
+        for i in a..=b.min(file.toks.len().saturating_sub(1)) {
+            let tok = &file.toks[i];
+            if tok.is_punct("{") {
+                depth += 1;
+                continue;
+            }
+            if tok.is_punct("}") {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+                continue;
+            }
+            if tok.is_punct(";") {
+                guards.retain(|g| g.name.is_some() || g.depth < depth);
+                continue;
+            }
+            if tok.kind != TokKind::Ident {
+                continue;
+            }
+            // `drop(g)` / `mem::drop(g)` releases a named guard early.
+            if tok.text == "drop" {
+                if let Some(o) = next_idx(file, i).filter(|&o| file.toks[o].is_punct("(")) {
+                    if let Some(n) = next_idx(file, o) {
+                        if file.toks[n].kind == TokKind::Ident
+                            && next_idx(file, n).is_some_and(|c| file.toks[c].is_punct(")"))
+                        {
+                            let name = file.toks[n].text.clone();
+                            guards.retain(|g| g.name.as_deref() != Some(name.as_str()));
+                        }
+                    }
+                }
+                continue;
+            }
+            let is_method = prev_idx(file, i).is_some_and(|p| file.toks[p].is_punct("."));
+            let has_args = next_idx(file, i).is_some_and(|n| file.toks[n].is_punct("("));
+            if tok.text == "lock" && is_method && has_args {
+                let dot = prev_idx(file, i).unwrap_or(i);
+                let recv = receiver_chain(file, dot);
+                for g in &guards {
+                    if g.recv == recv {
+                        push(
+                            findings,
+                            file,
+                            "L7",
+                            "lock-discipline",
+                            tok.line,
+                            format!(
+                                "nested `.lock()` on `{recv}` while its own guard is live — self-deadlock"
+                            ),
+                        );
+                    } else {
+                        pairs.push(NestedPair {
+                            outer: g.recv.clone(),
+                            inner: recv.clone(),
+                            file: file.rel.clone(),
+                            line: tok.line,
+                        });
+                    }
+                }
+                guards.push(Guard {
+                    name: let_binding(file, i),
+                    recv,
+                    depth,
+                });
+                continue;
+            }
+            if BLOCKING.contains(&tok.text.as_str())
+                && has_args
+                && (is_method || tok.text == "sleep")
+            {
+                if let Some(g) = guards.last() {
+                    push(
+                        findings,
+                        file,
+                        "L7",
+                        "lock-discipline",
+                        tok.line,
+                        format!(
+                            "blocking `{}{}(...)` while `{}` mutex guard is live; move the I/O outside the critical section",
+                            if is_method { "." } else { "" },
+                            tok.text,
+                            g.recv
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze::SourceFile;
+    use crate::manifest;
+    use crate::rules::run_all;
+    use crate::rules::Finding;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        let m = manifest::parse("[locks]\ncrates = [\"serve\"]\n").expect("manifest");
+        run_all(&SourceFile::analyze("crates/serve/src/x.rs", src), &m)
+            .into_iter()
+            .filter(|f| f.rule == "L7")
+            .collect()
+    }
+
+    #[test]
+    fn scoped_guard_then_io_is_clean() {
+        let src = "\
+fn f(s: &S) {
+    let line = {
+        let q = s.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.front().cloned()
+    };
+    s.out.write_all(b\"x\");
+}
+";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn blocking_io_under_live_guard_is_flagged() {
+        let src = "\
+fn f(s: &S) {
+    let mut w = s.inner.lock().unwrap_or_else(|e| e.into_inner());
+    w.write_all(b\"x\");
+    w.flush();
+}
+";
+        let found = lint(src);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].line, 3);
+        assert_eq!(found[1].line, 4);
+        assert!(found[0].message.contains("`.write_all(...)`"));
+        assert!(found[1].message.contains("`.flush(...)`"));
+        assert!(found[0].message.contains("`s.inner` mutex guard is live"));
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = "\
+fn f(s: &S) {
+    let q = s.queue.lock().unwrap_or_else(|e| e.into_inner());
+    drop(q);
+    s.sock.write_all(b\"x\");
+}
+";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn inconsistent_nesting_order_is_flagged_both_ways() {
+        let src = "\
+fn ab(s: &S) {
+    let a = s.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let b = s.beta.lock().unwrap_or_else(|e| e.into_inner());
+}
+fn ba(s: &S) {
+    let b = s.beta.lock().unwrap_or_else(|e| e.into_inner());
+    let a = s.alpha.lock().unwrap_or_else(|e| e.into_inner());
+}
+";
+        let found = lint(src);
+        assert_eq!(found.len(), 2);
+        assert!(found
+            .iter()
+            .all(|f| f.message.contains("opposite order occurs at")));
+        assert_eq!(found[0].line.min(found[1].line), 3);
+    }
+
+    #[test]
+    fn consistent_nesting_order_is_clean() {
+        let src = "\
+fn ab(s: &S) {
+    let a = s.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let b = s.beta.lock().unwrap_or_else(|e| e.into_inner());
+}
+fn also_ab(s: &S) {
+    let a = s.alpha.lock().unwrap_or_else(|e| e.into_inner());
+    let b = s.beta.lock().unwrap_or_else(|e| e.into_inner());
+}
+";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn relocking_the_same_receiver_is_a_self_deadlock() {
+        let src = "\
+fn f(s: &S) {
+    let a = s.state.lock().unwrap_or_else(|e| e.into_inner());
+    let b = s.state.lock().unwrap_or_else(|e| e.into_inner());
+}
+";
+        let found = lint(src);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn other_crates_are_out_of_scope() {
+        let m = manifest::parse("[locks]\ncrates = [\"serve\"]\n").expect("manifest");
+        let src = "\
+fn f(s: &S) {
+    let w = s.inner.lock().unwrap_or_else(|e| e.into_inner());
+    w.write_all(b\"x\");
+}
+";
+        let found = run_all(&SourceFile::analyze("crates/fft/src/x.rs", src), &m);
+        assert!(found.iter().all(|f| f.rule != "L7"));
+    }
+}

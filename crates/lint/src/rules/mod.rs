@@ -1,23 +1,36 @@
-//! The five contract rules. Each rule is a pure function from an analyzed
-//! [`SourceFile`] (plus the manifest) to findings; `run_all` applies every
-//! rule and returns findings sorted by (file, line, rule).
+//! The contract rules. L1–L5 are pure functions from one analyzed
+//! [`SourceFile`] (plus the manifest) to findings; L3 and the graph rules
+//! L6–L8 additionally consume the workspace call graph (see the
+//! submodules). `run_all` applies the full pipeline to a single file —
+//! the whole-workspace entry point is [`run_workspace`].
 //!
-//! | rule | name                          | scope                                   |
-//! |------|-------------------------------|-----------------------------------------|
-//! | L1   | unsafe-without-safety-comment | every `.rs` file                        |
-//! | L2   | panic-in-library              | library code outside test scope         |
-//! | L3   | hotpath-allocation            | function bodies named in hotpaths.toml  |
-//! | L4   | nondeterministic-construct    | library code of the determinism crates  |
-//! | L5   | adhoc-telemetry               | library code outside `cfaopc-trace`     |
+//! | rule | name                          | scope                                     |
+//! |------|-------------------------------|-------------------------------------------|
+//! | L1   | unsafe-without-safety-comment | every `.rs` file                          |
+//! | L2   | panic-in-library              | library code outside test scope           |
+//! | L3   | hotpath-allocation            | allocation-reachability closure of the    |
+//! |      |                               | fns named in hotpaths.toml                |
+//! | L4   | nondeterministic-construct    | library code of the determinism crates    |
+//! | L5   | adhoc-telemetry               | library code outside `cfaopc-trace`       |
+//! | L6   | panic-reachable-from-runner   | closure of the `[[panic_entry]]` fns      |
+//! | L7   | lock-discipline               | library code of the `[locks]` crates      |
+//! | L8   | unordered-parallel-merge      | parallel-primitive call sites in the      |
+//! |      |                               | determinism crates                        |
+
+pub mod hotpath;
+pub mod locks;
+pub mod merge;
+pub mod panics;
 
 use crate::analyze::{LineClass, SourceFile};
+use crate::callgraph::{CallGraph, Workspace};
 use crate::lexer::TokKind;
 use crate::manifest::Manifest;
 
 /// One rule violation at a specific site.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id: "L1" … "L5".
+    /// Rule id: "L1" … "L8".
     pub rule: &'static str,
     /// Stable rule slug, e.g. "unsafe-without-safety-comment".
     pub name: &'static str,
@@ -32,17 +45,166 @@ pub struct Finding {
     pub snippet: String,
 }
 
-/// Runs every rule over one file.
+/// A manifest entry naming a fn (or file) that no longer exists — silent
+/// drift the run reports separately and maps to exit code 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleManifest {
+    /// Manifest section: "hotpath" or "panic_entry".
+    pub section: &'static str,
+    /// The entry's file path.
+    pub file: String,
+    /// The fn name that was not found.
+    pub function: String,
+}
+
+/// One entry in the shared rule table (JSON report + `--explain`).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule id, "L1" … "L8".
+    pub id: &'static str,
+    /// Stable slug, matching [`Finding::name`].
+    pub name: &'static str,
+    /// Why the rule exists.
+    pub rationale: &'static str,
+    /// An example finding message.
+    pub example: &'static str,
+    /// How to fix (or justify) a finding.
+    pub fix: &'static str,
+}
+
+/// The rule catalog, in rule order. `--explain <RULE>` prints from this
+/// table and the JSON report embeds it, so the two can never drift.
+pub const CATALOG: &[RuleInfo] = &[
+    RuleInfo {
+        id: "L1",
+        name: "unsafe-without-safety-comment",
+        rationale: "Every `unsafe` block encodes a proof obligation; without an adjacent \
+                    `// SAFETY:` comment the obligation is invisible to reviewers and decays.",
+        example: "`unsafe` is not immediately preceded by a `// SAFETY:` comment",
+        fix: "Add a `// SAFETY:` comment directly above the `unsafe` (attributes in between \
+              are fine) stating the invariant that makes it sound.",
+    },
+    RuleInfo {
+        id: "L2",
+        name: "panic-in-library",
+        rationale: "Library code panicking turns recoverable conditions into process aborts; \
+                    the workspace contract is a panic-free library surface.",
+        example: "`.unwrap()` in non-test library code; return a typed error or baseline with \
+                  a justification",
+        fix: "Return a typed error (or `unwrap_or_else(|e| e.into_inner())` for poisoned \
+              locks); baseline only deliberate invariant checks, with a justification.",
+    },
+    RuleInfo {
+        id: "L3",
+        name: "hotpath-allocation",
+        rationale: "Steady-state optimizer iterations must not allocate; hotpaths.toml names \
+                    the seed fns and L3 flags allocations in every fn reachable from them \
+                    through the call graph.",
+        example: "`.collect()` in `take`, reachable from hot-path fn `loss_and_gradient_into` \
+                  via loss_and_gradient_into -> take (allocation-free contract)",
+        fix: "Hoist the allocation to setup and reuse pooled buffers; baseline deliberate \
+              cold paths (pool refills, one-time setup) with a justification.",
+    },
+    RuleInfo {
+        id: "L4",
+        name: "nondeterministic-construct",
+        rationale: "Crates feeding golden files must be byte-deterministic across thread \
+                    counts; hash iteration order and exact float comparison both break that.",
+        example: "`HashMap` in a determinism crate; use BTreeMap/BTreeSet or an ordered Vec",
+        fix: "Use BTreeMap/BTreeSet or a sorted Vec; compare floats with an explicit \
+              tolerance or bit pattern.",
+    },
+    RuleInfo {
+        id: "L5",
+        name: "adhoc-telemetry",
+        rationale: "Telemetry counters must go through the gated cfaopc-trace API so disabled \
+                    tracing stays zero-cost and counter placement stays auditable.",
+        example: "ad-hoc atomic `.fetch_add()` outside cfaopc-trace; route counters through \
+                  the gated trace API",
+        fix: "Replace the raw atomic with a cfaopc-trace counter; only the exempt crates may \
+              touch atomics directly.",
+    },
+    RuleInfo {
+        id: "L6",
+        name: "panic-reachable-from-runner",
+        rationale: "A panic anywhere in the call closure of a cfaopc-serve runner entry point \
+                    kills the runner thread and strands every queued job.",
+        example: "`.expect(...)` in `spawn_worker` is reachable from runner entry `execute` \
+                  via execute -> par_map -> spawn_worker; a panicking runner strands queued \
+                  jobs",
+        fix: "Convert the panic site to a typed error propagated to the runner's job-failure \
+              path; baseline only sites whose failure is unrecoverable by construction.",
+    },
+    RuleInfo {
+        id: "L7",
+        name: "lock-discipline",
+        rationale: "Nested `.lock()` acquisitions in inconsistent order deadlock under \
+                    contention, and blocking I/O under a held guard stalls every thread \
+                    waiting on that Mutex.",
+        example: "blocking `.write_all(...)` while `self.inner` mutex guard is live; move \
+                  the I/O outside the critical section",
+        fix: "Acquire locks in one global order; copy data out and drop the guard before \
+              blocking calls. Baseline deliberate cases (e.g. a writer lock held across one \
+              line write for atomicity) with a justification.",
+    },
+    RuleInfo {
+        id: "L8",
+        name: "unordered-parallel-merge",
+        rationale: "par_map/par_index_claim/par_chunks2_mut claim work in nondeterministic \
+                    order; `+=` accumulation inside their closures makes float results \
+                    depend on thread timing, breaking golden-file identity.",
+        example: "`+=` accumulation inside a `par_index_claim` closure in a determinism \
+                  crate; claim order is nondeterministic",
+        fix: "Write per-index results and reduce serially in ascending order (or through the \
+              ordered-turnstile helpers), or list the fn under `[ordered]` in hotpaths.toml \
+              if it implements such a pattern itself.",
+    },
+];
+
+/// Looks up a rule by id (`L3`) or slug (`hotpath-allocation`),
+/// case-insensitively.
+pub fn rule_info(query: &str) -> Option<&'static RuleInfo> {
+    let q = query.trim().to_ascii_lowercase();
+    CATALOG
+        .iter()
+        .find(|r| r.id.to_ascii_lowercase() == q || r.name.to_ascii_lowercase() == q)
+}
+
+/// Runs the full pipeline over one file as a single-file workspace: the
+/// per-file rules plus the graph rules L3/L6/L7/L8, whose closures then
+/// stay within the file. Stale-manifest entries are ignored here — a
+/// single file can't see the rest of the workspace.
 pub fn run_all(file: &SourceFile, manifest: &Manifest) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    l1_unsafe_safety(file, &mut findings);
-    l2_panic_surface(file, &mut findings);
-    l3_hotpath_alloc(file, manifest, &mut findings);
-    l4_determinism(file, manifest, &mut findings);
-    l5_telemetry(file, manifest, &mut findings);
+    let sources = std::slice::from_ref(file);
+    let ws = Workspace::new(sources);
+    let graph = CallGraph::build(&ws);
+    let (mut findings, _stale) = run_workspace(&ws, &graph, manifest);
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     findings
+}
+
+/// Runs every rule over an analyzed workspace. Returns the findings
+/// (unsorted — the report layer sorts) and any stale manifest entries.
+pub fn run_workspace(
+    ws: &Workspace<'_>,
+    graph: &CallGraph,
+    manifest: &Manifest,
+) -> (Vec<Finding>, Vec<StaleManifest>) {
+    let mut findings = Vec::new();
+    let mut stale = Vec::new();
+    for entry in &ws.files {
+        let file = entry.source;
+        l1_unsafe_safety(file, &mut findings);
+        l2_panic_surface(file, &mut findings);
+        l4_determinism(file, manifest, &mut findings);
+        l5_telemetry(file, manifest, &mut findings);
+    }
+    hotpath::run(ws, graph, manifest, &mut findings, &mut stale);
+    panics::run(ws, graph, manifest, &mut findings, &mut stale);
+    locks::run(ws, manifest, &mut findings);
+    merge::run(ws, manifest, &mut findings);
+    (findings, stale)
 }
 
 fn push(
@@ -182,66 +344,77 @@ fn l2_panic_surface(file: &SourceFile, findings: &mut Vec<Finding>) {
     }
 }
 
-/// L3: function bodies named in `lint/hotpaths.toml` may not allocate:
-/// no `Vec::new` / `vec!` / `.to_vec()` / `.collect()` / `.clone()` /
-/// `Box::new`.
-fn l3_hotpath_alloc(file: &SourceFile, manifest: &Manifest, findings: &mut Vec<Finding>) {
-    let Some(entry) = manifest.hotpaths.iter().find(|h| h.file == file.rel) else {
-        return;
-    };
-    for span in &file.fns {
-        if !entry.functions.iter().any(|f| f == &span.name) {
+/// Allocation sites inside a token range: `Vec::new` / `vec!` /
+/// `.to_vec()` / `.collect()` / `.clone()` / `Box::new` and the
+/// `with_capacity` variants. Shared by the interprocedural L3 in
+/// [`hotpath`].
+pub(crate) fn allocation_hits(file: &SourceFile, body: (usize, usize)) -> Vec<(u32, &'static str)> {
+    let (open, close) = body;
+    let mut hits = Vec::new();
+    for i in open..=close.min(file.toks.len().saturating_sub(1)) {
+        let tok = &file.toks[i];
+        if tok.kind != TokKind::Ident {
             continue;
         }
-        let (open, close) = span.body;
-        for i in open..=close.min(file.toks.len().saturating_sub(1)) {
-            let tok = &file.toks[i];
-            if tok.kind != TokKind::Ident {
-                continue;
+        let hit: Option<&'static str> = match tok.text.as_str() {
+            "Vec" | "Box" => {
+                let path = next_tok(file, i).is_some_and(|t| t.is_punct("::"))
+                    && file.toks[i + 1..]
+                        .iter()
+                        .filter(|t| !matches!(t.kind, TokKind::Comment { .. }))
+                        .nth(1)
+                        .is_some_and(|t| t.is_ident("new") || t.is_ident("with_capacity"));
+                path.then(|| {
+                    if tok.text == "Vec" {
+                        "Vec::new"
+                    } else {
+                        "Box::new"
+                    }
+                })
             }
-            let hit: Option<&str> = match tok.text.as_str() {
-                "Vec" | "Box" => {
-                    let path = next_tok(file, i).is_some_and(|t| t.is_punct("::"))
-                        && file.toks[i + 1..]
-                            .iter()
-                            .filter(|t| !matches!(t.kind, TokKind::Comment { .. }))
-                            .nth(1)
-                            .is_some_and(|t| t.is_ident("new") || t.is_ident("with_capacity"));
-                    path.then(|| {
-                        if tok.text == "Vec" {
-                            "Vec::new"
-                        } else {
-                            "Box::new"
-                        }
-                    })
-                }
-                "vec" => next_tok(file, i)
-                    .is_some_and(|t| t.is_punct("!"))
-                    .then_some("vec!"),
-                "to_vec" | "collect" | "clone" => {
-                    is_method_call(file, i).then_some(match tok.text.as_str() {
-                        "to_vec" => ".to_vec()",
-                        "collect" => ".collect()",
-                        _ => ".clone()",
-                    })
-                }
-                _ => None,
-            };
-            if let Some(what) = hit {
-                push(
-                    findings,
-                    file,
-                    "L3",
-                    "hotpath-allocation",
-                    tok.line,
-                    format!(
-                        "`{}` inside hot-path fn `{}` (allocation-free contract)",
-                        what, span.name
-                    ),
-                );
+            "vec" => next_tok(file, i)
+                .is_some_and(|t| t.is_punct("!"))
+                .then_some("vec!"),
+            "to_vec" | "collect" | "clone" => {
+                is_method_call(file, i).then_some(match tok.text.as_str() {
+                    "to_vec" => ".to_vec()",
+                    "collect" => ".collect()",
+                    _ => ".clone()",
+                })
             }
+            _ => None,
+        };
+        if let Some(what) = hit {
+            hits.push((tok.line, what));
         }
     }
+    hits
+}
+
+/// Panic sites inside a token range: `.unwrap()` / `.expect(…)` method
+/// calls and the panic-family macros, skipping test-scope tokens. Shared
+/// by the reachability rule L6 in [`panics`].
+pub(crate) fn panic_sites(file: &SourceFile, body: (usize, usize)) -> Vec<(u32, String)> {
+    let (open, close) = body;
+    let mut sites = Vec::new();
+    for i in open..=close.min(file.toks.len().saturating_sub(1)) {
+        let tok = &file.toks[i];
+        if file.in_test_scope.get(i).copied().unwrap_or(false) || tok.kind != TokKind::Ident {
+            continue;
+        }
+        match tok.text.as_str() {
+            "unwrap" | "expect" if is_method_call(file, i) => {
+                sites.push((tok.line, format!(".{}(...)", tok.text)));
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if next_tok(file, i).is_some_and(|t| t.is_punct("!")) =>
+            {
+                sites.push((tok.line, format!("{}!", tok.text)));
+            }
+            _ => {}
+        }
+    }
+    sites
 }
 
 /// L4: determinism crates may not use `HashMap`/`HashSet` (iteration

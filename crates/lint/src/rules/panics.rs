@@ -1,0 +1,127 @@
+//! Rule L6: panic reachability from daemon runner entry points.
+//!
+//! `[[panic_entry]]` in the manifest names the `cfaopc-serve` fns that run
+//! on runner/acceptor threads. Any library fn reachable from them whose
+//! body can hit `.unwrap()` / `.expect(…)` / `panic!`-family macros is
+//! flagged: a panic there unwinds the runner thread and strands every
+//! queued job. Entries naming fns that no longer exist are stale manifest
+//! drift (exit code 2).
+
+use crate::callgraph::{CallGraph, Workspace};
+use crate::manifest::Manifest;
+
+use super::hotpath::own_ranges;
+use super::{panic_sites, push, Finding, StaleManifest};
+
+/// Runs the rule over the workspace.
+pub(crate) fn run(
+    ws: &Workspace<'_>,
+    graph: &CallGraph,
+    manifest: &Manifest,
+    findings: &mut Vec<Finding>,
+    stale: &mut Vec<StaleManifest>,
+) {
+    let mut seeds = Vec::new();
+    for entry in &manifest.panic_entries {
+        for fname in &entry.functions {
+            let found = graph.find(&entry.file, fname);
+            if found.is_empty() {
+                stale.push(StaleManifest {
+                    section: "panic_entry",
+                    file: entry.file.clone(),
+                    function: fname.clone(),
+                });
+            } else {
+                seeds.extend(found);
+            }
+        }
+    }
+    if seeds.is_empty() {
+        return;
+    }
+    let cl = graph.closure(&seeds);
+    for (idx, node) in graph.nodes.iter().enumerate() {
+        if !cl.reached[idx] || node.in_test_scope {
+            continue;
+        }
+        let entry = &ws.files[node.file_idx];
+        if !entry.source.role.library {
+            continue;
+        }
+        let seed = cl.seed_of[idx]
+            .map(|s| graph.nodes[s].name.as_str())
+            .unwrap_or("?");
+        for range in own_ranges(&entry.parsed.fns, node.item_idx) {
+            for (line, site) in panic_sites(entry.source, range) {
+                push(
+                    findings,
+                    entry.source,
+                    "L6",
+                    "panic-reachable-from-runner",
+                    line,
+                    format!(
+                        "`{site}` in `{}` is reachable from runner entry `{seed}` via {}; a panicking runner strands queued jobs — return a typed error",
+                        node.name,
+                        graph.chain(&cl, idx).join(" -> "),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze::SourceFile;
+    use crate::manifest;
+    use crate::rules::run_all;
+
+    fn m() -> manifest::Manifest {
+        manifest::parse(
+            "[[panic_entry]]\nfile = \"crates/serve/src/server.rs\"\nfunctions = [\"runner_loop\"]\n",
+        )
+        .expect("manifest")
+    }
+
+    #[test]
+    fn flags_transitive_panic_sites_once_per_site() {
+        let src = "\
+pub fn runner_loop() { step(); step(); }
+fn step() { deep(); }
+fn deep(x: Option<u8>) -> u8 { x.unwrap() }
+fn unreached(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        let findings: Vec<_> = run_all(
+            &SourceFile::analyze("crates/serve/src/server.rs", src),
+            &m(),
+        )
+        .into_iter()
+        .filter(|f| f.rule == "L6")
+        .collect();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 3);
+        assert!(findings[0]
+            .message
+            .contains("runner entry `runner_loop` via runner_loop -> step -> deep"));
+    }
+
+    #[test]
+    fn test_scope_panics_are_exempt() {
+        let src = "\
+pub fn runner_loop() { helper(); }
+fn helper() {}
+#[cfg(test)]
+mod tests {
+    fn t() { helper(); None::<u8>.unwrap(); }
+}
+";
+        let findings: Vec<_> = run_all(
+            &SourceFile::analyze("crates/serve/src/server.rs", src),
+            &m(),
+        )
+        .into_iter()
+        .filter(|f| f.rule == "L6")
+        .collect();
+        assert!(findings.is_empty());
+    }
+}

@@ -1,8 +1,10 @@
 //! End-to-end tests of the `cfaopc-lint` binary against scratch
 //! workspaces, covering the acceptance contract: seeding one violation
-//! of each rule L1–L5 exits non-zero with a JSON finding naming file,
-//! line and rule, and the exit codes distinguish new findings (1) from
-//! a stale baseline (2) from internal errors (3).
+//! of each rule L1–L8 exits non-zero with a JSON finding naming file,
+//! line and rule; the interprocedural L3 catches an allocation one call
+//! removed from its seed; stale manifest entries exit 2 like a stale
+//! baseline; and `--explain` / `--callgraph` expose the rule catalog and
+//! the resolved graph.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -180,6 +182,197 @@ fn clean_workspace_exits_zero_without_manifest_or_baseline() {
     );
     let (code, stdout, stderr) = run_lint(&root, &["--check"]);
     assert_eq!(code, 0, "stdout:\n{stdout}\nstderr:\n{stderr}");
+}
+
+#[test]
+fn interprocedural_l3_flags_helper_one_call_removed_from_the_seed() {
+    let root = scratch("interproc");
+    write(
+        &root,
+        "lint/hotpaths.toml",
+        "[[hotpath]]\nfile = \"crates/litho/src/hot.rs\"\nfunctions = [\"tight_loop\"]\n",
+    );
+    write(
+        &root,
+        "crates/litho/src/hot.rs",
+        "pub fn tight_loop(xs: &mut [u8]) {\n    normalize(xs);\n}\n",
+    );
+    write(
+        &root,
+        "crates/litho/src/helpers.rs",
+        "pub fn normalize(xs: &mut [u8]) {\n    let scratch = xs.to_vec();\n    drop(scratch);\n}\n",
+    );
+    let (code, stdout, _) = run_lint(&root, &["--check", "--json", "report.json"]);
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    let report = parse_report(&root, "report.json");
+    let findings = report.get("findings").and_then(Json::as_arr).unwrap();
+    let hit = findings
+        .iter()
+        .find(|f| {
+            f.get("rule").and_then(Json::as_str) == Some("L3")
+                && f.get("file").and_then(Json::as_str) == Some("crates/litho/src/helpers.rs")
+                && f.get("line").and_then(Json::as_usize) == Some(2)
+        })
+        .unwrap_or_else(|| panic!("no interprocedural L3 finding in:\n{stdout}"));
+    let message = hit.get("message").and_then(Json::as_str).unwrap();
+    assert!(message.contains("reachable from hot-path fn `tight_loop`"));
+    assert!(message.contains("tight_loop -> normalize"));
+}
+
+#[test]
+fn stale_manifest_entry_exits_two() {
+    let root = scratch("stale-manifest");
+    write(
+        &root,
+        "lint/hotpaths.toml",
+        "[[hotpath]]\nfile = \"crates/litho/src/hot.rs\"\nfunctions = [\"renamed_away\"]\n",
+    );
+    write(&root, "crates/litho/src/hot.rs", "pub fn tight_loop() {}\n");
+    let (code, stdout, _) = run_lint(&root, &["--check", "--json", "report.json"]);
+    assert_eq!(code, 2, "stdout:\n{stdout}");
+    assert!(stdout.contains("stale manifest entry"));
+    assert!(stdout.contains("renamed_away"));
+    let report = parse_report(&root, "report.json");
+    let stale = report.get("stale_manifest").and_then(Json::as_arr).unwrap();
+    assert_eq!(stale.len(), 1);
+    assert_eq!(
+        stale[0].get("section").and_then(Json::as_str),
+        Some("hotpath")
+    );
+    assert_eq!(
+        stale[0].get("function").and_then(Json::as_str),
+        Some("renamed_away")
+    );
+    let summary = report.get("summary").unwrap();
+    assert_eq!(summary.get("exit_code").and_then(Json::as_usize), Some(2));
+}
+
+const GRAPH_HOTPATHS: &str = r#"
+[[panic_entry]]
+file = "crates/serve/src/server.rs"
+functions = ["runner_loop"]
+
+[locks]
+crates = ["serve"]
+
+[determinism]
+crates = ["eval"]
+"#;
+
+/// One violation of each graph rule L6/L7/L8, each in its own file.
+fn seed_graph_violations(root: &Path) {
+    write(root, "lint/hotpaths.toml", GRAPH_HOTPATHS);
+    // L6: panic two calls below the runner entry (worker.rs line 5).
+    write(
+        root,
+        "crates/serve/src/server.rs",
+        "pub fn runner_loop(jobs: &[u8]) {\n    for j in jobs {\n        step(*j);\n    }\n}\n",
+    );
+    write(
+        root,
+        "crates/serve/src/worker.rs",
+        "pub fn step(j: u8) {\n    check(j);\n}\nfn check(j: u8) {\n    if j > 7 { panic!(\"bad job\") }\n}\n",
+    );
+    // L7: blocking write while a mutex guard is live (stream.rs line 3).
+    write(
+        root,
+        "crates/serve/src/stream.rs",
+        "pub fn send_line(s: &Shared, line: &[u8]) {\n    let mut out = s.inner.lock().unwrap_or_else(|e| e.into_inner());\n    let _ = out.write_all(line);\n}\n",
+    );
+    // L8: `+=` inside a parallel primitive's closure (sums.rs line 4).
+    write(
+        root,
+        "crates/eval/src/sums.rs",
+        "pub fn total(xs: &[f64]) -> f64 {\n    let mut sum = 0.0;\n    par_index_claim(xs.len(), |i| {\n        sum += xs[i];\n    });\n    sum\n}\n",
+    );
+}
+
+#[test]
+fn seeded_graph_rule_violations_fail_with_json_findings() {
+    let root = scratch("graph-seeded");
+    seed_graph_violations(&root);
+    let (code, stdout, stderr) = run_lint(&root, &["--check", "--json", "report.json"]);
+    assert_eq!(code, 1, "stdout:\n{stdout}\nstderr:\n{stderr}");
+
+    let report = parse_report(&root, "report.json");
+    let findings = report.get("findings").and_then(Json::as_arr).unwrap();
+    let expect = [
+        ("L6", "crates/serve/src/worker.rs", 5),
+        ("L7", "crates/serve/src/stream.rs", 3),
+        ("L8", "crates/eval/src/sums.rs", 4),
+    ];
+    for (rule, file, line) in expect {
+        let hit = findings.iter().any(|f| {
+            f.get("rule").and_then(Json::as_str) == Some(rule)
+                && f.get("file").and_then(Json::as_str) == Some(file)
+                && f.get("line").and_then(Json::as_usize) == Some(line)
+        });
+        assert!(hit, "missing {rule} at {file}:{line} in:\n{stdout}");
+    }
+    // The L6 message names the whole chain from the runner entry.
+    let l6 = findings
+        .iter()
+        .find(|f| f.get("rule").and_then(Json::as_str) == Some("L6"))
+        .unwrap();
+    let message = l6.get("message").and_then(Json::as_str).unwrap();
+    assert!(
+        message.contains("runner_loop -> step -> check"),
+        "{message}"
+    );
+    // The report embeds the full rule catalog.
+    let rules = report.get("rules").and_then(Json::as_arr).unwrap();
+    assert_eq!(rules.len(), 8);
+}
+
+#[test]
+fn explain_prints_the_catalog_entry() {
+    let root = scratch("explain");
+    let (code, stdout, _) = run_lint(&root, &["--explain", "L6"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("panic-reachable-from-runner"));
+    assert!(stdout.contains("fix:"));
+
+    // Slug lookup works too, case-insensitively.
+    let (code, stdout, _) = run_lint(&root, &["--explain", "Hotpath-Allocation"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("L3"));
+
+    let (code, _, stderr) = run_lint(&root, &["--explain", "L99"]);
+    assert_eq!(code, 3);
+    assert!(stderr.contains("unknown rule"));
+}
+
+#[test]
+fn callgraph_export_names_nodes_and_edges() {
+    let root = scratch("graph-export");
+    seed_graph_violations(&root);
+    let (code, _, _) = run_lint(&root, &["--check", "--callgraph", "graph.json"]);
+    assert_eq!(code, 1);
+    let graph = parse_report(&root, "graph.json");
+    let nodes = graph.get("nodes").and_then(Json::as_arr).unwrap();
+    let idx_of = |name: &str| {
+        nodes
+            .iter()
+            .position(|n| n.get("fn").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("no node {name}"))
+    };
+    let (runner, step) = (idx_of("runner_loop"), idx_of("step"));
+    let edges = graph.get("edges").and_then(Json::as_arr).unwrap();
+    let has_edge = edges.iter().any(|e| {
+        let pair = e.as_arr().unwrap();
+        pair[0].as_usize() == Some(runner) && pair[1].as_usize() == Some(step)
+    });
+    assert!(has_edge, "runner_loop -> step edge missing");
+}
+
+#[test]
+fn self_check_on_the_lint_crate_is_clean() {
+    let own = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (code, stdout, stderr) = run_lint(own, &["--check"]);
+    assert_eq!(
+        code, 0,
+        "the linter must pass its own rules\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
 }
 
 #[test]

@@ -112,6 +112,8 @@ proptest! {
             Just("SAFETY:"), Just("1.0"), Just("=="), Just("0..10"),
             Just("b\"x\""), Just("::<"), Just("ident"), Just("r#fn"),
             Just("/// doc"), Just("#"), Just("\\"),
+            Just("c\"str\""), Just("c\""), Just("cr#\""), Just("cr\""),
+            Just("use a::b as c;"), Just("impl T for U"), Just("-> ("),
         ], 0..64),
     ) {
         let src: String = parts.concat();
